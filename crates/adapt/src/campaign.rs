@@ -1,0 +1,621 @@
+//! The experiment harness behind Figures 10–13: environments x adaptation
+//! schemes over a chip population and the 16-workload suite.
+
+use eval_core::{
+    ChipFactory, CoreModel, Environment, EvalConfig, PerfModel, VariantSelection, N_SUBSYSTEMS,
+};
+use eval_uarch::profile::{PhaseProfile, WorkloadProfile};
+use eval_uarch::{profile_workload, ActivityVector, QueueSize, Workload};
+
+use crate::controller::{decide_phase, AdaptationTimeline};
+use crate::exhaustive::ExhaustiveOptimizer;
+use crate::fuzzy_ctl::{FuzzyOptimizer, TrainingBudget};
+use crate::optimizer::Optimizer;
+use crate::retune::Outcome;
+
+/// How configurations are chosen (the three bars per environment in
+/// Figures 10–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// One conservative configuration per chip, provisioned for worst-case
+    /// activity; never re-tuned at run time.
+    Static,
+    /// Per-phase adaptation driven by the trained fuzzy controllers.
+    FuzzyDyn,
+    /// Per-phase adaptation driven by the exhaustive oracle.
+    ExhDyn,
+}
+
+impl Scheme {
+    /// All schemes in plot order.
+    pub const ALL: [Scheme; 3] = [Scheme::Static, Scheme::FuzzyDyn, Scheme::ExhDyn];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Static => "Static",
+            Scheme::FuzzyDyn => "Fuzzy-Dyn",
+            Scheme::ExhDyn => "Exh-Dyn",
+        }
+    }
+}
+
+/// Outcome histogram over controller invocations (Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    counts: [u64; 5],
+}
+
+impl OutcomeCounts {
+    /// Records one outcome.
+    pub fn add(&mut self, o: Outcome) {
+        let idx = Outcome::ALL.iter().position(|x| *x == o).expect("known");
+        self.counts[idx] += 1;
+    }
+
+    /// Total invocations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of invocations with outcome `o` (0 if nothing recorded).
+    pub fn fraction(&self, o: Outcome) -> f64 {
+        let idx = Outcome::ALL.iter().position(|x| *x == o).expect("known");
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.counts[idx] as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Averages for one (environment, scheme) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellResult {
+    /// Mean core frequency relative to `NoVar`'s nominal.
+    pub freq_rel: f64,
+    /// Mean performance relative to `NoVar`.
+    pub perf_rel: f64,
+    /// Mean processor power (core + L1 + L2 [+ checker when present]), W.
+    pub power_w: f64,
+    /// Controller outcomes (dynamic schemes only).
+    pub outcomes: OutcomeCounts,
+}
+
+/// A full campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// `Baseline` reference (no error tolerance: clocked at `fvar`).
+    pub baseline: CellResult,
+    /// `NoVar` reference (no variation: nominal frequency).
+    pub novar: CellResult,
+    /// One cell per requested (environment, scheme) pair, in request order.
+    pub cells: Vec<(Environment, Scheme, CellResult)>,
+}
+
+impl CampaignResult {
+    /// Looks up a cell.
+    pub fn cell(&self, env: Environment, scheme: Scheme) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|(e, s, _)| *e == env && *s == scheme)
+            .map(|(_, _, c)| c)
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// System configuration.
+    pub config: EvalConfig,
+    /// Number of chips in the Monte Carlo population (the paper uses 100).
+    pub chips: usize,
+    /// Base RNG seed for the population.
+    pub base_seed: u64,
+    /// Instructions per phase measurement in the profiler.
+    pub profile_budget: u64,
+    /// Workloads to run (defaults to all 16).
+    pub workloads: Vec<Workload>,
+    /// Fuzzy-controller training budget.
+    pub training: TrainingBudget,
+    /// Cores exercised per chip (the paper runs each app on all 4; 1 is
+    /// statistically close at a quarter of the cost).
+    pub cores_per_chip: usize,
+    /// Worker threads for the chip-parallel Monte Carlo (0 = all cores).
+    pub threads: usize,
+}
+
+impl Campaign {
+    /// A campaign with the paper's protocol but a configurable chip count.
+    pub fn new(chips: usize) -> Self {
+        Self {
+            config: EvalConfig::micro08(),
+            chips,
+            base_seed: 2008,
+            profile_budget: 8_000,
+            workloads: Workload::all(),
+            training: TrainingBudget::default(),
+            cores_per_chip: 1,
+            threads: 0,
+        }
+    }
+
+    /// Runs the campaign over the given environments and schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips`, `workloads` or `cores_per_chip` is empty/zero.
+    pub fn run(&self, envs: &[Environment], schemes: &[Scheme]) -> CampaignResult {
+        assert!(self.chips > 0, "need at least one chip");
+        assert!(!self.workloads.is_empty(), "need at least one workload");
+        assert!(self.cores_per_chip >= 1, "need at least one core");
+
+        let factory = ChipFactory::new(self.config.clone());
+        let profiles: Vec<WorkloadProfile> = self
+            .workloads
+            .iter()
+            .map(|w| profile_workload(w, self.profile_budget, self.base_seed))
+            .collect();
+
+        // --- NoVar reference ---
+        let novar_chip = factory.no_variation();
+        let novar_perf: Vec<f64> = profiles
+            .iter()
+            .map(|p| self.novar_perf(p))
+            .collect();
+        let novar = self.reference_cell(
+            novar_chip.core(0),
+            self.config.f_nominal_ghz,
+            &profiles,
+            &novar_perf,
+        );
+
+        // --- population cells ---
+        // Chips are independent Monte Carlo samples, so they run in
+        // parallel; per-chip results are collected by index and merged in a
+        // fixed order, keeping the result bit-identical to a serial run.
+        let pairs: Vec<(Environment, Scheme)> = envs
+            .iter()
+            .flat_map(|e| schemes.iter().map(move |s| (*e, *s)))
+            .collect();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(self.chips)
+        } else {
+            self.threads.min(self.chips)
+        };
+        let mut per_chip: Vec<Option<(CellResult, Vec<CellResult>)>> = vec![None; self.chips];
+        std::thread::scope(|scope| {
+            let chunks = per_chip.chunks_mut(self.chips.div_ceil(threads));
+            for (worker, chunk) in chunks.enumerate() {
+                let factory = &factory;
+                let profiles = &profiles;
+                let novar_perf = &novar_perf;
+                let pairs = &pairs;
+                let first_chip = worker * self.chips.div_ceil(threads);
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let chip_idx = first_chip + offset;
+                        *slot = Some(self.run_one_chip(
+                            factory, chip_idx, pairs, profiles, novar_perf,
+                        ));
+                    }
+                });
+            }
+        });
+
+        let mut baseline = CellResult::default();
+        let mut cells: Vec<(Environment, Scheme, CellResult)> = pairs
+            .iter()
+            .map(|(e, s)| (*e, *s, CellResult::default()))
+            .collect();
+        for entry in per_chip {
+            let (chip_baseline, chip_cells) = entry.expect("every chip computed");
+            accumulate(&mut baseline, &chip_baseline);
+            for ((_, _, acc), cell) in cells.iter_mut().zip(chip_cells) {
+                accumulate(acc, &cell);
+            }
+        }
+        let samples = self.chips * self.cores_per_chip;
+        normalize(&mut baseline, samples);
+        for (_, _, c) in cells.iter_mut() {
+            normalize(c, samples);
+        }
+        CampaignResult {
+            baseline,
+            novar,
+            cells,
+        }
+    }
+
+    /// All measurements for one chip: the baseline reference plus one cell
+    /// per requested (environment, scheme) pair, summed over its cores.
+    fn run_one_chip(
+        &self,
+        factory: &ChipFactory,
+        chip_idx: usize,
+        pairs: &[(Environment, Scheme)],
+        profiles: &[WorkloadProfile],
+        novar_perf: &[f64],
+    ) -> (CellResult, Vec<CellResult>) {
+        let chip = factory.chip(self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37));
+        let mut baseline = CellResult::default();
+        let mut cells = vec![CellResult::default(); pairs.len()];
+        for core_idx in 0..self.cores_per_chip {
+            let core = chip.core(core_idx);
+
+            // Baseline: clocked at fvar, error free.
+            let fvar = core.fvar_nominal(&self.config);
+            accumulate(
+                &mut baseline,
+                &self.reference_cell(core, fvar, profiles, novar_perf),
+            );
+
+            // Adapted environments.
+            let mut fuzzy_cache: Vec<(Environment, FuzzyOptimizer)> = Vec::new();
+            for ((env, scheme), acc) in pairs.iter().zip(cells.iter_mut()) {
+                let exhaustive = ExhaustiveOptimizer::new();
+                let optimizer: &dyn Optimizer = match scheme {
+                    Scheme::FuzzyDyn => {
+                        if !fuzzy_cache.iter().any(|(e, _)| e == env) {
+                            let trained = FuzzyOptimizer::train(
+                                &self.config,
+                                &chip,
+                                core_idx,
+                                *env,
+                                &self.training,
+                            );
+                            fuzzy_cache.push((*env, trained));
+                        }
+                        &fuzzy_cache
+                            .iter()
+                            .find(|(e, _)| e == env)
+                            .expect("just inserted")
+                            .1
+                    }
+                    _ => &exhaustive,
+                };
+                let cell = match scheme {
+                    Scheme::Static => self.run_static(core, *env, profiles, novar_perf),
+                    _ => self.run_dynamic(core, *env, optimizer, profiles, novar_perf),
+                };
+                accumulate(acc, &cell);
+            }
+        }
+        (baseline, cells)
+    }
+
+    /// Per-workload breakdown for one (environment, scheme) pair: the mean
+    /// cell of each workload over the chip population, in suite order.
+    /// (Figures 10–12 report suite averages; this exposes the per-app
+    /// detail an artifact evaluation wants.)
+    pub fn run_per_workload(
+        &self,
+        env: Environment,
+        scheme: Scheme,
+    ) -> Vec<(&'static str, CellResult)> {
+        assert!(self.chips > 0, "need at least one chip");
+        let factory = ChipFactory::new(self.config.clone());
+        let profiles: Vec<WorkloadProfile> = self
+            .workloads
+            .iter()
+            .map(|w| profile_workload(w, self.profile_budget, self.base_seed))
+            .collect();
+        let mut out: Vec<(&'static str, CellResult)> = self
+            .workloads
+            .iter()
+            .map(|w| (w.name, CellResult::default()))
+            .collect();
+        for chip_idx in 0..self.chips {
+            let chip = factory.chip(self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37));
+            for core_idx in 0..self.cores_per_chip {
+                let core = chip.core(core_idx);
+                let fuzzy = matches!(scheme, Scheme::FuzzyDyn).then(|| {
+                    FuzzyOptimizer::train(&self.config, &chip, core_idx, env, &self.training)
+                });
+                let exhaustive = ExhaustiveOptimizer::new();
+                for (profile, (_, acc)) in profiles.iter().zip(out.iter_mut()) {
+                    let single = std::slice::from_ref(profile);
+                    let ref_perf = [self.novar_perf(profile)];
+                    let cell = match scheme {
+                        Scheme::Static => self.run_static(core, env, single, &ref_perf),
+                        Scheme::FuzzyDyn => self.run_dynamic(
+                            core,
+                            env,
+                            fuzzy.as_ref().expect("trained above"),
+                            single,
+                            &ref_perf,
+                        ),
+                        Scheme::ExhDyn => {
+                            self.run_dynamic(core, env, &exhaustive, single, &ref_perf)
+                        }
+                    };
+                    accumulate(acc, &cell);
+                }
+            }
+        }
+        let samples = self.chips * self.cores_per_chip;
+        for (_, c) in out.iter_mut() {
+            normalize(c, samples);
+        }
+        out
+    }
+
+    /// NoVar performance of one workload (nominal f, no errors), weighted
+    /// over phases.
+    fn novar_perf(&self, profile: &WorkloadProfile) -> f64 {
+        profile.weighted(|ph| {
+            PerfModel::new(
+                ph.cpi_comp(QueueSize::Full),
+                ph.mr,
+                ph.mp_ns,
+                profile.rp_cycles,
+            )
+            .perf(self.config.f_nominal_ghz, 0.0)
+        })
+    }
+
+    /// A non-adaptive reference cell (Baseline or NoVar): fixed frequency,
+    /// nominal voltages, no checker, no errors.
+    fn reference_cell(
+        &self,
+        core: &CoreModel,
+        f_ghz: f64,
+        profiles: &[WorkloadProfile],
+        novar_perf: &[f64],
+    ) -> CellResult {
+        let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+        let mut cell = CellResult::default();
+        for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
+            for ph in &profile.phases {
+                let weight = ph.weight / profiles.len() as f64;
+                let eval = core
+                    .evaluate(
+                        &self.config,
+                        self.config.th_c,
+                        f_ghz,
+                        &settings,
+                        &ph.activity.alpha_f,
+                        &ph.activity.rho,
+                        &VariantSelection::default(),
+                    )
+                    .expect("nominal point is feasible");
+                let perf = PerfModel::new(
+                    ph.cpi_comp(QueueSize::Full),
+                    ph.mr,
+                    ph.mp_ns,
+                    profile.rp_cycles,
+                )
+                .perf(f_ghz, 0.0);
+                cell.freq_rel += weight * f_ghz / self.config.f_nominal_ghz;
+                cell.perf_rel += weight * perf / ref_perf;
+                // No checker in the reference machines.
+                cell.power_w += weight * (eval.total_power_w - self.config.checker_w);
+            }
+        }
+        cell
+    }
+
+    /// Dynamic adaptation: the controller runs at every phase.
+    fn run_dynamic(
+        &self,
+        core: &CoreModel,
+        env: Environment,
+        optimizer: &dyn Optimizer,
+        profiles: &[WorkloadProfile],
+        novar_perf: &[f64],
+    ) -> CellResult {
+        let timeline = AdaptationTimeline::micro08();
+        let mut cell = CellResult::default();
+        for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
+            let class = profile.class;
+            for ph in &profile.phases {
+                let weight = ph.weight / profiles.len() as f64;
+                let d = decide_phase(
+                    &self.config,
+                    core,
+                    optimizer,
+                    env,
+                    ph,
+                    class,
+                    profile.rp_cycles,
+                    self.config.th_c,
+                );
+                let overhead = timeline.overhead_fraction(d.retune_steps);
+                cell.freq_rel += weight * d.f_ghz / self.config.f_nominal_ghz;
+                cell.perf_rel += weight * d.perf_bips * (1.0 - overhead) / ref_perf;
+                cell.power_w += weight * self.billed_power(env, d.evaluation.total_power_w);
+                cell.outcomes.add(d.outcome);
+            }
+        }
+        cell
+    }
+
+    /// Static scheme: one conservative configuration per (chip, workload),
+    /// chosen for worst-case activity, then held for the whole run.
+    fn run_static(
+        &self,
+        core: &CoreModel,
+        env: Environment,
+        profiles: &[WorkloadProfile],
+        novar_perf: &[f64],
+    ) -> CellResult {
+        let exhaustive = ExhaustiveOptimizer::new();
+        let mut cell = CellResult::default();
+        for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
+            let worst = synthetic_worst_phase(profile);
+            // A static configuration cannot react to conditions, so it is
+            // provisioned for the hottest heat sink the spec allows
+            // (TH_MAX), not the currently sensed one.
+            let d = decide_phase(
+                &self.config,
+                core,
+                &exhaustive,
+                env,
+                &worst,
+                profile.class,
+                profile.rp_cycles,
+                self.config.constraints.th_max_c,
+            );
+            // Hold (f, settings, variants) fixed; per-phase consequences.
+            for ph in &profile.phases {
+                let weight = ph.weight / profiles.len() as f64;
+                let eval = core
+                    .evaluate(
+                        &self.config,
+                        self.config.th_c,
+                        d.f_ghz,
+                        &d.settings,
+                        &ph.activity.alpha_f,
+                        &ph.activity.rho,
+                        &d.variants,
+                    )
+                    .expect("worst-case-provisioned point is feasible");
+                let queue = static_queue_size(profile, &d);
+                let perf = PerfModel::new(
+                    ph.cpi_comp(queue),
+                    ph.mr,
+                    ph.mp_ns,
+                    profile.rp_cycles,
+                )
+                .perf(d.f_ghz, eval.pe_per_instruction.clamp(0.0, 1.0));
+                cell.freq_rel += weight * d.f_ghz / self.config.f_nominal_ghz;
+                cell.perf_rel += weight * perf / ref_perf;
+                cell.power_w += weight * self.billed_power(env, eval.total_power_w);
+            }
+        }
+        cell
+    }
+
+    /// Checker power is only billed when the environment has a checker.
+    fn billed_power(&self, env: Environment, total_w: f64) -> f64 {
+        if env.checker {
+            total_w
+        } else {
+            total_w - self.config.checker_w
+        }
+    }
+}
+
+/// The queue sizing a static decision implies for this workload class.
+fn static_queue_size(
+    profile: &WorkloadProfile,
+    d: &crate::controller::PhaseDecision,
+) -> QueueSize {
+    use eval_core::QueueChoice;
+    use eval_uarch::WorkloadClass;
+    match (profile.class, d.variants.int_queue, d.variants.fp_queue) {
+        (WorkloadClass::Int, QueueChoice::Small, _) => QueueSize::ThreeQuarters,
+        (WorkloadClass::Fp, _, QueueChoice::Small) => QueueSize::ThreeQuarters,
+        _ => QueueSize::Full,
+    }
+}
+
+/// The conservative aggregate a static configuration is provisioned for:
+/// worst-case activity/exercise rates and instruction-weighted CPI/miss
+/// behaviour.
+fn synthetic_worst_phase(profile: &WorkloadProfile) -> PhaseProfile {
+    let worst: ActivityVector = profile.worst_case_activity();
+    PhaseProfile {
+        index: usize::MAX,
+        weight: 1.0,
+        cpi_comp_full: profile.weighted(|p| p.cpi_comp_full),
+        cpi_comp_small: profile.weighted(|p| p.cpi_comp_small),
+        mr: profile.weighted(|p| p.mr),
+        mp_ns: profile.weighted(|p| p.mp_ns),
+        activity: worst,
+    }
+}
+
+fn accumulate(acc: &mut CellResult, cell: &CellResult) {
+    acc.freq_rel += cell.freq_rel;
+    acc.perf_rel += cell.perf_rel;
+    acc.power_w += cell.power_w;
+    acc.outcomes.merge(&cell.outcomes);
+}
+
+fn normalize(cell: &mut CellResult, samples: usize) {
+    let n = samples as f64;
+    cell.freq_rel /= n;
+    cell.perf_rel /= n;
+    cell.power_w /= n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        let mut c = Campaign::new(2);
+        c.profile_budget = 4_000;
+        c.workloads = vec![
+            Workload::by_name("swim").unwrap(),
+            Workload::by_name("crafty").unwrap(),
+        ];
+        c.training = TrainingBudget {
+            examples: 60,
+            ..TrainingBudget::default()
+        };
+        c
+    }
+
+    #[test]
+    fn baseline_is_slower_than_novar_and_ts_beats_baseline() {
+        let c = tiny_campaign();
+        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]);
+        assert!(r.baseline.freq_rel < 0.95, "baseline {}", r.baseline.freq_rel);
+        assert!((r.novar.freq_rel - 1.0).abs() < 1e-9);
+        let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
+        assert!(
+            ts.freq_rel > r.baseline.freq_rel,
+            "TS {} vs baseline {}",
+            ts.freq_rel,
+            r.baseline.freq_rel
+        );
+    }
+
+    #[test]
+    fn asv_improves_on_ts_and_power_stays_within_pmax() {
+        let c = tiny_campaign();
+        let r = c.run(
+            &[Environment::TS, Environment::TS_ASV],
+            &[Scheme::ExhDyn],
+        );
+        let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
+        let asv = r.cell(Environment::TS_ASV, Scheme::ExhDyn).unwrap();
+        assert!(asv.freq_rel > ts.freq_rel);
+        assert!(asv.power_w <= c.config.constraints.p_max_w + 1e-6);
+        assert!(asv.power_w > ts.power_w);
+    }
+
+    #[test]
+    fn static_is_no_faster_than_dynamic() {
+        let c = tiny_campaign();
+        let r = c.run(&[Environment::TS_ASV], &[Scheme::Static, Scheme::ExhDyn]);
+        let st = r.cell(Environment::TS_ASV, Scheme::Static).unwrap();
+        let dy = r.cell(Environment::TS_ASV, Scheme::ExhDyn).unwrap();
+        assert!(
+            dy.freq_rel >= st.freq_rel - 0.02,
+            "dyn {} vs static {}",
+            dy.freq_rel,
+            st.freq_rel
+        );
+    }
+
+    #[test]
+    fn dynamic_cells_record_outcomes() {
+        let c = tiny_campaign();
+        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]);
+        let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
+        assert!(ts.outcomes.total() > 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Structure-choice rules (§4.2): which FU replica and which issue-queue
+//! size to enable for the current phase.
+
+use eval_core::PerfModel;
+
+/// FU-replication decision (Figure 4).
+///
+/// Given the subsystem's maximum frequency with the normal FU
+/// (`f_normal`), with the low-slope FU (`f_low_slope`), and the minimum
+/// `f_max` of all *other* subsystems (`min_rest`): if the normal FU would
+/// limit the core (`f_normal < min_rest`, cases (i) and (ii)), enable the
+/// low-slope replica to maximize frequency; otherwise (case (iii)) keep
+/// the normal one to save power.
+///
+/// Returns `true` when the low-slope replica should be enabled.
+///
+/// # Example
+///
+/// ```
+/// use eval_adapt::choose_fu;
+/// assert!(choose_fu(3.4, 4.0, 3.8));  // FU critical: replicate
+/// assert!(!choose_fu(4.2, 4.6, 3.8)); // others limit anyway: save power
+/// ```
+pub fn choose_fu(f_normal: f64, f_low_slope: f64, min_rest: f64) -> bool {
+    debug_assert!(f_low_slope + 1e-12 >= f_normal, "replica should not be slower");
+    // Only worth paying the replica's power if it actually buys frequency
+    // (on a temperature-limited FU the +30% power can erase the timing
+    // gain, making both f_max values equal).
+    f_normal < min_rest && f_low_slope > f_normal
+}
+
+/// Issue-queue sizing decision (§4.2).
+///
+/// The two queue sizes induce different core frequencies (`f_core_full`
+/// vs `f_core_small`, each the min over all subsystem `f_max` under that
+/// configuration) *and* different computation CPIs (measured by counters
+/// at phase start). The queue size with the higher estimated Equation-5
+/// performance wins.
+///
+/// `perf_full`/`perf_small` carry the phase's `CPIcomp` for each sizing
+/// (plus the shared `mr`, `mp`, `rp`). Returns `true` when the 3/4-size
+/// queue should be enabled.
+pub fn choose_queue(
+    perf_full: &PerfModel,
+    f_core_full: f64,
+    perf_small: &PerfModel,
+    f_core_small: f64,
+) -> bool {
+    // Estimated at the candidate core frequencies with the error rate at
+    // its budgeted ceiling contribution already folded into retuning; here
+    // the comparison uses the error-free estimate, as the controller does.
+    let full = perf_full.perf(f_core_full, 0.0);
+    let small = perf_small.perf(f_core_small, 0.0);
+    small > full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_cases_match_figure_4() {
+        // (i) f_normal < f_lowslope < min_rest -> enable low slope.
+        assert!(choose_fu(3.0, 3.4, 3.8));
+        // (ii) f_normal < min_rest < f_lowslope -> enable low slope.
+        assert!(choose_fu(3.0, 4.2, 3.8));
+        // (iii) min_rest < f_normal -> normal saves power.
+        assert!(!choose_fu(4.0, 4.4, 3.8));
+    }
+
+    #[test]
+    fn queue_downsizes_when_frequency_gain_beats_cpi_loss() {
+        // Full: CPI 1.00 at 3.6 GHz; small: CPI 1.03 at 4.0 GHz -> small.
+        let full = PerfModel::new(1.00, 0.002, 52.0, 21.0);
+        let small = PerfModel::new(1.03, 0.002, 52.0, 21.0);
+        assert!(choose_queue(&full, 3.6, &small, 4.0));
+    }
+
+    #[test]
+    fn queue_stays_full_when_not_critical() {
+        // Same frequency either way: CPI loss decides.
+        let full = PerfModel::new(1.00, 0.002, 52.0, 21.0);
+        let small = PerfModel::new(1.05, 0.002, 52.0, 21.0);
+        assert!(!choose_queue(&full, 4.0, &small, 4.0));
+    }
+
+    #[test]
+    fn memory_bound_phase_resists_downsizing() {
+        // With a big memory component, frequency gains matter less, so the
+        // CPI loss dominates sooner.
+        let full = PerfModel::new(1.00, 0.03, 52.0, 21.0);
+        let small = PerfModel::new(1.08, 0.03, 52.0, 21.0);
+        assert!(!choose_queue(&full, 3.8, &small, 4.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! The `Exhaustive` algorithm (§4.3.1): grid search over the actuator
+//! ladders. Too slow to run on-the-fly in a real processor — here it is
+//! both the oracle the fuzzy controllers are trained against and the
+//! `Exh-Dyn` comparison scheme of Figures 10–12.
+
+use eval_core::{EvalConfig, FREQ_LADDER};
+
+use crate::optimizer::{Optimizer, SubsystemScene};
+
+/// Exhaustive grid search over `(f, Vdd, Vbb)`.
+///
+/// For each `(Vdd, Vbb)` pair the feasible frequency set is an interval
+/// (both the error rate and the temperature grow with `f`), so the scan
+/// over the frequency ladder is a binary search rather than a linear one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveOptimizer;
+
+impl ExhaustiveOptimizer {
+    /// Creates the optimizer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Largest feasible ladder index at fixed `(vdd, vbb)` that is at least
+    /// `floor_idx`, or `None`. Exploits monotonicity: error rate and
+    /// temperature both grow with `f`, so feasibility is a prefix of the
+    /// ladder and a binary search suffices. Callers prune by passing the
+    /// best index found so far — one infeasibility check then rejects the
+    /// whole `(vdd, vbb)` setting.
+    fn fmax_index_at(
+        config: &EvalConfig,
+        scene: &SubsystemScene<'_>,
+        vdd: f64,
+        vbb: f64,
+        floor_idx: usize,
+    ) -> Option<usize> {
+        let n = FREQ_LADDER.len();
+        scene
+            .check(config, FREQ_LADDER.at(floor_idx), vdd, vbb)?;
+        let (mut lo, mut hi) = (floor_idx, n - 1);
+        if scene.check(config, FREQ_LADDER.at(hi), vdd, vbb).is_some() {
+            return Some(hi);
+        }
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if scene.check(config, FREQ_LADDER.at(mid), vdd, vbb).is_some() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+impl Optimizer for ExhaustiveOptimizer {
+    fn freq_max(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
+        let mut best: Option<usize> = None;
+        for vdd in scene.vdd_options() {
+            for vbb in scene.vbb_options() {
+                let floor = best.map_or(0, |b| (b + 1).min(FREQ_LADDER.len() - 1));
+                if let Some(idx) = Self::fmax_index_at(config, scene, vdd, vbb, floor) {
+                    if best.is_none_or(|b| idx > b) {
+                        best = Some(idx);
+                    }
+                }
+            }
+        }
+        FREQ_LADDER.at(best.unwrap_or(0))
+    }
+
+    fn power_settings(
+        &self,
+        config: &EvalConfig,
+        scene: &SubsystemScene<'_>,
+        f_core: f64,
+    ) -> (f64, f64) {
+        let mut best: Option<(f64, f64, f64)> = None; // (power, vdd, vbb)
+        for vdd in scene.vdd_options() {
+            for vbb in scene.vbb_options() {
+                if let Some((p, _t)) = scene.check(config, f_core, vdd, vbb) {
+                    if best.is_none_or(|(bp, _, _)| p < bp) {
+                        best = Some((p, vdd, vbb));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, vdd, vbb)) => (vdd, vbb),
+            // Nothing feasible at f_core: fall back to the nominal setting
+            // (always electrically safe) and let retuning walk the
+            // frequency down. Aggressive voltages would only deepen the
+            // leakage/temperature feedback that made f_core infeasible.
+            None => (1.0, 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval_core::{
+        ChipFactory, Environment, EvalConfig, SubsystemId, VariantSelection, N_SUBSYSTEMS,
+    };
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    fn scene<'a>(
+        state: &'a eval_core::SubsystemState,
+        env: Environment,
+    ) -> SubsystemScene<'a> {
+        SubsystemScene {
+            state,
+            variants: VariantSelection::default(),
+            th_c: 60.0,
+            alpha_f: 0.5,
+            rho: 0.6,
+            pe_budget: 1e-4 / N_SUBSYSTEMS as f64,
+            env,
+        }
+    }
+
+    #[test]
+    fn asv_raises_fmax_over_ts() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(1);
+        let opt = ExhaustiveOptimizer::new();
+        let state = chip.core(0).subsystem(SubsystemId::IntAlu);
+        let f_ts = opt.freq_max(&cfg, &scene(state, Environment::TS));
+        let f_asv = opt.freq_max(&cfg, &scene(state, Environment::TS_ASV));
+        assert!(f_asv > f_ts, "ASV {f_asv} should beat TS {f_ts}");
+    }
+
+    #[test]
+    fn freq_result_is_on_the_ladder_and_feasible() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(2);
+        let opt = ExhaustiveOptimizer::new();
+        for id in [SubsystemId::Dcache, SubsystemId::FpUnit, SubsystemId::IntQueue] {
+            let state = chip.core(0).subsystem(id);
+            let sc = scene(state, Environment::TS_ASV);
+            let f = opt.freq_max(&cfg, &sc);
+            assert!(FREQ_LADDER.contains(f), "{id}: off-ladder {f}");
+            // Feasible at some voltage setting.
+            let feasible = sc
+                .vdd_options()
+                .iter()
+                .any(|&vdd| sc.check(&cfg, f, vdd, 0.0).is_some());
+            assert!(feasible, "{id}: fmax {f} infeasible everywhere");
+        }
+    }
+
+    #[test]
+    fn power_settings_meet_constraints_when_feasible() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(3);
+        let opt = ExhaustiveOptimizer::new();
+        let state = chip.core(0).subsystem(SubsystemId::IntQueue);
+        let sc = scene(state, Environment::TS_ASV);
+        let fmax = opt.freq_max(&cfg, &sc);
+        // At a core frequency below this subsystem's max, the power
+        // algorithm must pick something feasible.
+        let f_core = (fmax - 0.3).max(FREQ_LADDER.min);
+        let (vdd, vbb) = opt.power_settings(&cfg, &sc, f_core);
+        assert!(sc.check(&cfg, f_core, vdd, vbb).is_some());
+    }
+
+    #[test]
+    fn power_algorithm_relaxes_voltage_at_lower_frequency() {
+        // At a low core frequency the subsystem should not need the
+        // highest supply.
+        let cfg = factory().config().clone();
+        let chip = factory().chip(4);
+        let opt = ExhaustiveOptimizer::new();
+        let state = chip.core(0).subsystem(SubsystemId::IntAlu);
+        let sc = scene(state, Environment::TS_ASV);
+        let (vdd_low, _) = opt.power_settings(&cfg, &sc, 2.4);
+        let fmax = opt.freq_max(&cfg, &sc);
+        let (vdd_high, _) = opt.power_settings(&cfg, &sc, fmax);
+        assert!(
+            vdd_low <= vdd_high,
+            "low-f vdd {vdd_low} vs max-f vdd {vdd_high}"
+        );
+        assert!(vdd_low <= 0.95, "2.4 GHz should not need {vdd_low} V");
+    }
+
+    #[test]
+    fn no_voltage_control_means_nominal_settings() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(5);
+        let opt = ExhaustiveOptimizer::new();
+        let state = chip.core(0).subsystem(SubsystemId::Decode);
+        let sc = scene(state, Environment::TS);
+        let (vdd, vbb) = opt.power_settings(&cfg, &sc, 3.0);
+        assert_eq!((vdd, vbb), (1.0, 0.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! The fuzzy-controller implementation of the `Freq`/`Power` algorithms
+//! (§4.3.1): per-subsystem controllers trained against the exhaustive
+//! oracle at "manufacturing test" time, then deployed as the runtime
+//! optimizer.
+//!
+//! Per the paper there is one `Freq` controller per subsystem and two
+//! `Power` controllers (for `Vdd` and `Vbb`). Subsystems with structure
+//! variants (replicated FUs, resizable queues) get a controller per
+//! variant — the variant changes both the timing model and `Kdyn`, so it
+//! is part of the function being learned.
+//!
+//! Of the paper's six inputs, `Rth`, `Kdyn`, `Ksta` and `Vt0` are constants
+//! for a given subsystem on a given chip, so the trained controllers take
+//! the inputs that actually vary at run time: the sensed heat-sink
+//! temperature, the counter-measured activity factor and exercise rate,
+//! and (for the `Power` controllers) the core frequency.
+
+use eval_core::{
+    ChipModel, Environment, EvalConfig, FuChoice, QueueChoice, SubsystemId, VariantSelection,
+    FREQ_LADDER, N_SUBSYSTEMS, VBB_LADDER, VDD_LADDER,
+};
+use eval_fuzzy::{FuzzyController, Normalizer, TrainingConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::exhaustive::ExhaustiveOptimizer;
+use crate::optimizer::{Optimizer, SubsystemScene};
+
+/// How much offline training to give each fuzzy controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingBudget {
+    /// Training examples per controller. The paper uses 10 000 with 25
+    /// rules; the default here is smaller because training happens per
+    /// chip inside the experiment loop, and accuracy saturates well below
+    /// the paper's budget on the three-to-four input functions involved.
+    pub examples: usize,
+    /// Rule count / learning rate / epochs.
+    pub config: TrainingConfig,
+    /// RNG seed for example sampling and initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainingBudget {
+    fn default() -> Self {
+        Self {
+            examples: 260,
+            config: TrainingConfig::micro08(),
+            seed: 0xF022,
+        }
+    }
+}
+
+/// One trained controller with its input/output normalization.
+#[derive(Debug, Clone)]
+struct Trained {
+    norm: Normalizer,
+    fc: FuzzyController,
+}
+
+impl Trained {
+    fn infer(&self, raw: &[f64]) -> f64 {
+        let x = self.norm.normalize(raw);
+        self.norm.denormalize_output(self.fc.infer(&x))
+    }
+}
+
+/// Controllers for one (subsystem, variant) pair.
+#[derive(Debug, Clone)]
+struct SubsystemControllers {
+    freq: Trained,
+    vdd: Trained,
+    vbb: Trained,
+}
+
+/// The deployable fuzzy optimizer for one core in one environment.
+#[derive(Debug, Clone)]
+pub struct FuzzyOptimizer {
+    env: Environment,
+    /// `[subsystem][variant_enabled]`; the variant slot is `None` for
+    /// subsystems without an alternate structure.
+    controllers: Vec<[Option<SubsystemControllers>; 2]>,
+}
+
+/// Sensed-input ranges used to sample training scenes.
+const TH_RANGE: (f64, f64) = (45.0, 72.0);
+const ALPHA_RANGE: (f64, f64) = (0.0, 1.0);
+const RHO_RANGE: (f64, f64) = (0.0, 2.5);
+
+fn variant_selection_for(id: SubsystemId, alt: bool) -> VariantSelection {
+    let mut v = VariantSelection::default();
+    if alt {
+        match id {
+            SubsystemId::IntAlu => v.int_fu = FuChoice::LowSlope,
+            SubsystemId::FpUnit => v.fp_fu = FuChoice::LowSlope,
+            SubsystemId::IntQueue => v.int_queue = QueueChoice::Small,
+            SubsystemId::FpQueue => v.fp_queue = QueueChoice::Small,
+            _ => {}
+        }
+    }
+    v
+}
+
+fn has_variant(id: SubsystemId) -> bool {
+    id.is_replicable_fu() || id.is_issue_queue()
+}
+
+impl FuzzyOptimizer {
+    /// Trains the per-subsystem controllers for `core` under `env` by
+    /// querying the exhaustive oracle on randomly sampled sensed inputs
+    /// (heat-sink temperature, activity, exercise rate, core frequency).
+    ///
+    /// This models the manufacturer-site training of §4.3.1; it is the
+    /// expensive step (seconds per core), after which deployment queries
+    /// cost microseconds.
+    pub fn train(
+        config: &EvalConfig,
+        chip: &ChipModel,
+        core_index: usize,
+        env: Environment,
+        budget: &TrainingBudget,
+    ) -> Self {
+        let oracle = ExhaustiveOptimizer::new();
+        let core = chip.core(core_index);
+        let pe_budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+        let mut rng = ChaCha12Rng::seed_from_u64(budget.seed ^ chip.seed());
+
+        let mut controllers = Vec::with_capacity(N_SUBSYSTEMS);
+        for id in SubsystemId::ALL {
+            let state = core.subsystem(id);
+            let variants: &[bool] = if has_variant(id) && (env.fu_replication || env.queue) {
+                &[false, true]
+            } else {
+                &[false]
+            };
+            let mut slot: [Option<SubsystemControllers>; 2] = [None, None];
+            for &alt in variants {
+                let vsel = variant_selection_for(id, alt);
+                let mut freq_ex = Vec::with_capacity(budget.examples);
+                let mut vdd_ex = Vec::with_capacity(budget.examples);
+                let mut vbb_ex = Vec::with_capacity(budget.examples);
+                for _ in 0..budget.examples {
+                    let th = rng.gen_range(TH_RANGE.0..TH_RANGE.1);
+                    let alpha = rng.gen_range(ALPHA_RANGE.0..ALPHA_RANGE.1);
+                    let rho = rng.gen_range(RHO_RANGE.0..RHO_RANGE.1).max(1e-3);
+                    let scene = SubsystemScene {
+                        state,
+                        variants: vsel,
+                        th_c: th,
+                        alpha_f: alpha,
+                        rho,
+                        pe_budget,
+                        env,
+                    };
+                    let fmax = oracle.freq_max(config, &scene);
+                    freq_ex.push((vec![th, alpha, rho], fmax));
+                    let f_core = rng.gen_range(FREQ_LADDER.min..=fmax.max(FREQ_LADDER.min));
+                    let (vdd, vbb) = oracle.power_settings(config, &scene, f_core);
+                    vdd_ex.push((vec![th, alpha, rho, f_core], vdd));
+                    vbb_ex.push((vec![th, alpha, rho, f_core], vbb));
+                }
+                let train_one = |examples: &[(Vec<f64>, f64)], salt: u64| -> Trained {
+                    let norm = Normalizer::fit(examples);
+                    let normalized = norm.apply(examples);
+                    let fc = FuzzyController::train(
+                        &normalized,
+                        &budget.config,
+                        budget.seed ^ salt ^ (id.index() as u64) << 8,
+                    )
+                    .expect("training set is larger than the rule count");
+                    Trained { norm, fc }
+                };
+                slot[alt as usize] = Some(SubsystemControllers {
+                    freq: train_one(&freq_ex, 0x11),
+                    vdd: train_one(&vdd_ex, 0x22),
+                    vbb: train_one(&vbb_ex, 0x33),
+                });
+            }
+            controllers.push(slot);
+        }
+        Self { env, controllers }
+    }
+
+    /// The environment these controllers were trained for.
+    pub fn environment(&self) -> Environment {
+        self.env
+    }
+
+    fn lookup(&self, scene: &SubsystemScene<'_>) -> &SubsystemControllers {
+        let id = scene.state.id();
+        let alt = match id {
+            SubsystemId::IntAlu => scene.variants.int_fu == FuChoice::LowSlope,
+            SubsystemId::FpUnit => scene.variants.fp_fu == FuChoice::LowSlope,
+            SubsystemId::IntQueue => scene.variants.int_queue == QueueChoice::Small,
+            SubsystemId::FpQueue => scene.variants.fp_queue == QueueChoice::Small,
+            _ => false,
+        };
+        self.controllers[id.index()][alt as usize]
+            .as_ref()
+            .or(self.controllers[id.index()][0].as_ref())
+            .expect("controller trained for every subsystem")
+    }
+}
+
+impl Optimizer for FuzzyOptimizer {
+    fn freq_max(&self, _config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
+        let t = self.lookup(scene);
+        let raw = t.freq.infer(&[scene.th_c, scene.alpha_f, scene.rho]);
+        FREQ_LADDER.nearest(raw)
+    }
+
+    fn power_settings(
+        &self,
+        _config: &EvalConfig,
+        scene: &SubsystemScene<'_>,
+        f_core: f64,
+    ) -> (f64, f64) {
+        let t = self.lookup(scene);
+        let inputs = [scene.th_c, scene.alpha_f, scene.rho, f_core];
+        let vdd = if scene.env.asv {
+            VDD_LADDER.nearest(t.vdd.infer(&inputs))
+        } else {
+            1.0
+        };
+        let vbb = if scene.env.abb {
+            VBB_LADDER.nearest(t.vbb.infer(&inputs))
+        } else {
+            0.0
+        };
+        (vdd, vbb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval_core::ChipFactory;
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    fn small_budget() -> TrainingBudget {
+        TrainingBudget {
+            examples: 80,
+            config: TrainingConfig {
+                epochs: 3,
+                ..TrainingConfig::micro08()
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fuzzy_tracks_exhaustive_frequency_within_a_few_steps() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(1);
+        let fuzzy = FuzzyOptimizer::train(&cfg, &chip, 0, Environment::TS_ASV, &small_budget());
+        let oracle = ExhaustiveOptimizer::new();
+        let pe_budget = cfg.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+        let mut worst = 0.0f64;
+        let mut rng = ChaCha12Rng::seed_from_u64(99);
+        for _ in 0..20 {
+            let id = SubsystemId::from_index(rng.gen_range(0..N_SUBSYSTEMS));
+            let scene = SubsystemScene {
+                state: chip.core(0).subsystem(id),
+                variants: VariantSelection::default(),
+                th_c: rng.gen_range(50.0..68.0),
+                alpha_f: rng.gen_range(0.1..0.9),
+                rho: rng.gen_range(0.1..2.0),
+                pe_budget,
+                env: Environment::TS_ASV,
+            };
+            let f_fuzzy = fuzzy.freq_max(&cfg, &scene);
+            let f_exh = oracle.freq_max(&cfg, &scene);
+            worst = worst.max((f_fuzzy - f_exh).abs());
+        }
+        // Paper (Table 2): mean frequency errors are a few percent of
+        // nominal; allow the worst case a few ladder steps.
+        assert!(worst <= 0.65, "worst fuzzy-vs-exhaustive gap {worst} GHz");
+    }
+
+    #[test]
+    fn outputs_land_on_ladders() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(2);
+        let fuzzy =
+            FuzzyOptimizer::train(&cfg, &chip, 0, Environment::TS_ABB_ASV, &small_budget());
+        let scene = SubsystemScene {
+            state: chip.core(0).subsystem(SubsystemId::Dcache),
+            variants: VariantSelection::default(),
+            th_c: 60.0,
+            alpha_f: 0.4,
+            rho: 0.5,
+            pe_budget: cfg.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS),
+            env: Environment::TS_ABB_ASV,
+        };
+        let f = fuzzy.freq_max(&cfg, &scene);
+        assert!(FREQ_LADDER.contains(f));
+        let (vdd, vbb) = fuzzy.power_settings(&cfg, &scene, f);
+        assert!(VDD_LADDER.contains(vdd));
+        assert!(VBB_LADDER.contains(vbb));
+    }
+
+    #[test]
+    fn variant_controllers_differ_for_replicated_fus() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(3);
+        let fuzzy =
+            FuzzyOptimizer::train(&cfg, &chip, 0, Environment::TS_ASV_Q_FU, &small_budget());
+        let pe_budget = cfg.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+        let mk = |fu: FuChoice| SubsystemScene {
+            state: chip.core(0).subsystem(SubsystemId::IntAlu),
+            variants: VariantSelection {
+                int_fu: fu,
+                ..VariantSelection::default()
+            },
+            th_c: 58.0,
+            alpha_f: 0.6,
+            rho: 0.8,
+            pe_budget,
+            env: Environment::TS_ASV_Q_FU,
+        };
+        let f_normal = fuzzy.freq_max(&cfg, &mk(FuChoice::Normal));
+        let f_low = fuzzy.freq_max(&cfg, &mk(FuChoice::LowSlope));
+        // The low-slope replica should never look slower to the controller.
+        assert!(f_low + 1e-9 >= f_normal, "low {f_low} vs normal {f_normal}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The optimizer interface shared by the exhaustive oracle and the fuzzy
+//! controller.
+
+use eval_core::{
+    Environment, EvalConfig, OperatingConditions, SubsystemState, VariantSelection,
+};
+use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+
+/// Everything the per-subsystem `Freq`/`Power` algorithms see about one
+/// subsystem in one phase (the paper's `{TH, Rth, Kdyn, alpha_f, Ksta,
+/// Vt0}` inputs of Figure 3, carried alongside the subsystem's timing
+/// model and error budget).
+#[derive(Debug, Clone)]
+pub struct SubsystemScene<'a> {
+    /// The subsystem's per-chip state (timing + power parameters).
+    pub state: &'a SubsystemState,
+    /// Structure variants currently enabled.
+    pub variants: VariantSelection,
+    /// Heat-sink temperature, Celsius (sensed).
+    pub th_c: f64,
+    /// Activity factor, accesses/cycle (sensed via counters).
+    pub alpha_f: f64,
+    /// Exercise rate, accesses/instruction (weights PE into err/inst).
+    pub rho: f64,
+    /// This subsystem's share of `PEMAX` (errors/instruction).
+    pub pe_budget: f64,
+    /// The environment's capability set (which ladders are usable).
+    pub env: Environment,
+}
+
+impl<'a> SubsystemScene<'a> {
+    /// Whether `(f, vdd, vbb)` meets the temperature and error-rate
+    /// constraints for this subsystem, and if so at what cost.
+    /// Returns `Some((power_w, t_c))` when feasible.
+    pub fn check(&self, config: &EvalConfig, f_ghz: f64, vdd: f64, vbb: f64) -> Option<(f64, f64)> {
+        let op = OperatingPoint { f_ghz, vdd, vbb };
+        let env = ThermalEnvironment {
+            th_c: self.th_c,
+            alpha_f: self.alpha_f,
+        };
+        let params = self.state.power_params(&self.variants);
+        let sol = solve_thermal(&params, &env, &op, &config.device).ok()?;
+        if sol.t_c > config.constraints.t_max_c {
+            return None;
+        }
+        let cond = OperatingConditions {
+            vdd,
+            vbb,
+            t_c: sol.t_c,
+        };
+        let pe = self.rho * self.state.timing(&self.variants).pe_access(f_ghz, &cond);
+        if pe > self.pe_budget {
+            return None;
+        }
+        Some((sol.total_w(), sol.t_c))
+    }
+
+    /// The supply-voltage settings this environment may use.
+    pub fn vdd_options(&self) -> Vec<f64> {
+        if self.env.asv {
+            eval_core::VDD_LADDER.iter().collect()
+        } else {
+            vec![1.0]
+        }
+    }
+
+    /// The body-bias settings this environment may use.
+    pub fn vbb_options(&self) -> Vec<f64> {
+        if self.env.abb {
+            eval_core::VBB_LADDER.iter().collect()
+        } else {
+            vec![0.0]
+        }
+    }
+}
+
+/// A `Freq`/`Power` algorithm backend (Figure 3): one box per subsystem.
+pub trait Optimizer {
+    /// The `Freq` algorithm for one subsystem: the maximum ladder frequency
+    /// at which the subsystem can cycle using any permitted `(Vdd, Vbb)`
+    /// without violating its temperature or error-rate constraints.
+    fn freq_max(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64;
+
+    /// The `Power` algorithm for one subsystem: the `(Vdd, Vbb)` that
+    /// minimizes subsystem power at core frequency `f_core` without
+    /// violating constraints. Falls back to the most aggressive setting if
+    /// nothing on the ladder is feasible (retuning will then lower `f`).
+    fn power_settings(
+        &self,
+        config: &EvalConfig,
+        scene: &SubsystemScene<'_>,
+        f_core: f64,
+    ) -> (f64, f64);
+}

@@ -1,0 +1,343 @@
+//! Retuning cycles (§4.3.3): sensor-driven frequency correction after the
+//! controller picks a configuration, and the five outcomes of Figure 13.
+
+use eval_core::{
+    CoreEvaluation, CoreModel, EvalConfig, VariantSelection, FREQ_LADDER, N_SUBSYSTEMS,
+};
+
+/// What happened after the controller's configuration was deployed
+/// (Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// No constraint violated and the first attempt at increasing `f`
+    /// failed — the controller's output was near optimal.
+    NoChange,
+    /// No constraint violated but retuning could raise `f` further.
+    LowFreq,
+    /// The configuration violated `PEMAX`; `f` had to come down.
+    Error,
+    /// The configuration violated `TMAX`.
+    Temp,
+    /// The configuration violated `PMAX`.
+    Power,
+}
+
+impl Outcome {
+    /// All outcomes in Figure 13's legend order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::NoChange,
+        Outcome::LowFreq,
+        Outcome::Error,
+        Outcome::Temp,
+        Outcome::Power,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::NoChange => "NoChange",
+            Outcome::LowFreq => "LowFreq",
+            Outcome::Error => "Error",
+            Outcome::Temp => "Temp",
+            Outcome::Power => "Power",
+        }
+    }
+}
+
+/// The result of the retuning cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetuneResult {
+    /// The final, violation-free core frequency.
+    pub f_ghz: f64,
+    /// How the initial configuration fared.
+    pub outcome: Outcome,
+    /// Frequency steps moved during retuning (for overhead accounting).
+    pub steps: u32,
+    /// Evaluation of the final configuration.
+    pub evaluation: CoreEvaluation,
+}
+
+/// Which constraint (if any) an evaluation violates, in the order sensors
+/// report them in the paper: error-rate overruns are seen soonest, thermal
+/// and power violations within a thermal time constant.
+fn violation(config: &EvalConfig, eval: &CoreEvaluation) -> Option<Outcome> {
+    if eval.pe_per_instruction > config.constraints.pe_max {
+        Some(Outcome::Error)
+    } else if eval.max_t_c > config.constraints.t_max_c {
+        Some(Outcome::Temp)
+    } else if eval.total_power_w > config.constraints.p_max_w {
+        Some(Outcome::Power)
+    } else {
+        None
+    }
+}
+
+fn evaluate(
+    config: &EvalConfig,
+    core: &CoreModel,
+    th_c: f64,
+    f_ghz: f64,
+    settings: &[(f64, f64)],
+    alpha: &[f64; N_SUBSYSTEMS],
+    rho: &[f64; N_SUBSYSTEMS],
+    variants: &VariantSelection,
+) -> Option<CoreEvaluation> {
+    core.evaluate(config, th_c, f_ghz, settings, alpha, rho, variants)
+        .ok()
+}
+
+/// Runs the retuning cycles on a chosen configuration.
+///
+/// If the configuration violates a constraint, `f` is decreased
+/// exponentially — "first by 1 100 MHz step, then by 2 steps, 4, and 8
+/// without running the controller — until the configuration causes no
+/// violation"; then `f` ramps up in single steps to just below the first
+/// violating frequency. If the configuration is clean, a single +1-step
+/// probe distinguishes `NoChange` from `LowFreq`.
+///
+/// A thermally infeasible (runaway) point counts as a `Temp` violation.
+///
+/// # Panics
+///
+/// Panics if no frequency on the ladder is violation-free (the ladder
+/// floor is far below any realistic constraint).
+#[allow(clippy::too_many_arguments)]
+pub fn retune(
+    config: &EvalConfig,
+    core: &CoreModel,
+    th_c: f64,
+    f0_ghz: f64,
+    settings: &[(f64, f64)],
+    alpha: &[f64; N_SUBSYSTEMS],
+    rho: &[f64; N_SUBSYSTEMS],
+    variants: &VariantSelection,
+) -> RetuneResult {
+    let eval_at = |f: f64| evaluate(config, core, th_c, f, settings, alpha, rho, variants);
+    let violation_at = |ev: &Option<CoreEvaluation>| match ev {
+        Some(e) => violation(config, e),
+        None => Some(Outcome::Temp),
+    };
+
+    let mut steps = 0u32;
+    let first = eval_at(f0_ghz);
+    match violation_at(&first) {
+        None => {
+            // Clean: probe upward.
+            let mut f = f0_ghz;
+            let mut eval = first.expect("clean evaluation exists");
+            let mut raised = false;
+            loop {
+                let next = FREQ_LADDER.step_by(f, 1);
+                if next <= f {
+                    break; // already at the top of the ladder
+                }
+                let ev = eval_at(next);
+                if violation_at(&ev).is_some() {
+                    break;
+                }
+                f = next;
+                eval = ev.expect("checked clean");
+                raised = true;
+                steps += 1;
+            }
+            RetuneResult {
+                f_ghz: f,
+                outcome: if raised {
+                    Outcome::LowFreq
+                } else {
+                    Outcome::NoChange
+                },
+                steps,
+                evaluation: eval,
+            }
+        }
+        Some(initial_violation) => {
+            // Exponential back-off: 1, 2, 4, 8, 8, ... steps.
+            let mut f = f0_ghz;
+            let mut back = 1i64;
+            let mut eval;
+            loop {
+                let next = FREQ_LADDER.step_by(f, -back);
+                steps += back.unsigned_abs() as u32;
+                f = next;
+                eval = eval_at(f);
+                if violation_at(&eval).is_none() {
+                    break;
+                }
+                if f <= FREQ_LADDER.min + 1e-9 {
+                    // Even the ladder floor violates with these settings;
+                    // report the floor — the next controller invocation
+                    // will pick different voltages.
+                    return RetuneResult {
+                        f_ghz: f,
+                        outcome: initial_violation,
+                        steps,
+                        evaluation: eval.unwrap_or_else(|| {
+                            // Thermal runaway even at the floor: synthesize
+                            // an evaluation by probing at the floor with
+                            // minimum supply so callers still get numbers.
+                            let floor_settings: Vec<(f64, f64)> =
+                                settings.iter().map(|_| (1.0, 0.0)).collect();
+                            evaluate(
+                                config,
+                                core,
+                                th_c,
+                                FREQ_LADDER.min,
+                                &floor_settings,
+                                alpha,
+                                rho,
+                                variants,
+                            )
+                            .expect("nominal floor operating point is feasible")
+                        }),
+                    };
+                }
+                back = (back * 2).min(8);
+            }
+            // Ramp back up in single steps to just below the violation.
+            let mut best = eval.expect("violation-free point found");
+            loop {
+                let next = FREQ_LADDER.step_by(f, 1);
+                if next <= f || next >= f0_ghz {
+                    break;
+                }
+                let ev = eval_at(next);
+                if violation_at(&ev).is_some() {
+                    break;
+                }
+                f = next;
+                best = ev.expect("checked clean");
+                steps += 1;
+            }
+            RetuneResult {
+                f_ghz: f,
+                outcome: initial_violation,
+                steps,
+                evaluation: best,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval_core::{ChipFactory, EvalConfig};
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    fn run(f0: f64, vdd: f64) -> RetuneResult {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(6);
+        let settings = vec![(vdd, 0.0); N_SUBSYSTEMS];
+        retune(
+            &cfg,
+            chip.core(0),
+            cfg.th_c,
+            f0,
+            &settings,
+            &[0.5; N_SUBSYSTEMS],
+            &[0.5; N_SUBSYSTEMS],
+            &VariantSelection::default(),
+        )
+    }
+
+    #[test]
+    fn overclocked_start_is_flagged_and_corrected() {
+        // 5.6 GHz at nominal voltage is far past the error onset.
+        let r = run(5.6, 1.0);
+        assert_eq!(r.outcome, Outcome::Error);
+        assert!(r.f_ghz < 5.6);
+        let cfg = factory().config().clone();
+        assert!(r.evaluation.pe_per_instruction <= cfg.constraints.pe_max);
+    }
+
+    #[test]
+    fn underclocked_start_ramps_up() {
+        let r = run(2.4, 1.0);
+        assert_eq!(r.outcome, Outcome::LowFreq);
+        assert!(r.f_ghz > 2.4);
+    }
+
+    #[test]
+    fn final_state_never_violates() {
+        let cfg = factory().config().clone();
+        for f0 in [2.4, 3.2, 4.0, 4.8, 5.6] {
+            let r = run(f0, 1.1);
+            assert!(r.evaluation.pe_per_instruction <= cfg.constraints.pe_max);
+            assert!(r.evaluation.max_t_c <= cfg.constraints.t_max_c);
+            assert!(r.evaluation.total_power_w <= cfg.constraints.p_max_w);
+        }
+    }
+
+    #[test]
+    fn near_optimal_start_is_nochange() {
+        // Find the equilibrium, then restart there: must be NoChange.
+        let r1 = run(4.0, 1.0);
+        let r2 = run(r1.f_ghz, 1.0);
+        assert_eq!(r2.outcome, Outcome::NoChange);
+        assert!((r2.f_ghz - r1.f_ghz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retuning_is_monotone_in_start_frequency() {
+        // Wherever it starts, retuning converges to the same ceiling
+        // (within one step, because the ramp stops below f0).
+        let lo = run(2.4, 1.0);
+        let hi = run(5.6, 1.0);
+        assert!((lo.f_ghz - hi.f_ghz).abs() <= FREQ_LADDER.step + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use eval_core::{ChipFactory, FuChoice, QueueChoice};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Whatever the starting frequency, voltages and variants, retuning
+        /// ends on the ladder and (except at the unreachable ladder floor)
+        /// in a state that satisfies every constraint.
+        #[test]
+        fn prop_retune_ends_clean_and_on_ladder(
+            f_idx in 0usize..33,
+            vdd_idx in 0usize..9,
+            alpha in 0.05f64..0.9,
+            lowslope in proptest::bool::ANY,
+            small_q in proptest::bool::ANY,
+        ) {
+            let cfg = factory().config().clone();
+            let chip = factory().chip(17);
+            let f0 = FREQ_LADDER.at(f_idx);
+            let vdd = eval_core::VDD_LADDER.at(vdd_idx);
+            let settings = vec![(vdd, 0.0); N_SUBSYSTEMS];
+            let variants = VariantSelection {
+                int_fu: if lowslope { FuChoice::LowSlope } else { FuChoice::Normal },
+                int_queue: if small_q { QueueChoice::Small } else { QueueChoice::Full },
+                ..VariantSelection::default()
+            };
+            let r = retune(
+                &cfg, chip.core(0), cfg.th_c, f0, &settings,
+                &[alpha; N_SUBSYSTEMS], &[alpha; N_SUBSYSTEMS], &variants,
+            );
+            prop_assert!(FREQ_LADDER.contains(r.f_ghz), "off-ladder {}", r.f_ghz);
+            if r.f_ghz > FREQ_LADDER.min + 1e-9 {
+                prop_assert!(r.evaluation.pe_per_instruction <= cfg.constraints.pe_max);
+                prop_assert!(r.evaluation.max_t_c <= cfg.constraints.t_max_c);
+                prop_assert!(r.evaluation.total_power_w <= cfg.constraints.p_max_w);
+            }
+        }
+    }
+}

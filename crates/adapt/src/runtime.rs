@@ -1,0 +1,255 @@
+//! The deployed controller system (§4.3.2–4.3.3): a phase detector watches
+//! the committed instruction stream; new phases trigger the measurement
+//! window and the controller routines; recurring phases reuse their saved
+//! configuration ("if this phase has been seen before, a saved
+//! configuration is reused").
+
+use std::collections::HashMap;
+
+use eval_core::{CoreModel, Environment, EvalConfig};
+use eval_uarch::profile::PhaseProfile;
+use eval_uarch::{PhaseDetector, WorkloadClass};
+
+use crate::controller::{decide_phase, AdaptationTimeline, PhaseDecision};
+use crate::optimizer::Optimizer;
+
+/// Bookkeeping of a running adaptive system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Controller invocations (new phases).
+    pub controller_runs: u64,
+    /// Saved-configuration reuses (recurring phases).
+    pub config_reuses: u64,
+    /// Instructions observed.
+    pub instructions: u64,
+}
+
+/// What the system did in response to one observed instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// A new phase was detected; the controller ran and produced this
+    /// configuration (also now active).
+    Adapted(PhaseDecision),
+    /// A known phase recurred; its saved configuration was reactivated.
+    Reused(PhaseDecision),
+}
+
+/// The runtime adaptation loop for one core: detector + controller +
+/// configuration cache.
+pub struct AdaptiveSystem<'a> {
+    config: &'a EvalConfig,
+    core: &'a CoreModel,
+    optimizer: &'a dyn Optimizer,
+    env: Environment,
+    class: WorkloadClass,
+    rp_cycles: f64,
+    detector: PhaseDetector,
+    timeline: AdaptationTimeline,
+    saved: HashMap<u32, PhaseDecision>,
+    active: Option<PhaseDecision>,
+    stats: RuntimeStats,
+    overhead_us: f64,
+}
+
+impl<'a> AdaptiveSystem<'a> {
+    /// Creates the system with the evaluation's detector settings.
+    pub fn new(
+        config: &'a EvalConfig,
+        core: &'a CoreModel,
+        optimizer: &'a dyn Optimizer,
+        env: Environment,
+        class: WorkloadClass,
+        rp_cycles: f64,
+    ) -> Self {
+        Self {
+            config,
+            core,
+            optimizer,
+            env,
+            class,
+            rp_cycles,
+            detector: PhaseDetector::micro08(),
+            timeline: AdaptationTimeline::micro08(),
+            saved: HashMap::new(),
+            active: None,
+            stats: RuntimeStats::default(),
+            overhead_us: 0.0,
+        }
+    }
+
+    /// Replaces the phase detector (e.g. shorter intervals for tests).
+    pub fn with_detector(mut self, detector: PhaseDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Observes one committed instruction's basic-block id. When a
+    /// detection interval completes, either runs the controller (new
+    /// phase; `measure` is called to model the counter window producing
+    /// the phase's profile) or reuses the saved configuration.
+    pub fn observe<F: FnOnce() -> PhaseProfile>(
+        &mut self,
+        bb_id: u32,
+        measure: F,
+    ) -> Option<RuntimeEvent> {
+        self.stats.instructions += 1;
+        let event = self.detector.observe(bb_id)?;
+        if let Some(saved) = self.saved.get(&event.id.0) {
+            // Known phase: reactivate at transition cost only.
+            self.stats.config_reuses += 1;
+            self.overhead_us +=
+                self.timeline.overhead_fraction_reuse() * self.timeline.phase_length_us;
+            self.active = Some(saved.clone());
+            return Some(RuntimeEvent::Reused(saved.clone()));
+        }
+        // New phase: measure, run the controller routines, save.
+        let profile = measure();
+        let decision = decide_phase(
+            self.config,
+            self.core,
+            self.optimizer,
+            self.env,
+            &profile,
+            self.class,
+            self.rp_cycles,
+            self.config.th_c,
+        );
+        self.stats.controller_runs += 1;
+        self.overhead_us +=
+            self.timeline.overhead_fraction(decision.retune_steps) * self.timeline.phase_length_us;
+        self.saved.insert(event.id.0, decision.clone());
+        self.active = Some(decision.clone());
+        Some(RuntimeEvent::Adapted(decision))
+    }
+
+    /// The configuration currently applied to the core, if any phase has
+    /// completed yet.
+    pub fn active(&self) -> Option<&PhaseDecision> {
+        self.active.as_ref()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Total microseconds of application time spent on adaptation.
+    pub fn overhead_us(&self) -> f64 {
+        self.overhead_us
+    }
+
+    /// Distinct phases seen by the detector.
+    pub fn phases_seen(&self) -> usize {
+        self.detector.phases_seen()
+    }
+}
+
+impl std::fmt::Debug for AdaptiveSystem<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveSystem")
+            .field("env", &self.env.name)
+            .field("stats", &self.stats)
+            .field("phases_seen", &self.detector.phases_seen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveOptimizer;
+    use eval_core::ChipFactory;
+    use eval_uarch::{profile_workload, TraceGenerator, Workload};
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    #[test]
+    fn controller_runs_once_per_distinct_phase_then_reuses() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(9);
+        let w = Workload::by_name("gzip").expect("exists");
+        let profile = profile_workload(&w, 4_000, 9);
+        let oracle = ExhaustiveOptimizer::new();
+        let mut system = AdaptiveSystem::new(
+            &cfg,
+            chip.core(0),
+            &oracle,
+            Environment::TS_ASV,
+            w.class,
+            profile.rp_cycles,
+        )
+        .with_detector(PhaseDetector::new(5_000, 150));
+
+        let mut current_phase = 0usize;
+        let mut seen = 0u64;
+        for insn in TraceGenerator::new(&w, 9) {
+            seen += 1;
+            let mut consumed = 0;
+            for (i, p) in w.phases.iter().enumerate() {
+                consumed += p.instructions;
+                if seen <= consumed {
+                    current_phase = i;
+                    break;
+                }
+            }
+            let ph = profile.phases[current_phase].clone();
+            system.observe(insn.bb_id, move || ph);
+        }
+        let stats = system.stats();
+        assert!(stats.controller_runs >= 2, "both phases must adapt");
+        assert!(
+            stats.controller_runs <= 4,
+            "runs ({}) should track distinct phases, not intervals",
+            stats.controller_runs
+        );
+        assert!(
+            stats.config_reuses > stats.controller_runs,
+            "stable phases should mostly reuse ({} vs {})",
+            stats.config_reuses,
+            stats.controller_runs
+        );
+        assert!(system.active().is_some());
+        // Overhead is microscopic relative to execution (Figure 6's point).
+        assert!(system.overhead_us() < 1_000.0);
+    }
+
+    #[test]
+    fn reused_configuration_is_identical_to_the_saved_one() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(10);
+        let w = Workload::by_name("mesa").expect("exists");
+        let profile = profile_workload(&w, 4_000, 10);
+        let oracle = ExhaustiveOptimizer::new();
+        let mut system = AdaptiveSystem::new(
+            &cfg,
+            chip.core(0),
+            &oracle,
+            Environment::TS,
+            w.class,
+            profile.rp_cycles,
+        )
+        .with_detector(PhaseDetector::new(2_000, 150));
+
+        let ph = profile.phases[0].clone();
+        let mut first: Option<PhaseDecision> = None;
+        // Constant behaviour: one phase, repeatedly.
+        for i in 0..20_000u32 {
+            let ph2 = ph.clone();
+            match system.observe(100 + i % 8, move || ph2) {
+                Some(RuntimeEvent::Adapted(d)) => {
+                    assert!(first.is_none(), "only one adaptation expected");
+                    first = Some(d);
+                }
+                Some(RuntimeEvent::Reused(d)) => {
+                    assert_eq!(Some(&d), first.as_ref(), "reuse must be verbatim");
+                }
+                None => {}
+            }
+        }
+        assert!(first.is_some());
+    }
+}

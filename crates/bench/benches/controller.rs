@@ -1,0 +1,142 @@
+//! Controller-path benchmarks: how long does the deployable fuzzy
+//! controller take compared to the exhaustive oracle?
+//!
+//! The paper estimates ~6 us for a full controller run at 4 GHz (§4.3.3)
+//! and motivates fuzzy control by `Exhaustive` being "too expensive to
+//! execute on-the-fly" — these benchmarks quantify both claims for this
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eval_adapt::{
+    decide_phase, retune, ExhaustiveOptimizer, FuzzyOptimizer, Optimizer, SubsystemScene,
+    TrainingBudget,
+};
+use eval_core::{
+    ChipFactory, ChipModel, Environment, EvalConfig, SubsystemId, VariantSelection, N_SUBSYSTEMS,
+};
+use eval_uarch::{profile_workload, Workload, WorkloadProfile};
+
+struct Setup {
+    config: EvalConfig,
+    chip: ChipModel,
+    fuzzy: FuzzyOptimizer,
+    profile: WorkloadProfile,
+}
+
+fn setup() -> Setup {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(42);
+    let budget = TrainingBudget {
+        examples: 120,
+        ..TrainingBudget::default()
+    };
+    let fuzzy = FuzzyOptimizer::train(&config, &chip, 0, Environment::TS_ASV, &budget);
+    let w = Workload::by_name("swim").expect("workload exists");
+    let profile = profile_workload(&w, 6_000, 1);
+    Setup {
+        config,
+        chip,
+        fuzzy,
+        profile,
+    }
+}
+
+fn scene<'a>(s: &'a Setup, id: SubsystemId) -> SubsystemScene<'a> {
+    SubsystemScene {
+        state: s.chip.core(0).subsystem(id),
+        variants: VariantSelection::default(),
+        th_c: 60.0,
+        alpha_f: 0.5,
+        rho: 0.6,
+        pe_budget: s.config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS),
+        env: Environment::TS_ASV,
+    }
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let s = setup();
+    let sc = scene(&s, SubsystemId::Dcache);
+
+    // The deployment-phase query the paper prices at microseconds.
+    c.bench_function("fuzzy_freq_query", |b| {
+        b.iter(|| black_box(s.fuzzy.freq_max(&s.config, black_box(&sc))))
+    });
+    c.bench_function("fuzzy_power_query", |b| {
+        b.iter(|| black_box(s.fuzzy.power_settings(&s.config, black_box(&sc), 4.0)))
+    });
+
+    // The oracle it replaces.
+    let oracle = ExhaustiveOptimizer::new();
+    c.bench_function("exhaustive_freq_query", |b| {
+        b.iter(|| black_box(oracle.freq_max(&s.config, black_box(&sc))))
+    });
+    c.bench_function("exhaustive_power_query", |b| {
+        b.iter(|| black_box(oracle.power_settings(&s.config, black_box(&sc), 4.0)))
+    });
+
+    // One full per-phase decision (15 subsystems + choices + retuning).
+    let ph = &s.profile.phases[0];
+    c.bench_function("decide_phase_fuzzy", |b| {
+        b.iter(|| {
+            black_box(decide_phase(
+                &s.config,
+                s.chip.core(0),
+                &s.fuzzy,
+                Environment::TS_ASV,
+                black_box(ph),
+                s.profile.class,
+                s.profile.rp_cycles,
+                60.0,
+            ))
+        })
+    });
+
+    // Retuning alone.
+    let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+    c.bench_function("retune_cycles", |b| {
+        b.iter(|| {
+            black_box(retune(
+                &s.config,
+                s.chip.core(0),
+                60.0,
+                black_box(4.6),
+                &settings,
+                &ph.activity.alpha_f,
+                &ph.activity.rho,
+                &VariantSelection::default(),
+            ))
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(7);
+    let mut group = c.benchmark_group("fuzzy_training");
+    group.sample_size(10);
+    for examples in [60usize, 120] {
+        group.bench_function(format!("examples_{examples}"), |b| {
+            let budget = TrainingBudget {
+                examples,
+                ..TrainingBudget::default()
+            };
+            b.iter(|| {
+                black_box(FuzzyOptimizer::train(
+                    &config,
+                    &chip,
+                    0,
+                    Environment::TS,
+                    &budget,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller, bench_training);
+criterion_main!(benches);

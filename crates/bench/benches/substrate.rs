@@ -1,0 +1,84 @@
+//! Substrate benchmarks: the physical-model building blocks every
+//! optimizer query leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eval_core::{ChipFactory, EvalConfig, OperatingConditions, SubsystemId, VariantSelection};
+use eval_power::{solve_thermal, OperatingPoint, SubsystemPowerParams, ThermalEnvironment};
+use eval_variation::{ChipGrid, DeviceParams, VariationModel, VariationParams};
+
+fn bench_variation(c: &mut Criterion) {
+    // One-time Cholesky factorization of the 1024-cell correlation matrix.
+    let mut group = c.benchmark_group("variation");
+    group.sample_size(10);
+    group.bench_function("model_build_32x32", |b| {
+        b.iter(|| {
+            black_box(VariationModel::new(
+                ChipGrid::square(32),
+                VariationParams::micro08(),
+            ))
+        })
+    });
+    group.finish();
+
+    let model = VariationModel::new(ChipGrid::square(32), VariationParams::micro08());
+    c.bench_function("variation/sample_chip", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(model.sample_chip(seed))
+        })
+    });
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let device = DeviceParams::micro08();
+    let params = SubsystemPowerParams {
+        kdyn_w: 0.6,
+        ksta_nom_w: 0.4,
+        rth_c_per_w: 8.0,
+        vt0: device.vt_nominal,
+    };
+    let env = ThermalEnvironment {
+        th_c: 60.0,
+        alpha_f: 0.6,
+    };
+    let op = OperatingPoint {
+        f_ghz: 4.4,
+        vdd: 1.1,
+        vbb: 0.1,
+    };
+    c.bench_function("thermal/fixed_point_solve", |b| {
+        b.iter(|| black_box(solve_thermal(&params, &env, &op, &device)))
+    });
+}
+
+fn bench_pe(c: &mut Criterion) {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(3);
+    let dcache = chip.core(0).subsystem(SubsystemId::Dcache);
+    let cond = OperatingConditions {
+        vdd: 1.05,
+        vbb: 0.0,
+        t_c: 72.0,
+    };
+    let variants = VariantSelection::default();
+    c.bench_function("timing/pe_access_dcache", |b| {
+        b.iter(|| black_box(dcache.timing(&variants).pe_access(black_box(4.4), &cond)))
+    });
+    c.bench_function("timing/max_frequency_bisection", |b| {
+        b.iter(|| black_box(dcache.timing(&variants).max_frequency(&cond, 1e-6)))
+    });
+
+    let mut group = c.benchmark_group("chip");
+    group.sample_size(10);
+    group.bench_function("build_from_map", |b| {
+        b.iter(|| black_box(factory.chip(black_box(99))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variation, bench_thermal, bench_pe);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microarchitecture-substrate benchmarks: simulation throughput of the
+//! core model, phase detection and workload profiling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eval_uarch::{
+    profile_workload, CoreConfig, Gshare, Hierarchy, OooCore, PhaseDetector, TraceGenerator,
+    Workload,
+};
+
+fn bench_core(c: &mut Criterion) {
+    let w = Workload::by_name("gcc").expect("workload exists");
+    let mut group = c.benchmark_group("ooo_core");
+    let instrs = 20_000u64;
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("simulate_20k_instructions", |b| {
+        b.iter(|| {
+            let mut core = OooCore::new(CoreConfig::micro08());
+            let mut trace = TraceGenerator::new(&w, 5).peekable();
+            black_box(core.run(&mut trace, instrs))
+        })
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let w = Workload::by_name("swim").expect("workload exists");
+    c.bench_function("trace/generate_1k", |b| {
+        b.iter(|| {
+            black_box(
+                TraceGenerator::new(&w, 9)
+                    .take(1000)
+                    .map(|i| i.bb_id as u64)
+                    .sum::<u64>(),
+            )
+        })
+    });
+
+    c.bench_function("cache/hierarchy_access", |b| {
+        let mut h = Hierarchy::new();
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x40).wrapping_mul(0x9E3779B97F4A7C15) % (1 << 22);
+            black_box(h.access(a))
+        })
+    });
+
+    c.bench_function("bpred/gshare_predict", |b| {
+        let mut g = Gshare::default_config();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(g.predict_and_train(i % 32, i % 3 == 0))
+        })
+    });
+
+    c.bench_function("phase/detector_observe", |b| {
+        let mut d = PhaseDetector::micro08();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(d.observe(i % 24))
+        })
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let w = Workload::by_name("mcf").expect("workload exists");
+    let mut group = c.benchmark_group("profile");
+    group.sample_size(10);
+    group.bench_function("profile_workload_4k", |b| {
+        b.iter(|| black_box(profile_workload(&w, 4_000, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core, bench_components, bench_profile);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 1: impact of variation on processor frequency.
+//!
+//! (a) dynamic path-delay distribution without variation — all paths below
+//!     the nominal period;
+//! (b) the spread-out distribution with variation — the processor needs a
+//!     longer period `Tvar`;
+//! (c) the per-stage error rate `PE(f)`;
+//! (d) the 2-stage pipeline error rate per instruction (Equation 4).
+
+use eval_core::EvalConfig;
+use eval_timing::{OperatingConditions, PathClass, PipelineErrorModel, StageTiming, SubsystemKind};
+use eval_variation::{ChipGrid, VariationModel, VariationParams};
+
+fn main() {
+    let config = EvalConfig::micro08();
+    let t_nom = config.t_nominal_ns();
+    let model = VariationModel::new(ChipGrid::default(), VariationParams::micro08());
+    let chip = model.sample_chip(1);
+    let device = config.device;
+
+    println!("# Figure 1(a,b): path-delay densities (logic stage), ps");
+    let class = PathClass::for_kind(SubsystemKind::Logic);
+    let nominal = class.nominal_distribution(t_nom);
+    // With variation: the slowest cell of a sample footprint.
+    let cells: Vec<usize> = (0..16).collect();
+    let stage = StageTiming::from_chip(&class, t_nom, &chip, &cells, device, 12);
+    let kappa = stage.worst_cell_factor(&OperatingConditions::nominal());
+    println!("csv,delay_ps,density_novar,density_var");
+    for k in 0..=80 {
+        let t = t_nom * (0.3 + k as f64 * 0.0125);
+        let gauss = |mean: f64, sigma: f64| {
+            let z = (t - mean) / sigma;
+            (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+        };
+        let d0 = gauss(nominal.mean_ns(), nominal.sigma_ns());
+        let d1 = gauss(nominal.mean_ns() * kappa, nominal.sigma_ns() * kappa * 1.4);
+        println!("csv,{:.1},{:.4},{:.4}", t * 1e3, d0, d1);
+    }
+    println!(
+        "# Tnom = {:.0} ps; slowest-cell delay factor on this chip = {:.3}",
+        t_nom * 1e3,
+        kappa
+    );
+
+    println!();
+    println!("# Figure 1(c): PE(f) for one memory stage and one logic stage");
+    let mem = StageTiming::from_chip(
+        &PathClass::for_kind(SubsystemKind::Memory),
+        t_nom,
+        &chip,
+        &(16..52).collect::<Vec<_>>(),
+        device,
+        2,
+    );
+    let cond = OperatingConditions::nominal();
+    println!("csv,f_ghz,pe_memory,pe_logic");
+    for k in 0..=40 {
+        let f = 2.8 + 0.05 * k as f64;
+        println!(
+            "csv,{:.2},{:.3e},{:.3e}",
+            f,
+            mem.pe_access(f, &cond),
+            stage.pe_access(f, &cond)
+        );
+    }
+
+    println!();
+    println!("# Figure 1(d): 2-stage pipeline, PE per instruction (Eq. 4)");
+    let pipeline = PipelineErrorModel::new(vec![(1.0, mem.clone()), (0.6, stage.clone())]);
+    println!("csv,f_ghz,pe_per_instruction");
+    for k in 0..=40 {
+        let f = 2.8 + 0.05 * k as f64;
+        println!("csv,{:.2},{:.3e}", f, pipeline.pe_uniform(f, &cond));
+    }
+    let fvar = pipeline.fvar_uniform(&cond, 1e-12);
+    println!("# fvar (error-free) = {fvar:.2} GHz vs nominal {:.1} GHz", config.f_nominal_ghz);
+}

@@ -1,0 +1,24 @@
+//! Figure 10: processor frequency for each environment, normalized to
+//! `NoVar` (Static / Fuzzy-Dyn / Exh-Dyn bars per environment).
+//!
+//! Protocol knobs: `EVAL_CHIPS` (default 10; the paper uses 100) and
+//! `EVAL_WORKLOADS` (default: all 16).
+
+use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+
+fn main() {
+    let result = run_figure10_campaign(10);
+    print_environment_matrix(
+        "Figure 10: relative frequency (NoVar = 1.0)",
+        "x NoVar",
+        &result,
+        |c| c.freq_rel,
+    );
+    println!();
+    print_environment_csv("freq_rel", &result, |c| c.freq_rel);
+    println!();
+    println!(
+        "# paper shape: Baseline 0.78; TS ~0.87; TS+ASV static 0.97, dynamic ~1.05;"
+    );
+    println!("# adding Q+FU with dynamic adaptation reaches 1.21 (their best).");
+}

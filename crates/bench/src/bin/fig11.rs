@@ -1,0 +1,20 @@
+//! Figure 11: performance of each environment relative to `NoVar`.
+//!
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+
+use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+
+fn main() {
+    let result = run_figure10_campaign(10);
+    print_environment_matrix(
+        "Figure 11: relative performance (NoVar = 1.0)",
+        "x NoVar",
+        &result,
+        |c| c.perf_rel,
+    );
+    println!();
+    print_environment_csv("perf_rel", &result, |c| c.perf_rel);
+    println!();
+    println!("# paper shape: same ordering as Figure 10 with smaller magnitudes;");
+    println!("# their preferred scheme (TS+ASV+Q+FU, Fuzzy-Dyn) gains 14% over NoVar.");
+}

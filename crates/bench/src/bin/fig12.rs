@@ -1,0 +1,21 @@
+//! Figure 12: power per processor (core + L1 + L2, plus checker where one
+//! exists) for each environment.
+//!
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+
+use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+
+fn main() {
+    let result = run_figure10_campaign(10);
+    print_environment_matrix(
+        "Figure 12: processor power (watts)",
+        "W",
+        &result,
+        |c| c.power_w,
+    );
+    println!();
+    print_environment_csv("power_w", &result, |c| c.power_w);
+    println!();
+    println!("# paper shape: NoVar ~25 W, Baseline ~17 W (it runs slower); power grows");
+    println!("# as techniques are added; the best dynamic scheme rides PMAX = 30 W.");
+}

@@ -1,0 +1,69 @@
+//! Figure 13: outcomes of the fuzzy-controller system — for each of the
+//! four voltage environments (A: TS, B: TS+ABB, C: TS+ASV, D: TS+ABB+ASV)
+//! and each microarchitecture-technique set (no opt / FU opt / Queue opt /
+//! FU+Queue opt), the fraction of controller invocations ending in
+//! NoChange, LowFreq, Error, Temp or Power.
+//!
+//! Protocol knobs: `EVAL_CHIPS` (default 8) and `EVAL_WORKLOADS`.
+
+use eval_adapt::{Campaign, Outcome, Scheme};
+use eval_bench::{chips_from_env, workloads_from_env};
+use eval_core::Environment;
+
+fn main() {
+    let mut campaign = Campaign::new(chips_from_env(8));
+    campaign.workloads = workloads_from_env();
+    eprintln!(
+        "# campaign: {} chips x {} workloads x 16 environment variants (Fuzzy-Dyn)",
+        campaign.chips,
+        campaign.workloads.len()
+    );
+
+    let technique_sets: [(&str, bool, bool); 4] = [
+        ("No opt", false, false),
+        ("FU opt", true, false),
+        ("Queue opt", false, true),
+        ("FU+Queue opt", true, true),
+    ];
+
+    println!("# Figure 13: controller outcome mix (percent of invocations)");
+    println!(
+        "{:<14} {:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "techniques", "environment", "NoChange", "LowFreq", "Error", "Temp", "Power"
+    );
+    println!("csv,techniques,environment,nochange,lowfreq,error,temp,power");
+    for (label, fu, queue) in technique_sets {
+        for base in Environment::TABLE2 {
+            let env = Environment {
+                fu_replication: fu,
+                queue,
+                ..base
+            };
+            let result = campaign.run(&[env], &[Scheme::FuzzyDyn]);
+            let cell = result.cell(env, Scheme::FuzzyDyn).expect("cell exists");
+            let frac = |o: Outcome| 100.0 * cell.outcomes.fraction(o);
+            println!(
+                "{:<14} {:<12} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                label,
+                base.name,
+                frac(Outcome::NoChange),
+                frac(Outcome::LowFreq),
+                frac(Outcome::Error),
+                frac(Outcome::Temp),
+                frac(Outcome::Power)
+            );
+            println!(
+                "csv,{label},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                base.name,
+                frac(Outcome::NoChange),
+                frac(Outcome::LowFreq),
+                frac(Outcome::Error),
+                frac(Outcome::Temp),
+                frac(Outcome::Power)
+            );
+        }
+    }
+    println!();
+    println!("# paper shape: NoChange dominates for TS; NoChange+LowFreq cover ~50%+");
+    println!("# of invocations everywhere; Temp cases are infrequent.");
+}

@@ -1,0 +1,211 @@
+//! Figure 8: subsystem error rates vs frequency and processor performance
+//! vs frequency, for `swim` on one sample chip, under `TS` (a, b) and under
+//! `TS+ASV+ABB` with per-frequency exhaustive reshaping (c, d).
+
+use eval_adapt::{ExhaustiveOptimizer, Optimizer, SubsystemScene};
+use eval_core::{
+    ChipFactory, Environment, EvalConfig, OperatingConditions, PerfModel, SubsystemId,
+    VariantSelection, N_SUBSYSTEMS,
+};
+use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_uarch::{profile_workload, QueueSize, Workload};
+
+fn main() {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(2008);
+    let core = chip.core(0);
+    let w = Workload::by_name("swim").expect("workload exists");
+    let profile = profile_workload(&w, 8_000, 2008);
+    let ph = &profile.phases[0];
+    let perf = PerfModel::new(
+        ph.cpi_comp(QueueSize::Full),
+        ph.mr,
+        ph.mp_ns,
+        profile.rp_cycles,
+    );
+    let novar = perf.perf(config.f_nominal_ghz, 0.0);
+    let variants = VariantSelection::default();
+    let f_grid: Vec<f64> = (0..=36).map(|k| 2.8 + 0.06 * k as f64).collect();
+
+    // ---------- (a) + (b): TS (nominal voltages) ----------
+    println!("# Figure 8(a): subsystem PE vs relative frequency under TS (swim, chip 0)");
+    print!("csv,f_rel");
+    for id in SubsystemId::ALL {
+        print!(",{}", id.name());
+    }
+    println!();
+    let mut perf_ts: Vec<(f64, f64)> = Vec::new();
+    for &f in &f_grid {
+        print!("csv,{:.3}", f / config.f_nominal_ghz);
+        let mut total_pe = 0.0;
+        for id in SubsystemId::ALL {
+            let state = core.subsystem(id);
+            let env = ThermalEnvironment {
+                th_c: config.th_c,
+                alpha_f: ph.activity.alpha_f[id.index()],
+            };
+            let op = OperatingPoint {
+                f_ghz: f,
+                vdd: 1.0,
+                vbb: 0.0,
+            };
+            let t_c = solve_thermal(&state.power_params(&variants), &env, &op, &config.device)
+                .map(|s| s.t_c)
+                .unwrap_or(config.constraints.t_max_c);
+            let cond = OperatingConditions {
+                vdd: 1.0,
+                vbb: 0.0,
+                t_c,
+            };
+            let pe = state.timing(&variants).pe_access(f, &cond);
+            total_pe += ph.activity.rho[id.index()] * pe;
+            print!(",{pe:.3e}");
+        }
+        println!();
+        perf_ts.push((f, perf.perf(f, total_pe.clamp(0.0, 1.0)) / novar));
+    }
+
+    println!();
+    println!("# Figure 8(b): relative performance vs relative frequency under TS");
+    println!("csv,f_rel,perf_rel");
+    let mut best_ts = (0.0f64, 0.0f64);
+    for (f, p) in &perf_ts {
+        if *p > best_ts.1 {
+            best_ts = (*f, *p);
+        }
+        println!("csv,{:.3},{:.4}", f / config.f_nominal_ghz, p);
+    }
+    println!(
+        "# TS optimum: fR = {:.2}, PerfR = {:.2}   (paper: ~0.91, ~0.92)",
+        best_ts.0 / config.f_nominal_ghz,
+        best_ts.1
+    );
+
+    // ---------- (c) + (d): TS+ASV+ABB with exhaustive reshaping ----------
+    println!();
+    println!("# Figure 8(c): subsystem PE vs relative frequency under TS+ASV+ABB");
+    let oracle = ExhaustiveOptimizer::new();
+    let env = Environment::TS_ABB_ASV;
+    let pe_budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+    print!("csv,f_rel");
+    for id in SubsystemId::ALL {
+        print!(",{}", id.name());
+    }
+    println!(",total_power_w");
+    let mut perf_asv: Vec<(f64, f64)> = Vec::new();
+    for &f in &f_grid {
+        // Per-subsystem reshaping at this frequency (the Power algorithm),
+        // then a power-cap pass: if the sum exceeds PMAX, strip the most
+        // expensive boosts and let those PE curves "escape up".
+        let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new(); // (idx, vdd, vbb, power, pe)
+        for id in SubsystemId::ALL {
+            let state = core.subsystem(id);
+            let scene = SubsystemScene {
+                state,
+                variants,
+                th_c: config.th_c,
+                alpha_f: ph.activity.alpha_f[id.index()],
+                rho: ph.activity.rho[id.index()].max(1e-3),
+                pe_budget,
+                env,
+            };
+            let (vdd, vbb) = oracle.power_settings(&config, &scene, f);
+            let (power, pe) = evaluate_at(&config, &scene, f, vdd, vbb);
+            if power.is_finite() {
+                rows.push((id.index(), vdd, vbb, power, pe));
+            } else {
+                // Thermally infeasible even at the chosen setting: fall
+                // back to nominal so the totals stay meaningful.
+                let (p0, pe0) = evaluate_at(&config, &scene, f, 1.0, 0.0);
+                rows.push((id.index(), 1.0, 0.0, p0, pe0));
+            }
+        }
+        let uncore = config.uncore_power_w(f) + config.checker_w;
+        let mut total: f64 = uncore + rows.iter().map(|r| r.3).sum::<f64>();
+        // Power-cap pass: revert boosts (most power saved first).
+        if total > config.constraints.p_max_w {
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by(|&a, &b| rows[b].3.total_cmp(&rows[a].3));
+            for i in order {
+                if total <= config.constraints.p_max_w {
+                    break;
+                }
+                let id = SubsystemId::from_index(rows[i].0);
+                let state = core.subsystem(id);
+                let scene = SubsystemScene {
+                    state,
+                    variants,
+                    th_c: config.th_c,
+                    alpha_f: ph.activity.alpha_f[id.index()],
+                    rho: ph.activity.rho[id.index()].max(1e-3),
+                    pe_budget,
+                    env,
+                };
+                let (p_cheap, pe_cheap) = evaluate_at(&config, &scene, f, 1.0, 0.0);
+                if p_cheap < rows[i].3 {
+                    total -= rows[i].3 - p_cheap;
+                    rows[i] = (rows[i].0, 1.0, 0.0, p_cheap, pe_cheap);
+                }
+            }
+        }
+        print!("csv,{:.3}", f / config.f_nominal_ghz);
+        let mut total_pe = 0.0;
+        for (idx, _, _, _, pe) in &rows {
+            total_pe += ph.activity.rho[*idx] * pe;
+            print!(",{pe:.3e}");
+        }
+        println!(",{total:.1}");
+        perf_asv.push((f, perf.perf(f, total_pe.clamp(0.0, 1.0)) / novar));
+    }
+
+    println!();
+    println!("# Figure 8(d): relative performance vs relative frequency under TS+ASV+ABB");
+    println!("csv,f_rel,perf_rel");
+    let mut best_asv = (0.0f64, 0.0f64);
+    for (f, p) in &perf_asv {
+        if *p > best_asv.1 {
+            best_asv = (*f, *p);
+        }
+        println!("csv,{:.3},{:.4}", f / config.f_nominal_ghz, p);
+    }
+    println!(
+        "# TS+ASV+ABB optimum (point A): fR = {:.2}, PerfR = {:.2}   (paper: ~1.03, ~1.00)",
+        best_asv.0 / config.f_nominal_ghz,
+        best_asv.1
+    );
+}
+
+/// Subsystem power and per-access PE at a fixed operating point.
+fn evaluate_at(
+    config: &EvalConfig,
+    scene: &SubsystemScene<'_>,
+    f: f64,
+    vdd: f64,
+    vbb: f64,
+) -> (f64, f64) {
+    let op = OperatingPoint {
+        f_ghz: f,
+        vdd,
+        vbb,
+    };
+    let env = ThermalEnvironment {
+        th_c: scene.th_c,
+        alpha_f: scene.alpha_f,
+    };
+    let params = scene.state.power_params(&scene.variants);
+    match solve_thermal(&params, &env, &op, &config.device) {
+        Ok(sol) => {
+            let cond = OperatingConditions {
+                vdd,
+                vbb,
+                t_c: sol.t_c,
+            };
+            (
+                sol.total_w(),
+                scene.state.timing(&scene.variants).pe_access(f, &cond),
+            )
+        }
+        Err(_) => (f64::INFINITY, 1.0),
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 9: three-dimensional views of the power vs error-rate vs
+//! frequency surface (a) and the power vs error-rate vs performance
+//! surface (b), for the integer ALU of one sample chip running `swim`
+//! with per-subsystem ASV/ABB.
+
+use eval_adapt::surface::pe_power_frequency_surface;
+use eval_core::{ChipFactory, Environment, EvalConfig, PerfModel, SubsystemId};
+use eval_uarch::{profile_workload, QueueSize, Workload};
+
+fn main() {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(2008);
+    let state = chip.core(0).subsystem(SubsystemId::IntAlu);
+    let w = Workload::by_name("swim").expect("workload exists");
+    let profile = profile_workload(&w, 8_000, 2008);
+    let ph = &profile.phases[0];
+    let perf = PerfModel::new(
+        ph.cpi_comp(QueueSize::Full),
+        ph.mr,
+        ph.mp_ns,
+        profile.rp_cycles,
+    );
+    let novar = perf.perf(config.f_nominal_ghz, 0.0);
+
+    let points = pe_power_frequency_surface(
+        &config,
+        state,
+        Environment::TS_ABB_ASV,
+        config.th_c,
+        ph.activity.alpha_f[SubsystemId::IntAlu.index()].max(0.2),
+        ph.activity.rho[SubsystemId::IntAlu.index()].max(0.2),
+        &perf,
+        novar,
+    );
+
+    println!("# Figure 9(a): minimum realizable PE for each (power, frequency) — IntALU");
+    println!("# Figure 9(b): the same Pareto points with relative performance");
+    println!("csv,f_rel,power_w,pe,perf_rel");
+    for p in &points {
+        println!(
+            "csv,{:.3},{:.3},{:.3e},{:.4}",
+            p.f_rel, p.power_w, p.pe, p.perf_rel
+        );
+    }
+    println!("# {} Pareto points", points.len());
+
+    // Line (1) of the figure: constant power through the optimum.
+    let mid_power = points
+        .iter()
+        .map(|p| p.power_w)
+        .sum::<f64>()
+        / points.len().max(1) as f64;
+    println!();
+    println!("# Line (1): PE vs f at ~constant power ({mid_power:.2} W band)");
+    println!("csv,f_rel,pe,perf_rel");
+    for p in points
+        .iter()
+        .filter(|p| (p.power_w - mid_power).abs() < 0.15 * mid_power)
+    {
+        println!("csv,{:.3},{:.3e},{:.4}", p.f_rel, p.pe, p.perf_rel);
+    }
+}

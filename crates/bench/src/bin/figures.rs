@@ -1,0 +1,35 @@
+//! Runs the shared Figures 10–12 campaign **once** and prints all three
+//! views (relative frequency, relative performance, power) — cheaper than
+//! invoking `fig10`, `fig11` and `fig12` separately, which each rerun it.
+//!
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+
+use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+
+fn main() {
+    let result = run_figure10_campaign(10);
+    print_environment_matrix(
+        "Figure 10: relative frequency (NoVar = 1.0)",
+        "x NoVar",
+        &result,
+        |c| c.freq_rel,
+    );
+    println!();
+    print_environment_matrix(
+        "Figure 11: relative performance (NoVar = 1.0)",
+        "x NoVar",
+        &result,
+        |c| c.perf_rel,
+    );
+    println!();
+    print_environment_matrix(
+        "Figure 12: processor power (watts)",
+        "W",
+        &result,
+        |c| c.power_w,
+    );
+    println!();
+    print_environment_csv("freq_rel", &result, |c| c.freq_rel);
+    print_environment_csv("perf_rel", &result, |c| c.perf_rel);
+    print_environment_csv("power_w", &result, |c| c.power_w);
+}

@@ -1,0 +1,161 @@
+//! # eval-bench
+//!
+//! Experiment drivers for the EVAL reproduction: one binary per table or
+//! figure of the paper's evaluation (§6), plus Criterion micro-benchmarks
+//! of the building blocks.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig1` | Figure 1: path-delay distributions and `PE(f)` curves |
+//! | `fig2` | Figure 2: tolerate / tilt / shift / reshape / adapt |
+//! | `fig8` | Figure 8: subsystem `PE` and processor `Perf` vs `f` |
+//! | `fig9` | Figure 9: power vs error rate vs frequency/performance |
+//! | `fig10` | Figure 10: relative frequency per environment |
+//! | `fig11` | Figure 11: relative performance per environment |
+//! | `fig12` | Figure 12: power per environment |
+//! | `fig13` | Figure 13: controller outcome mix |
+//! | `table2` | Table 2: fuzzy-vs-exhaustive selection error |
+//! | `headline` | §6 headline numbers, paper vs measured |
+//! | `figures` | Figures 10–12 from one shared campaign |
+//! | `breakdown` | per-workload detail behind the averages |
+//! | `retiming` | §7 baseline: EVAL vs ReCycle-style time borrowing |
+//! | `ablation` | σ/μ, φ, rule-count and DVFS-granularity sensitivity |
+//! | `varmap` | ASCII view of sampled variation maps |
+//!
+//! Scale knobs come from the environment so the full protocol
+//! (`EVAL_CHIPS=100`) and quick looks (`EVAL_CHIPS=5`) use the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eval_adapt::{Campaign, CampaignResult, Scheme};
+use eval_core::Environment;
+
+/// Number of chips for campaign binaries: `EVAL_CHIPS` env var, else
+/// `default`. The paper's protocol is 100.
+pub fn chips_from_env(default: usize) -> usize {
+    std::env::var("EVAL_CHIPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Workload subset for campaign binaries: `EVAL_WORKLOADS` (comma-separated
+/// names), else all 16.
+pub fn workloads_from_env() -> Vec<eval_uarch::Workload> {
+    match std::env::var("EVAL_WORKLOADS") {
+        Ok(list) => {
+            let ws: Vec<_> = list
+                .split(',')
+                .filter_map(|n| eval_uarch::Workload::by_name(n.trim()))
+                .collect();
+            if ws.is_empty() {
+                eval_uarch::Workload::all()
+            } else {
+                ws
+            }
+        }
+        Err(_) => eval_uarch::Workload::all(),
+    }
+}
+
+/// Builds the standard Figures 10–12 campaign.
+pub fn standard_campaign(default_chips: usize) -> Campaign {
+    let mut c = Campaign::new(chips_from_env(default_chips));
+    c.workloads = workloads_from_env();
+    c
+}
+
+/// Runs the Figures 10–12 campaign (six environments, three schemes) and
+/// returns the result. This is the expensive shared computation.
+pub fn run_figure10_campaign(default_chips: usize) -> CampaignResult {
+    let campaign = standard_campaign(default_chips);
+    eprintln!(
+        "# campaign: {} chips x {} workloads x 6 environments x 3 schemes",
+        campaign.chips,
+        campaign.workloads.len()
+    );
+    campaign.run(&Environment::FIGURE10, &Scheme::ALL)
+}
+
+/// Prints a row-per-environment matrix with `Static`, `Fuzzy-Dyn` and
+/// `Exh-Dyn` columns plus the Baseline/NoVar reference lines.
+pub fn print_environment_matrix<F: Fn(&eval_adapt::CellResult) -> f64>(
+    title: &str,
+    unit: &str,
+    result: &CampaignResult,
+    metric: F,
+) {
+    println!("# {title}");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "environment", "Static", "Fuzzy-Dyn", "Exh-Dyn"
+    );
+    for env in Environment::FIGURE10 {
+        let get = |s: Scheme| {
+            result
+                .cell(env, s)
+                .map(&metric)
+                .map(|v| format!("{v:10.3}"))
+                .unwrap_or_else(|| format!("{:>10}", "-"))
+        };
+        println!(
+            "{:<14} {} {} {}",
+            env.name,
+            get(Scheme::Static),
+            get(Scheme::FuzzyDyn),
+            get(Scheme::ExhDyn)
+        );
+    }
+    println!(
+        "{:<14} {:>10.3}   (reference, {unit})",
+        "Baseline",
+        metric(&result.baseline)
+    );
+    println!(
+        "{:<14} {:>10.3}   (reference, {unit})",
+        "NoVar",
+        metric(&result.novar)
+    );
+}
+
+/// Emits a CSV block (machine-readable mirror of the printed table).
+pub fn print_environment_csv<F: Fn(&eval_adapt::CellResult) -> f64>(
+    metric_name: &str,
+    result: &CampaignResult,
+    metric: F,
+) {
+    println!("csv,environment,scheme,{metric_name}");
+    println!("csv,Baseline,-,{:.6}", metric(&result.baseline));
+    println!("csv,NoVar,-,{:.6}", metric(&result.novar));
+    for (env, scheme, cell) in &result.cells {
+        println!("csv,{},{},{:.6}", env.name, scheme.label(), metric(cell));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chips_env_parsing_defaults() {
+        // No env var in the test environment (or unparseable): default.
+        std::env::remove_var("EVAL_CHIPS");
+        assert_eq!(chips_from_env(7), 7);
+        std::env::set_var("EVAL_CHIPS", "12");
+        assert_eq!(chips_from_env(7), 12);
+        std::env::set_var("EVAL_CHIPS", "0");
+        assert_eq!(chips_from_env(7), 7);
+        std::env::remove_var("EVAL_CHIPS");
+    }
+
+    #[test]
+    fn workload_env_parsing() {
+        std::env::set_var("EVAL_WORKLOADS", "swim, mcf");
+        let ws = workloads_from_env();
+        assert_eq!(ws.len(), 2);
+        std::env::remove_var("EVAL_WORKLOADS");
+        assert_eq!(workloads_from_env().len(), 16);
+    }
+}

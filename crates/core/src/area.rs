@@ -1,0 +1,97 @@
+//! Area accounting (Figure 7(d)).
+
+use crate::env::Environment;
+
+/// Additional area required by the EVAL support, as a percentage of the
+/// processor area.
+///
+/// # Example
+///
+/// ```
+/// use eval_core::{AreaBreakdown, Environment};
+/// let a = AreaBreakdown::for_environment(&Environment::TS_ASV_Q_FU);
+/// assert!((a.total_pct() - 10.6).abs() < 1e-9); // Figure 7(d)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Diva checker with its L0 caches and retirement queue.
+    pub checker_pct: f64,
+    /// ASV support (chip-external supplies; negligible).
+    pub asv_pct: f64,
+    /// ABB support (on-chip bias generators and networks).
+    pub abb_pct: f64,
+    /// Replicated integer ALU block.
+    pub int_alu_replica_pct: f64,
+    /// Replicated FP adder + multiplier.
+    pub fp_replica_pct: f64,
+    /// Issue-queue resizing (transmission gates; negligible).
+    pub queue_resize_pct: f64,
+    /// Hardware phase detector.
+    pub phase_detector_pct: f64,
+    /// Temperature/power sensors.
+    pub sensors_pct: f64,
+}
+
+impl AreaBreakdown {
+    /// Figure 7(d) values for an environment's enabled techniques. The
+    /// phase detector and sensors are part of the dynamic-adaptation
+    /// controller system and are included whenever any technique needs
+    /// runtime decisions (i.e. anything beyond `Baseline`/`NoVar`).
+    pub fn for_environment(env: &Environment) -> Self {
+        let adaptive = env.checker || env.has_voltage_control() || env.queue || env.fu_replication;
+        Self {
+            checker_pct: if env.checker { 7.0 } else { 0.0 },
+            asv_pct: 0.0,
+            abb_pct: if env.abb { 2.0 } else { 0.0 },
+            int_alu_replica_pct: if env.fu_replication { 0.7 } else { 0.0 },
+            fp_replica_pct: if env.fu_replication { 2.5 } else { 0.0 },
+            queue_resize_pct: 0.0,
+            phase_detector_pct: if adaptive { 0.3 } else { 0.0 },
+            sensors_pct: if adaptive { 0.1 } else { 0.0 },
+        }
+    }
+
+    /// Total overhead percentage.
+    pub fn total_pct(&self) -> f64 {
+        self.checker_pct
+            + self.asv_pct
+            + self.abb_pct
+            + self.int_alu_replica_pct
+            + self.fp_replica_pct
+            + self.queue_resize_pct
+            + self.phase_detector_pct
+            + self.sensors_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferred_configuration_costs_10_6_percent() {
+        // TS+ASV+Q+FU: checker 7.0 + replicas 0.7 + 2.5 + detector 0.3 +
+        // sensors 0.1 = 10.6 (Figure 7(d)).
+        let a = AreaBreakdown::for_environment(&Environment::TS_ASV_Q_FU);
+        assert!((a.total_pct() - 10.6).abs() < 1e-9, "got {}", a.total_pct());
+    }
+
+    #[test]
+    fn baseline_and_novar_cost_nothing() {
+        assert_eq!(
+            AreaBreakdown::for_environment(&Environment::BASELINE).total_pct(),
+            0.0
+        );
+        assert_eq!(
+            AreaBreakdown::for_environment(&Environment::NOVAR).total_pct(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn abb_adds_two_percent() {
+        let with = AreaBreakdown::for_environment(&Environment::ALL).total_pct();
+        let without = AreaBreakdown::for_environment(&Environment::TS_ASV_Q_FU).total_pct();
+        assert!((with - without - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,609 @@
+//! Per-chip state: variation maps turned into per-subsystem timing and
+//! power models, plus whole-core configuration evaluation.
+
+use eval_power::{solve_thermal, OperatingPoint, SubsystemPowerParams, ThermalEnvironment};
+use eval_timing::{
+    low_slope, resize_shift, OperatingConditions, PathClass, StageTiming,
+    LOW_SLOPE_POWER_AREA_FACTOR,
+};
+use eval_uarch::{SubsystemId, N_SUBSYSTEMS};
+use eval_variation::{ChipMap, VariationModel};
+
+use crate::config::EvalConfig;
+use crate::layout::Floorplan;
+use crate::subsystem::SubsystemDescriptor;
+
+/// Issue-queue variant choice for one queue (§3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueChoice {
+    /// Full capacity.
+    #[default]
+    Full,
+    /// 3/4 capacity (faster paths, slightly lower power, some IPC loss).
+    Small,
+}
+
+/// Functional-unit variant choice for one replicated FU (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FuChoice {
+    /// The original power-efficient implementation.
+    #[default]
+    Normal,
+    /// The low-slope replica: faster near-critical paths, +30% power.
+    LowSlope,
+}
+
+/// Which structure variant is enabled on each adaptable subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VariantSelection {
+    /// Integer ALU implementation.
+    pub int_fu: FuChoice,
+    /// FP adder/multiplier implementation.
+    pub fp_fu: FuChoice,
+    /// Integer issue-queue size.
+    pub int_queue: QueueChoice,
+    /// FP issue-queue size.
+    pub fp_queue: QueueChoice,
+}
+
+/// Power factor of a downsized queue (3/4 of the bits to clock/charge).
+const SMALL_QUEUE_POWER_FACTOR: f64 = 0.85;
+
+/// One subsystem on one manufactured core: its timing model (with
+/// mitigation variants where applicable) and power parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsystemState {
+    descriptor: SubsystemDescriptor,
+    timing: StageTiming,
+    /// Low-slope replica timing (replicable FUs only).
+    timing_low_slope: Option<StageTiming>,
+    /// Downsized-structure timing (issue queues only).
+    timing_small: Option<StageTiming>,
+    power: SubsystemPowerParams,
+    /// The sign-off error probability (per access) this subsystem was
+    /// timed to — its "error-free" criterion.
+    design_pe: f64,
+}
+
+impl SubsystemState {
+    fn build(
+        descriptor: SubsystemDescriptor,
+        timing: StageTiming,
+        config: &EvalConfig,
+        design_pe: f64,
+    ) -> Self {
+        let dist = timing.distribution();
+        let timing_low_slope = descriptor
+            .id
+            .is_replicable_fu()
+            .then(|| timing.with_distribution(low_slope(&dist)));
+        let timing_small = descriptor
+            .id
+            .is_issue_queue()
+            .then(|| timing.with_distribution(resize_shift(&dist)));
+        let power = SubsystemPowerParams {
+            kdyn_w: descriptor.kdyn_w(config.f_nominal_ghz),
+            ksta_nom_w: descriptor.sta_nom_w,
+            rth_c_per_w: descriptor.rth_c_per_w,
+            // The manufacturer's leakage-based tester measurement (§4.1),
+            // not the (unobservable) arithmetic mean over the footprint.
+            vt0: crate::tester::measure_vt0(&timing, &config.device),
+        };
+        Self {
+            descriptor,
+            timing,
+            timing_low_slope,
+            timing_small,
+            power,
+            design_pe,
+        }
+    }
+
+    /// Which subsystem this is.
+    pub fn id(&self) -> SubsystemId {
+        self.descriptor.id
+    }
+
+    /// The sign-off error probability per access (this subsystem's
+    /// "error-free" criterion; aggressively timed units have a looser one).
+    pub fn design_pe(&self) -> f64 {
+        self.design_pe
+    }
+
+    /// The static descriptor (kind, budgets).
+    pub fn descriptor(&self) -> &SubsystemDescriptor {
+        &self.descriptor
+    }
+
+    /// The tester-measured reference threshold voltage of this subsystem.
+    pub fn vt0(&self) -> f64 {
+        self.power.vt0
+    }
+
+    /// The timing model under the given variant selection.
+    pub fn timing(&self, variants: &VariantSelection) -> &StageTiming {
+        match self.descriptor.id {
+            SubsystemId::IntAlu if variants.int_fu == FuChoice::LowSlope => {
+                self.timing_low_slope.as_ref().expect("replicable FU")
+            }
+            SubsystemId::FpUnit if variants.fp_fu == FuChoice::LowSlope => {
+                self.timing_low_slope.as_ref().expect("replicable FU")
+            }
+            SubsystemId::IntQueue if variants.int_queue == QueueChoice::Small => {
+                self.timing_small.as_ref().expect("issue queue")
+            }
+            SubsystemId::FpQueue if variants.fp_queue == QueueChoice::Small => {
+                self.timing_small.as_ref().expect("issue queue")
+            }
+            _ => &self.timing,
+        }
+    }
+
+    /// Power parameters under the given variant selection (the low-slope
+    /// replica costs 30% more power; the downsized queue saves some).
+    pub fn power_params(&self, variants: &VariantSelection) -> SubsystemPowerParams {
+        let factor = match self.descriptor.id {
+            SubsystemId::IntAlu if variants.int_fu == FuChoice::LowSlope => {
+                LOW_SLOPE_POWER_AREA_FACTOR
+            }
+            SubsystemId::FpUnit if variants.fp_fu == FuChoice::LowSlope => {
+                LOW_SLOPE_POWER_AREA_FACTOR
+            }
+            SubsystemId::IntQueue if variants.int_queue == QueueChoice::Small => {
+                SMALL_QUEUE_POWER_FACTOR
+            }
+            SubsystemId::FpQueue if variants.fp_queue == QueueChoice::Small => {
+                SMALL_QUEUE_POWER_FACTOR
+            }
+            _ => 1.0,
+        };
+        SubsystemPowerParams {
+            kdyn_w: self.power.kdyn_w * factor,
+            ksta_nom_w: self.power.ksta_nom_w * factor,
+            ..self.power
+        }
+    }
+}
+
+/// Per-subsystem result of evaluating one candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemEvaluation {
+    /// Steady-state temperature, Celsius.
+    pub t_c: f64,
+    /// Total power, watts.
+    pub power_w: f64,
+    /// Contribution to the per-instruction error rate (`rho_i * PE_i`).
+    pub pe: f64,
+}
+
+/// Whole-core result of evaluating one candidate configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreEvaluation {
+    /// Per-subsystem detail, indexed by [`SubsystemId::index`].
+    pub subsystems: Vec<SubsystemEvaluation>,
+    /// Core + caches + uncore + checker power, watts.
+    pub total_power_w: f64,
+    /// Total errors per instruction at the evaluated frequency.
+    pub pe_per_instruction: f64,
+    /// Hottest subsystem temperature, Celsius.
+    pub max_t_c: f64,
+}
+
+/// Error: a candidate configuration is physically infeasible (thermal
+/// runaway in some subsystem).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfeasibleConfig {
+    /// The subsystem that diverged.
+    pub subsystem: SubsystemId,
+}
+
+impl std::fmt::Display for InfeasibleConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thermal runaway in subsystem {}", self.subsystem)
+    }
+}
+
+impl std::error::Error for InfeasibleConfig {}
+
+/// One core of a manufactured chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreModel {
+    index: usize,
+    subsystems: Vec<SubsystemState>,
+}
+
+impl CoreModel {
+    /// Core index on the chip (0..=3).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The state of one subsystem.
+    pub fn subsystem(&self, id: SubsystemId) -> &SubsystemState {
+        &self.subsystems[id.index()]
+    }
+
+    /// All subsystems in canonical order.
+    pub fn subsystems(&self) -> &[SubsystemState] {
+        &self.subsystems
+    }
+
+    /// The variation-safe frequency of this core at nominal conditions:
+    /// the largest frequency at which every subsystem still meets its own
+    /// sign-off criterion (its `design_pe`), **with the design guardband
+    /// preserved**. This is what a conventionally clocked `Baseline`
+    /// processor must run at; on a no-variation chip it equals the rated
+    /// nominal frequency by construction.
+    pub fn fvar_nominal(&self, _config: &EvalConfig) -> f64 {
+        let cond = OperatingConditions::nominal();
+        let physical = self
+            .subsystems
+            .iter()
+            .map(|s| {
+                s.timing(&VariantSelection::default())
+                    .max_frequency(&cond, s.design_pe())
+            })
+            .fold(f64::INFINITY, f64::min);
+        physical / (1.0 + eval_timing::DESIGN_GUARDBAND)
+    }
+
+    /// Evaluates a candidate configuration: per-subsystem operating points
+    /// (`f` shared, per-subsystem `Vdd`/`Vbb`), activity factors `alpha`
+    /// (accesses/cycle, for power) and `rho` (accesses/instruction, for
+    /// error weighting), and the structure variants.
+    ///
+    /// Returns power, temperature, and error-rate totals; constraint
+    /// checking is the caller's job (the optimizers treat different
+    /// violations differently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleConfig`] on thermal runaway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings` has the wrong length.
+    // The argument list mirrors the controller's sensed inputs (§4.1);
+    // bundling them would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate(
+        &self,
+        config: &EvalConfig,
+        th_c: f64,
+        f_ghz: f64,
+        settings: &[(f64, f64)],
+        alpha: &[f64; N_SUBSYSTEMS],
+        rho: &[f64; N_SUBSYSTEMS],
+        variants: &VariantSelection,
+    ) -> Result<CoreEvaluation, InfeasibleConfig> {
+        assert_eq!(settings.len(), N_SUBSYSTEMS, "one (Vdd, Vbb) per subsystem");
+        let mut subsystems = Vec::with_capacity(N_SUBSYSTEMS);
+        let mut total_power = config.uncore_power_w(f_ghz) + config.checker_w;
+        let mut total_pe = 0.0;
+        let mut max_t = th_c;
+        for (i, state) in self.subsystems.iter().enumerate() {
+            let (vdd, vbb) = settings[i];
+            let op = OperatingPoint { f_ghz, vdd, vbb };
+            let env = ThermalEnvironment {
+                th_c,
+                alpha_f: alpha[i],
+            };
+            let params = state.power_params(variants);
+            let sol = solve_thermal(&params, &env, &op, &config.device).map_err(|_| {
+                InfeasibleConfig {
+                    subsystem: state.id(),
+                }
+            })?;
+            let cond = OperatingConditions {
+                vdd,
+                vbb,
+                t_c: sol.t_c,
+            };
+            let pe = rho[i] * state.timing(variants).pe_access(f_ghz, &cond);
+            total_power += sol.total_w();
+            total_pe += pe;
+            max_t = max_t.max(sol.t_c);
+            subsystems.push(SubsystemEvaluation {
+                t_c: sol.t_c,
+                power_w: sol.total_w(),
+                pe,
+            });
+        }
+        Ok(CoreEvaluation {
+            subsystems,
+            total_power_w: total_power,
+            pe_per_instruction: total_pe,
+            max_t_c: max_t,
+        })
+    }
+}
+
+/// A chip generator that amortizes the one-time Cholesky factorization of
+/// the variation model over many sampled chips — use this (not repeated
+/// [`ChipModel::sample`] calls) for populations.
+#[derive(Debug, Clone)]
+pub struct ChipFactory {
+    config: EvalConfig,
+    model: VariationModel,
+}
+
+impl ChipFactory {
+    /// Builds the factory (performs the correlation-matrix factorization).
+    pub fn new(config: EvalConfig) -> Self {
+        let model = VariationModel::new(config.grid, config.variation);
+        Self { config, model }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Manufactures chip `seed` (cheap once the factory exists).
+    pub fn chip(&self, seed: u64) -> ChipModel {
+        ChipModel::from_map(&self.config, &self.model.sample_chip(seed))
+    }
+
+    /// The no-variation reference chip.
+    pub fn no_variation(&self) -> ChipModel {
+        ChipModel::no_variation(&self.config)
+    }
+
+    /// Iterates over a population of `count` chips derived from `base_seed`
+    /// (the paper's 100-chip Monte Carlo protocol).
+    pub fn population(
+        &self,
+        base_seed: u64,
+        count: usize,
+    ) -> impl Iterator<Item = ChipModel> + '_ {
+        (0..count as u64).map(move |i| self.chip(base_seed.wrapping_add(i * 0x9E37)))
+    }
+}
+
+/// A manufactured chip: four cores sampled from one variation map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipModel {
+    seed: u64,
+    cores: Vec<CoreModel>,
+}
+
+impl ChipModel {
+    /// Samples chip `seed` from the configured variation model.
+    ///
+    /// Convenience for one-off chips: this factorizes the correlation
+    /// matrix every call. Prefer [`ChipFactory`] when sampling many chips.
+    pub fn sample(config: &EvalConfig, seed: u64) -> Self {
+        ChipFactory::new(config.clone()).chip(seed)
+    }
+
+    /// Builds a chip from an existing variation map.
+    pub fn from_map(config: &EvalConfig, map: &ChipMap) -> Self {
+        let cores = (0..config.cores)
+            .map(|core_idx| {
+                let floorplan = Floorplan::new(config.grid, core_idx);
+                let subsystems = SubsystemDescriptor::all()
+                    .into_iter()
+                    .map(|desc| {
+                        let cells = floorplan.cells(desc.id);
+                        let mut class = PathClass::for_kind(desc.kind);
+                        if desc.id.is_replicable_fu() || desc.id.is_issue_queue() {
+                            class.design_pe = eval_timing::AGGRESSIVE_DESIGN_PE;
+                        }
+                        let timing = StageTiming::from_chip(
+                            &class,
+                            config.t_nominal_ns(),
+                            map,
+                            &cells,
+                            config.device,
+                            class.gates_per_path,
+                        );
+                        SubsystemState::build(desc, timing, config, class.design_pe)
+                    })
+                    .collect();
+                CoreModel {
+                    index: core_idx,
+                    subsystems,
+                }
+            })
+            .collect();
+        Self {
+            seed: map.seed,
+            cores,
+        }
+    }
+
+    /// The idealized no-variation reference chip (`NoVar` environment):
+    /// every subsystem sits exactly at nominal process parameters.
+    pub fn no_variation(config: &EvalConfig) -> Self {
+        let cores = (0..config.cores)
+            .map(|core_idx| {
+                let subsystems = SubsystemDescriptor::all()
+                    .into_iter()
+                    .map(|desc| {
+                        let mut class = PathClass::for_kind(desc.kind);
+                        if desc.id.is_replicable_fu() || desc.id.is_issue_queue() {
+                            class.design_pe = eval_timing::AGGRESSIVE_DESIGN_PE;
+                        }
+                        let dist = class.nominal_distribution(config.t_nominal_ns());
+                        let timing = StageTiming::from_parts(
+                            dist,
+                            &[(config.device.vt_nominal, config.device.leff_nominal)],
+                            config.device,
+                        );
+                        SubsystemState::build(desc, timing, config, class.design_pe)
+                    })
+                    .collect();
+                CoreModel {
+                    index: core_idx,
+                    subsystems,
+                }
+            })
+            .collect();
+        Self { seed: u64::MAX, cores }
+    }
+
+    /// The seed this chip was manufactured from (`u64::MAX` for `NoVar`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn core(&self, i: usize) -> &CoreModel {
+        &self.cores[i]
+    }
+
+    /// All cores.
+    pub fn cores(&self) -> &[CoreModel] {
+        &self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn config() -> EvalConfig {
+        EvalConfig::micro08()
+    }
+
+    fn factory() -> &'static ChipFactory {
+        static FACTORY: OnceLock<ChipFactory> = OnceLock::new();
+        FACTORY.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    fn uniform(v: f64) -> [f64; N_SUBSYSTEMS] {
+        [v; N_SUBSYSTEMS]
+    }
+
+    #[test]
+    fn novar_core_reaches_nominal_frequency() {
+        let cfg = config();
+        let chip = ChipModel::no_variation(&cfg);
+        let fvar = chip.core(0).fvar_nominal(&cfg);
+        assert!(
+            (fvar - cfg.f_nominal_ghz).abs() / cfg.f_nominal_ghz < 0.03,
+            "NoVar fvar = {fvar}"
+        );
+    }
+
+    #[test]
+    fn varied_chips_lose_frequency_on_average() {
+        let cfg = config();
+        let mut total = 0.0;
+        let n = 8;
+        for seed in 0..n {
+            let chip = factory().chip(seed);
+            total += chip.core(0).fvar_nominal(&cfg);
+        }
+        let mean = total / n as f64;
+        assert!(
+            mean < cfg.f_nominal_ghz * 0.95,
+            "mean fvar {mean} should be well below nominal"
+        );
+    }
+
+    #[test]
+    fn evaluation_reports_power_temperature_and_errors() {
+        let cfg = config();
+        let chip = factory().chip(3);
+        let core = chip.core(0);
+        let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+        let eval = core
+            .evaluate(
+                &cfg,
+                cfg.th_c,
+                4.2,
+                &settings,
+                &uniform(0.5),
+                &uniform(0.5),
+                &VariantSelection::default(),
+            )
+            .unwrap();
+        assert!(eval.total_power_w > 5.0 && eval.total_power_w < 60.0);
+        assert!(eval.max_t_c > cfg.th_c);
+        assert!(eval.pe_per_instruction >= 0.0);
+        assert_eq!(eval.subsystems.len(), N_SUBSYSTEMS);
+    }
+
+    #[test]
+    fn higher_frequency_raises_errors_and_power() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(5);
+        let core = chip.core(0);
+        let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+        let ev = |f: f64| {
+            core.evaluate(
+                &cfg,
+                cfg.th_c,
+                f,
+                &settings,
+                &uniform(0.5),
+                &uniform(0.5),
+                &VariantSelection::default(),
+            )
+            .unwrap()
+        };
+        let lo = ev(3.4);
+        let hi = ev(4.6);
+        assert!(hi.total_power_w > lo.total_power_w);
+        assert!(hi.pe_per_instruction >= lo.pe_per_instruction);
+    }
+
+    #[test]
+    fn low_slope_fu_helps_timing_but_costs_power() {
+        let chip = factory().chip(7);
+        let alu = chip.core(0).subsystem(SubsystemId::IntAlu);
+        let normal = VariantSelection::default();
+        let tilted = VariantSelection {
+            int_fu: FuChoice::LowSlope,
+            ..normal
+        };
+        let cond = OperatingConditions::nominal();
+        let f_normal = alu.timing(&normal).max_frequency(&cond, 1e-9);
+        let f_tilted = alu.timing(&tilted).max_frequency(&cond, 1e-9);
+        assert!(f_tilted > f_normal);
+        assert!(alu.power_params(&tilted).kdyn_w > alu.power_params(&normal).kdyn_w);
+    }
+
+    #[test]
+    fn small_queue_shifts_curve_right_and_saves_power() {
+        let chip = factory().chip(9);
+        let q = chip.core(0).subsystem(SubsystemId::IntQueue);
+        let normal = VariantSelection::default();
+        let small = VariantSelection {
+            int_queue: QueueChoice::Small,
+            ..normal
+        };
+        let cond = OperatingConditions::nominal();
+        assert!(
+            q.timing(&small).max_frequency(&cond, 1e-9)
+                > q.timing(&normal).max_frequency(&cond, 1e-9)
+        );
+        assert!(q.power_params(&small).kdyn_w < q.power_params(&normal).kdyn_w);
+    }
+
+    #[test]
+    fn variants_do_not_touch_other_subsystems() {
+        let chip = factory().chip(11);
+        let dcache = chip.core(0).subsystem(SubsystemId::Dcache);
+        let a = VariantSelection::default();
+        let b = VariantSelection {
+            int_fu: FuChoice::LowSlope,
+            fp_fu: FuChoice::LowSlope,
+            int_queue: QueueChoice::Small,
+            fp_queue: QueueChoice::Small,
+        };
+        assert_eq!(dcache.timing(&a), dcache.timing(&b));
+        assert_eq!(dcache.power_params(&a), dcache.power_params(&b));
+    }
+
+    #[test]
+    fn chips_are_reproducible() {
+        assert_eq!(factory().chip(42), factory().chip(42));
+    }
+}

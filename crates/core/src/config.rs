@@ -1,0 +1,82 @@
+//! Global configuration of the modeled system (Figure 7(a)).
+
+use eval_power::Constraints;
+use eval_variation::{ChipGrid, DeviceParams, VariationParams};
+
+/// All the knobs of the evaluation setup in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Nominal (no-variation) core frequency in GHz.
+    pub f_nominal_ghz: f64,
+    /// Number of cores on the CMP.
+    pub cores: usize,
+    /// Device-physics constants.
+    pub device: DeviceParams,
+    /// Process-variation statistics.
+    pub variation: VariationParams,
+    /// Operating constraints.
+    pub constraints: Constraints,
+    /// Chip grid for the variation maps.
+    pub grid: ChipGrid,
+    /// Heat-sink temperature assumed during campaigns, Celsius.
+    pub th_c: f64,
+    /// Core-level "uncore" (L2 + clock tree + interconnect) dynamic power
+    /// in watts at nominal frequency and voltage; scales with `f * Vdd^2`.
+    pub uncore_dyn_w: f64,
+    /// Uncore leakage in watts (not adapted).
+    pub uncore_sta_w: f64,
+    /// Checker power in watts (runs at a fixed safe point).
+    pub checker_w: f64,
+}
+
+impl EvalConfig {
+    /// The MICRO 2008 evaluation setup: 45 nm, 4 GHz and 1 V nominal,
+    /// four cores, `PMAX` 30 W / `TMAX` 85 C / `PEMAX` 1e-4.
+    pub fn micro08() -> Self {
+        Self {
+            f_nominal_ghz: 4.0,
+            cores: 4,
+            device: DeviceParams::micro08(),
+            variation: VariationParams::micro08(),
+            constraints: Constraints::micro08(),
+            grid: ChipGrid::default(),
+            th_c: 60.0,
+            uncore_dyn_w: 3.5,
+            uncore_sta_w: 2.0,
+            checker_w: 1.5,
+        }
+    }
+
+    /// Nominal clock period in nanoseconds.
+    pub fn t_nominal_ns(&self) -> f64 {
+        1.0 / self.f_nominal_ghz
+    }
+
+    /// Uncore power (W) at core frequency `f_ghz` (nominal-voltage domain).
+    pub fn uncore_power_w(&self, f_ghz: f64) -> f64 {
+        self.uncore_dyn_w * f_ghz / self.f_nominal_ghz + self.uncore_sta_w
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self::micro08()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_period_is_250ps() {
+        assert!((EvalConfig::micro08().t_nominal_ns() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncore_power_scales_with_frequency() {
+        let c = EvalConfig::micro08();
+        assert!(c.uncore_power_w(5.0) > c.uncore_power_w(4.0));
+        assert!((c.uncore_power_w(4.0) - (c.uncore_dyn_w + c.uncore_sta_w)).abs() < 1e-12);
+    }
+}

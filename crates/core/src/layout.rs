@@ -1,0 +1,156 @@
+//! Core floorplan: mapping subsystems onto variation-grid cells.
+//!
+//! The chip grid (default 32 x 32) is split into four core quadrants; each
+//! quadrant is tiled with the 15 subsystems. Footprint sizes are roughly
+//! proportional to real structure areas, so big SRAM arrays average over
+//! more systematic-variation cells than small functional units.
+
+use eval_uarch::SubsystemId;
+use eval_variation::ChipGrid;
+
+/// A subsystem's rectangle within a 16 x 16 core quadrant, in quadrant-local
+/// cell coordinates `[x0, x1) x [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadrantRect {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+/// The floorplan of one core within the chip grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    grid: ChipGrid,
+    core_index: usize,
+}
+
+/// Quadrant side in cells (the default grid is 32 x 32, cores get 16 x 16).
+const QUADRANT: usize = 16;
+
+/// The subsystem tiling of a quadrant (fractions of the 16 x 16 quadrant).
+fn rect_of(id: SubsystemId) -> QuadrantRect {
+    use SubsystemId::*;
+    let (x0, y0, x1, y1) = match id {
+        Icache => (0, 0, 6, 6),
+        Itlb => (6, 0, 8, 2),
+        BranchPred => (6, 2, 8, 6),
+        Decode => (8, 0, 12, 3),
+        IntMap => (12, 0, 14, 3),
+        FpMap => (14, 0, 16, 3),
+        IntQueue => (8, 3, 12, 6),
+        FpQueue => (12, 3, 16, 6),
+        IntReg => (0, 6, 3, 9),
+        FpReg => (3, 6, 6, 9),
+        IntAlu => (6, 6, 10, 9),
+        FpUnit => (10, 6, 16, 9),
+        LdStQueue => (0, 9, 4, 12),
+        Dtlb => (4, 9, 6, 12),
+        Dcache => (6, 9, 16, 16),
+    };
+    QuadrantRect { x0, y0, x1, y1 }
+}
+
+impl Floorplan {
+    /// Floorplan of core `core_index` (0..=3) on `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_index > 3` or the grid is smaller than 32 x 32.
+    pub fn new(grid: ChipGrid, core_index: usize) -> Self {
+        assert!(core_index < 4, "the CMP has four cores");
+        assert!(
+            grid.nx() >= 2 * QUADRANT && grid.ny() >= 2 * QUADRANT,
+            "grid must be at least 32 x 32"
+        );
+        Self { grid, core_index }
+    }
+
+    /// Grid-cell origin of this core's quadrant.
+    fn origin(&self) -> (usize, usize) {
+        let qx = self.core_index % 2;
+        let qy = self.core_index / 2;
+        // Scale the quadrant to the actual grid (supports larger grids).
+        (qx * self.grid.nx() / 2, qy * self.grid.ny() / 2)
+    }
+
+    /// Flat grid-cell indices covered by `id` in this core.
+    pub fn cells(&self, id: SubsystemId) -> Vec<usize> {
+        let r = rect_of(id);
+        let (ox, oy) = self.origin();
+        let sx = self.grid.nx() / 2;
+        let sy = self.grid.ny() / 2;
+        // Scale the 16 x 16 design rectangle to the quadrant size.
+        let scale = |v: usize, extent: usize| v * extent / QUADRANT;
+        let (x0, x1) = (ox + scale(r.x0, sx), ox + scale(r.x1, sx).max(scale(r.x0, sx) + 1));
+        let (y0, y1) = (oy + scale(r.y0, sy), oy + scale(r.y1, sy).max(scale(r.y0, sy) + 1));
+        self.grid.rect_cells(x0, y0, x1, y1)
+    }
+
+    /// Relative area of `id` (cells over total quadrant cells).
+    pub fn area_fraction(&self, id: SubsystemId) -> f64 {
+        let quadrant_cells = (self.grid.nx() / 2) * (self.grid.ny() / 2);
+        self.cells(id).len() as f64 / quadrant_cells as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsystem_rects_do_not_overlap() {
+        let g = ChipGrid::default();
+        let fp = Floorplan::new(g, 0);
+        let mut seen = std::collections::HashSet::new();
+        for id in SubsystemId::ALL {
+            for c in fp.cells(id) {
+                assert!(seen.insert(c), "cell {c} covered twice ({id})");
+            }
+        }
+    }
+
+    #[test]
+    fn cores_occupy_distinct_quadrants() {
+        let g = ChipGrid::default();
+        let mut all = std::collections::HashSet::new();
+        for core in 0..4 {
+            let fp = Floorplan::new(g, core);
+            for id in SubsystemId::ALL {
+                for c in fp.cells(id) {
+                    assert!(all.insert(c), "cell {c} shared between cores");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caches_are_biggest() {
+        let fp = Floorplan::new(ChipGrid::default(), 0);
+        let dcache = fp.area_fraction(SubsystemId::Dcache);
+        for id in SubsystemId::ALL {
+            if id != SubsystemId::Dcache {
+                assert!(dcache >= fp.area_fraction(id), "{id} bigger than dcache");
+            }
+        }
+        assert!(fp.area_fraction(SubsystemId::Itlb) < 0.05);
+    }
+
+    #[test]
+    fn every_subsystem_has_cells() {
+        let fp = Floorplan::new(ChipGrid::default(), 3);
+        for id in SubsystemId::ALL {
+            assert!(!fp.cells(id).is_empty(), "{id} has no cells");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "four cores")]
+    fn rejects_fifth_core() {
+        Floorplan::new(ChipGrid::default(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! The performance model of Equation 5.
+//!
+//! ```text
+//! Perf(f) = f / (CPIcomp + mr * mp(f) + PE(f) * rp)
+//! ```
+//!
+//! `CPIcomp`, `mr` and `rp` are frequency-independent to first order; the
+//! observed miss penalty `mp` grows with frequency (memory latency is fixed
+//! in nanoseconds) and `PE` grows steeply once past the error onset.
+
+/// Frequency-independent performance inputs of one phase.
+///
+/// # Example
+///
+/// ```
+/// use eval_core::PerfModel;
+/// let m = PerfModel::new(1.0, 0.004, 52.0, 21.0);
+/// // Error-free performance grows with frequency (sublinearly: memory
+/// // time is fixed in nanoseconds)...
+/// assert!(m.perf(4.4, 0.0) > m.perf(4.0, 0.0));
+/// // ...but a high error rate erases the gain (Figure 2(a)).
+/// assert!(m.perf(4.4, 0.05) < m.perf(4.0, 1e-6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// Computation CPI (includes L1 misses that hit L2).
+    pub cpi_comp: f64,
+    /// L2 misses per instruction.
+    pub mr: f64,
+    /// Non-overlapped miss penalty in nanoseconds.
+    pub mp_ns: f64,
+    /// Error recovery penalty in cycles.
+    pub rp_cycles: f64,
+}
+
+impl PerfModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or `cpi_comp` is zero.
+    pub fn new(cpi_comp: f64, mr: f64, mp_ns: f64, rp_cycles: f64) -> Self {
+        assert!(cpi_comp > 0.0, "computation CPI must be positive");
+        assert!(
+            mr >= 0.0 && mp_ns >= 0.0 && rp_cycles >= 0.0,
+            "penalties must be non-negative"
+        );
+        Self {
+            cpi_comp,
+            mr,
+            mp_ns,
+            rp_cycles,
+        }
+    }
+
+    /// Total CPI at `f_ghz` with error rate `pe` (errors/instruction).
+    pub fn cpi(&self, f_ghz: f64, pe: f64) -> f64 {
+        self.cpi_comp + self.mr * self.mp_ns * f_ghz + pe * self.rp_cycles
+    }
+
+    /// Performance in billions of instructions per second at `f_ghz` with
+    /// error rate `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_ghz <= 0` or `pe` is not in `[0, 1]`.
+    pub fn perf(&self, f_ghz: f64, pe: f64) -> f64 {
+        assert!(f_ghz > 0.0, "frequency must be positive");
+        assert!((0.0..=1.0).contains(&pe), "PE must be a probability");
+        f_ghz / self.cpi(f_ghz, pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerfModel {
+        PerfModel::new(1.0, 0.005, 52.0, 21.0)
+    }
+
+    #[test]
+    fn error_free_performance_grows_sublinearly_with_f() {
+        let m = model();
+        let p4 = m.perf(4.0, 0.0);
+        let p5 = m.perf(5.0, 0.0);
+        assert!(p5 > p4);
+        // Memory time fixed in ns means < linear scaling.
+        assert!(p5 / p4 < 5.0 / 4.0);
+    }
+
+    #[test]
+    fn small_pe_is_nearly_free_large_pe_kills_performance() {
+        // §4.1: PE = 1e-4 makes CPIrec negligible, PE = 1e-1 makes Perf drop.
+        let m = model();
+        let clean = m.perf(4.0, 0.0);
+        let ok = m.perf(4.0, 1e-4);
+        let bad = m.perf(4.0, 1e-1);
+        assert!((clean - ok) / clean < 0.002);
+        assert!(bad < clean * 0.55);
+    }
+
+    #[test]
+    fn memory_bound_phase_gains_less_from_frequency() {
+        let compute = PerfModel::new(1.0, 0.0005, 52.0, 21.0);
+        let membound = PerfModel::new(1.0, 0.02, 52.0, 21.0);
+        let gain = |m: &PerfModel| m.perf(5.0, 0.0) / m.perf(4.0, 0.0);
+        assert!(gain(&compute) > gain(&membound));
+    }
+
+    #[test]
+    fn cpi_decomposes() {
+        let m = model();
+        let f = 4.4;
+        let pe = 1e-3;
+        let total = m.cpi(f, pe);
+        assert!((total - (1.0 + 0.005 * 52.0 * f + pe * 21.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_pe() {
+        model().perf(4.0, 1.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dynamic pipeline retiming — the related-work baseline of §7.
+//!
+//! ReCycle-style proposals (Tiwari et al., ISCA 2007) tolerate variation by
+//! *redistributing slack among pipeline stages* with programmable clock
+//! skews: a slow stage borrows time from its faster neighbours, so the
+//! cycle time approaches the **average** stage delay instead of the
+//! **worst** one. Crucially, the processor still runs error-free at a safe
+//! frequency — no checker, no error-rate/power/frequency trade-off.
+//!
+//! The paper argues EVAL is the more powerful framework (its measured gains
+//! are 40% vs retiming's 10–20%); this module implements the retiming
+//! baseline so that comparison can be reproduced (`cargo run -p eval-bench
+//! --bin retiming`).
+
+use eval_timing::OperatingConditions;
+
+use crate::chip::{CoreModel, VariantSelection};
+use crate::config::EvalConfig;
+
+/// Result of applying time borrowing to one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetimingResult {
+    /// The conventional worst-stage frequency (the `Baseline`).
+    pub f_baseline_ghz: f64,
+    /// The retimed frequency with the given borrowing limit.
+    pub f_retimed_ghz: f64,
+    /// The ideal (unbounded-borrowing) frequency: the average-stage bound.
+    pub f_ideal_ghz: f64,
+}
+
+impl RetimingResult {
+    /// Speedup of bounded retiming over the worst-stage baseline.
+    pub fn speedup(&self) -> f64 {
+        self.f_retimed_ghz / self.f_baseline_ghz
+    }
+}
+
+/// Applies skew-based time borrowing to `core` at nominal conditions.
+///
+/// Each subsystem `i` has a sign-off critical period `t_i` (the inverse of
+/// its error-free frequency, guardband preserved). A stage can donate at
+/// most `borrow_limit` of the cycle to a neighbour, so the achievable
+/// period is bounded below by both the *mean* stage period (conservation
+/// of time around the pipeline loop) and the worst stage minus the
+/// borrowing allowance:
+///
+/// ```text
+/// T_retimed = max( mean_i(t_i),  max_i(t_i) - borrow_limit * T_nominal )
+/// ```
+///
+/// # Panics
+///
+/// Panics if `borrow_limit` is negative.
+pub fn retime_core(config: &EvalConfig, core: &CoreModel, borrow_limit: f64) -> RetimingResult {
+    assert!(borrow_limit >= 0.0, "borrowing allowance must be non-negative");
+    let cond = OperatingConditions::nominal();
+    let guard = 1.0 + eval_timing::DESIGN_GUARDBAND;
+    let periods: Vec<f64> = core
+        .subsystems()
+        .iter()
+        .map(|s| {
+            let f_phys = s
+                .timing(&VariantSelection::default())
+                .max_frequency(&cond, s.design_pe());
+            guard / f_phys
+        })
+        .collect();
+    let worst = periods.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+    let t_nom = config.t_nominal_ns();
+    let t_retimed = mean.max(worst - borrow_limit * t_nom);
+    RetimingResult {
+        f_baseline_ghz: 1.0 / worst,
+        f_retimed_ghz: 1.0 / t_retimed,
+        f_ideal_ghz: 1.0 / mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipFactory;
+    use std::sync::OnceLock;
+
+    fn factory() -> &'static ChipFactory {
+        static F: OnceLock<ChipFactory> = OnceLock::new();
+        F.get_or_init(|| ChipFactory::new(EvalConfig::micro08()))
+    }
+
+    #[test]
+    fn retiming_helps_but_is_bounded_by_the_mean() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(4);
+        let r = retime_core(&cfg, chip.core(0), 0.10);
+        assert!(r.f_retimed_ghz >= r.f_baseline_ghz);
+        assert!(r.f_retimed_ghz <= r.f_ideal_ghz + 1e-12);
+        assert!(r.f_ideal_ghz > r.f_baseline_ghz);
+    }
+
+    #[test]
+    fn zero_borrowing_is_the_baseline() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(5);
+        let r = retime_core(&cfg, chip.core(0), 0.0);
+        assert!((r.f_retimed_ghz - r.f_baseline_ghz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_borrowing_reaches_the_ideal() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(6);
+        let r = retime_core(&cfg, chip.core(0), 1.0);
+        assert!((r.f_retimed_ghz - r.f_ideal_ghz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retiming_gain_is_modest_on_average() {
+        // The paper's point: retiming recovers 10-20%, EVAL much more.
+        let cfg = factory().config().clone();
+        let mut total = 0.0;
+        let n = 8;
+        for chip in factory().population(300, n) {
+            total += retime_core(&cfg, chip.core(0), 0.10).speedup();
+        }
+        let mean = total / n as f64;
+        assert!(
+            mean > 1.02 && mean < 1.35,
+            "mean retiming speedup {mean} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn baseline_matches_fvar_nominal() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(7);
+        let r = retime_core(&cfg, chip.core(0), 0.1);
+        let fvar = chip.core(0).fvar_nominal(&cfg);
+        assert!(
+            (r.f_baseline_ghz - fvar).abs() / fvar < 1e-9,
+            "retiming baseline {} vs fvar {fvar}",
+            r.f_baseline_ghz
+        );
+    }
+}

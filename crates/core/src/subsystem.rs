@@ -1,0 +1,120 @@
+//! Static per-subsystem descriptors: kind, power constants, thermal
+//! resistance.
+//!
+//! The dynamic-power budgets are calibrated so that a core plus its caches
+//! consumes ≈25 W under a typical workload at the nominal 4 GHz / 1 V
+//! (Figure 12's `NoVar` bar), with roughly three quarters dynamic and one
+//! quarter leakage, distributed over subsystems in proportion to published
+//! Wattch/CACTI-style breakdowns.
+
+use eval_timing::SubsystemKind;
+use eval_uarch::SubsystemId;
+
+/// Time-invariant properties of one subsystem type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemDescriptor {
+    /// Which subsystem.
+    pub id: SubsystemId,
+    /// Path-distribution class (memory / mixed / logic) from Figure 7(b).
+    pub kind: SubsystemKind,
+    /// Dynamic power in watts at full activity (`alpha_f = 1`), nominal
+    /// voltage and frequency. `Kdyn` is derived from this.
+    pub dyn_w_at_full_activity: f64,
+    /// Leakage in watts at nominal `(Vt, Vdd, T)`.
+    pub sta_nom_w: f64,
+    /// Thermal resistance to the heat sink, C/W.
+    pub rth_c_per_w: f64,
+}
+
+impl SubsystemDescriptor {
+    /// Descriptor table for all 15 subsystems.
+    pub fn all() -> [SubsystemDescriptor; 15] {
+        use SubsystemId::*;
+        use SubsystemKind::*;
+        // (id, kind, dyn W @ alpha=1, leak W, Rth C/W)
+        let rows: [(SubsystemId, SubsystemKind, f64, f64, f64); 15] = [
+            (Dcache, Memory, 11.0, 1.30, 1.8),
+            (Dtlb, Memory, 2.0, 0.17, 9.0),
+            (FpQueue, Memory, 2.2, 0.30, 8.0),
+            (FpReg, Memory, 3.4, 0.37, 8.5),
+            (LdStQueue, Mixed, 4.4, 0.34, 8.0),
+            (FpUnit, Logic, 2.8, 0.55, 7.0),
+            (FpMap, Memory, 2.0, 0.20, 9.0),
+            (IntAlu, Logic, 3.0, 0.50, 8.0),
+            (IntReg, Memory, 3.0, 0.42, 8.5),
+            (IntQueue, Mixed, 2.6, 0.48, 8.0),
+            (IntMap, Memory, 2.6, 0.24, 9.0),
+            (Itlb, Memory, 0.8, 0.14, 9.0),
+            (Icache, Memory, 3.2, 1.10, 2.2),
+            (BranchPred, Mixed, 2.0, 0.27, 7.5),
+            (Decode, Logic, 2.2, 0.51, 7.0),
+        ];
+        rows.map(|(id, kind, dyn_w, sta_w, rth)| SubsystemDescriptor {
+            id,
+            kind,
+            dyn_w_at_full_activity: dyn_w,
+            sta_nom_w: sta_w,
+            rth_c_per_w: rth,
+        })
+    }
+
+    /// Descriptor for one subsystem.
+    pub fn of(id: SubsystemId) -> SubsystemDescriptor {
+        Self::all()[id.index()]
+    }
+
+    /// The `Kdyn` coefficient for `eval-power` (watts per unit activity at
+    /// 1 V and 1 GHz), derived from the full-activity budget at nominal
+    /// 4 GHz / 1 V.
+    pub fn kdyn_w(&self, f_nominal_ghz: f64) -> f64 {
+        self.dyn_w_at_full_activity / f_nominal_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_subsystems_in_order() {
+        for (i, d) in SubsystemDescriptor::all().iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn kinds_match_figure_7b() {
+        use SubsystemKind::*;
+        assert_eq!(SubsystemDescriptor::of(SubsystemId::Dcache).kind, Memory);
+        assert_eq!(SubsystemDescriptor::of(SubsystemId::IntQueue).kind, Mixed);
+        assert_eq!(SubsystemDescriptor::of(SubsystemId::IntAlu).kind, Logic);
+        assert_eq!(SubsystemDescriptor::of(SubsystemId::FpUnit).kind, Logic);
+        assert_eq!(SubsystemDescriptor::of(SubsystemId::BranchPred).kind, Mixed);
+        let memory = SubsystemDescriptor::all()
+            .iter()
+            .filter(|d| d.kind == Memory)
+            .count();
+        assert_eq!(memory, 9);
+    }
+
+    #[test]
+    fn power_budget_is_in_the_25w_ballpark() {
+        // At typical activity (~0.45 average) the dynamic budget should be
+        // in the high teens, leakage a few watts.
+        let dyn_total: f64 = SubsystemDescriptor::all()
+            .iter()
+            .map(|d| d.dyn_w_at_full_activity)
+            .sum();
+        let sta_total: f64 = SubsystemDescriptor::all().iter().map(|d| d.sta_nom_w).sum();
+        assert!((38.0..=52.0).contains(&dyn_total), "dyn = {dyn_total}");
+        assert!((6.0..=9.0).contains(&sta_total), "sta = {sta_total}");
+    }
+
+    #[test]
+    fn kdyn_derivation() {
+        let d = SubsystemDescriptor::of(SubsystemId::IntAlu);
+        let kdyn = d.kdyn_w(4.0);
+        // Pdyn at alpha=1, 1V, 4GHz recovers the budget.
+        assert!((kdyn * 4.0 - d.dyn_w_at_full_activity).abs() < 1e-12);
+    }
+}

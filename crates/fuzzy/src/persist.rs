@@ -1,0 +1,243 @@
+//! Persistence for trained controllers.
+//!
+//! The paper stores the trained rule matrices in "a reserved memory area"
+//! (~120 KB for the whole controller system, §5). This module provides an
+//! equivalent: a small, versioned, human-readable text format for saving
+//! and restoring [`FuzzyController`]s, so manufacturer-site training and
+//! deployment can live in different processes.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! fuzzy-controller v1
+//! rules <n> inputs <m>
+//! mu <m floats>        (n lines)
+//! sigma <m floats>     (n lines)
+//! y <n floats>
+//! ```
+
+use std::fmt;
+use std::num::ParseFloatError;
+
+use crate::controller::FuzzyController;
+
+/// Error while parsing a serialized controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The header line is missing or has the wrong version.
+    BadHeader,
+    /// A section is missing or truncated.
+    UnexpectedEnd {
+        /// What the parser was looking for.
+        expected: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The offending token.
+        token: String,
+    },
+    /// The declared dimensions are invalid (zero rules/inputs, or a row
+    /// has the wrong arity).
+    BadDimensions,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "missing or unsupported header"),
+            PersistError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input while reading {expected}")
+            }
+            PersistError::BadNumber { token } => write!(f, "invalid number {token:?}"),
+            PersistError::BadDimensions => write!(f, "invalid controller dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<ParseFloatError> for PersistError {
+    fn from(_: ParseFloatError) -> Self {
+        PersistError::BadNumber {
+            token: String::new(),
+        }
+    }
+}
+
+fn parse_floats(line: &str, want: usize) -> Result<Vec<f64>, PersistError> {
+    let vals: Result<Vec<f64>, _> = line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<f64>().map_err(|_| PersistError::BadNumber {
+                token: t.to_string(),
+            })
+        })
+        .collect();
+    let vals = vals?;
+    if vals.len() != want {
+        return Err(PersistError::BadDimensions);
+    }
+    Ok(vals)
+}
+
+impl FuzzyController {
+    /// Serializes the controller to the v1 text format.
+    ///
+    /// Uses full-precision hex-free decimal (`{:e}`) so a round trip is
+    /// bit-exact for finite values.
+    pub fn to_text(&self) -> String {
+        let n = self.rules();
+        let m = self.inputs();
+        let mut out = String::with_capacity(64 + n * m * 26);
+        out.push_str("fuzzy-controller v1\n");
+        out.push_str(&format!("rules {n} inputs {m}\n"));
+        let dump_matrix = |out: &mut String, name: &str, get: &dyn Fn(usize, usize) -> f64| {
+            for i in 0..n {
+                out.push_str(name);
+                for j in 0..m {
+                    out.push_str(&format!(" {:e}", get(i, j)));
+                }
+                out.push('\n');
+            }
+        };
+        dump_matrix(&mut out, "mu", &|i, j| self.mu_at(i, j));
+        dump_matrix(&mut out, "sigma", &|i, j| self.sigma_at(i, j));
+        out.push('y');
+        for i in 0..n {
+            out.push_str(&format!(" {:e}", self.outputs()[i]));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses a controller from the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<FuzzyController, PersistError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or(PersistError::BadHeader)?;
+        if header.trim() != "fuzzy-controller v1" {
+            return Err(PersistError::BadHeader);
+        }
+        let dims = lines.next().ok_or(PersistError::UnexpectedEnd {
+            expected: "dimensions",
+        })?;
+        let mut it = dims.split_whitespace();
+        let (n, m) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some("rules"), Some(n), Some("inputs"), Some(m)) => (
+                n.parse::<usize>().map_err(|_| PersistError::BadDimensions)?,
+                m.parse::<usize>().map_err(|_| PersistError::BadDimensions)?,
+            ),
+            _ => return Err(PersistError::BadDimensions),
+        };
+        if n == 0 || m == 0 {
+            return Err(PersistError::BadDimensions);
+        }
+        let mut read_matrix = |prefix: &'static str| -> Result<Vec<f64>, PersistError> {
+            let mut data = Vec::with_capacity(n * m);
+            for _ in 0..n {
+                let line = lines.next().ok_or(PersistError::UnexpectedEnd {
+                    expected: prefix,
+                })?;
+                let rest = line
+                    .strip_prefix(prefix)
+                    .ok_or(PersistError::UnexpectedEnd { expected: prefix })?;
+                data.extend(parse_floats(rest, m)?);
+            }
+            Ok(data)
+        };
+        let mu = read_matrix("mu")?;
+        let sigma = read_matrix("sigma")?;
+        let y_line = lines.next().ok_or(PersistError::UnexpectedEnd {
+            expected: "outputs",
+        })?;
+        let rest = y_line
+            .strip_prefix('y')
+            .ok_or(PersistError::UnexpectedEnd { expected: "outputs" })?;
+        let y = parse_floats(rest, n)?;
+        if sigma.iter().any(|&s| !(s > 0.0)) {
+            return Err(PersistError::BadDimensions);
+        }
+        Ok(FuzzyController::from_parts(m, mu, sigma, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainingConfig;
+
+    fn trained() -> FuzzyController {
+        let examples: Vec<(Vec<f64>, f64)> = (0..300)
+            .map(|i| {
+                let a = (i % 20) as f64 / 19.0;
+                let b = ((i / 20) % 15) as f64 / 14.0;
+                (vec![a, b], a * 0.5 + b * b)
+            })
+            .collect();
+        FuzzyController::train(&examples, &TrainingConfig::micro08(), 3).expect("trains")
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let fc = trained();
+        let text = fc.to_text();
+        let back = FuzzyController::from_text(&text).expect("parses");
+        assert_eq!(fc, back);
+        // And behaves identically.
+        for x in [[0.1, 0.9], [0.5, 0.5], [0.99, 0.01]] {
+            assert_eq!(fc.infer(&x), back.infer(&x));
+        }
+    }
+
+    #[test]
+    fn footprint_matches_papers_budget() {
+        // The paper's whole controller system fits in ~120 KB; one of our
+        // 25-rule controllers must be a small fraction of that.
+        let text = trained().to_text();
+        assert!(
+            text.len() < 8 * 1024,
+            "serialized controller is {} bytes",
+            text.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(
+            FuzzyController::from_text("fuzzy-controller v9\n"),
+            Err(PersistError::BadHeader)
+        );
+        assert_eq!(FuzzyController::from_text(""), Err(PersistError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let fc = trained();
+        let text = fc.to_text();
+        let cut = &text[..text.len() / 2];
+        assert!(FuzzyController::from_text(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_numbers() {
+        let fc = trained();
+        let text = fc.to_text().replacen("mu ", "mu xyz ", 1);
+        assert!(matches!(
+            FuzzyController::from_text(&text),
+            Err(PersistError::BadNumber { .. }) | Err(PersistError::BadDimensions)
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_sigma() {
+        let mut text = String::from("fuzzy-controller v1\nrules 1 inputs 1\n");
+        text.push_str("mu 0.5\nsigma 0\ny 1.0\n");
+        assert_eq!(
+            FuzzyController::from_text(&text),
+            Err(PersistError::BadDimensions)
+        );
+    }
+}

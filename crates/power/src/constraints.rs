@@ -1,0 +1,77 @@
+//! The constraint set of the optimization problem (§4.1).
+
+/// Operating constraints: "no point can be at T higher than TMAX, the
+/// processor power cannot be higher than PMAX, and the total processor PE
+/// cannot be higher than PEMAX" (§4.1), with the heat-sink limit TH_MAX
+/// from Figure 7(a).
+///
+/// # Example
+///
+/// ```
+/// use eval_power::Constraints;
+/// let c = Constraints::micro08();
+/// assert_eq!(c.p_max_w, 30.0);
+/// // The Freq/Power algorithms budget PE conservatively per subsystem:
+/// assert!(c.pe_budget_per_subsystem(15) < c.pe_max);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Maximum junction temperature, Celsius.
+    pub t_max_c: f64,
+    /// Maximum heat-sink temperature, Celsius.
+    pub th_max_c: f64,
+    /// Maximum per-processor power (core + L1 + L2), watts.
+    pub p_max_w: f64,
+    /// Maximum total error rate, errors per instruction.
+    pub pe_max: f64,
+}
+
+impl Constraints {
+    /// Figure 7(a): `PMAX = 30 W/proc`, `TMAX = 85 C`, `TH_MAX = 70 C`,
+    /// `PEMAX = 1e-4 err/inst`.
+    pub fn micro08() -> Self {
+        Self {
+            t_max_c: 85.0,
+            th_max_c: 70.0,
+            p_max_w: 30.0,
+            pe_max: 1e-4,
+        }
+    }
+
+    /// The per-subsystem error budget used by the Freq/Power algorithms:
+    /// the total budget conservatively split `PEMAX / n` over `n`
+    /// subsystems (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_subsystems` is zero.
+    pub fn pe_budget_per_subsystem(&self, n_subsystems: usize) -> f64 {
+        assert!(n_subsystems > 0, "need at least one subsystem");
+        self.pe_max / n_subsystems as f64
+    }
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self::micro08()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = Constraints::micro08();
+        assert_eq!(c.t_max_c, 85.0);
+        assert_eq!(c.p_max_w, 30.0);
+        assert_eq!(c.pe_max, 1e-4);
+    }
+
+    #[test]
+    fn per_subsystem_budget_splits_evenly() {
+        let c = Constraints::micro08();
+        assert!((c.pe_budget_per_subsystem(15) - 1e-4 / 15.0).abs() < 1e-20);
+    }
+}

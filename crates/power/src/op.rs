@@ -1,0 +1,61 @@
+//! Operating points: the knobs the adaptation outputs.
+
+/// One candidate setting of the per-subsystem actuators plus the core clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Core frequency in GHz.
+    pub f_ghz: f64,
+    /// Subsystem supply voltage in volts (ASV knob).
+    pub vdd: f64,
+    /// Subsystem body-bias voltage in volts (ABB knob; positive = forward).
+    pub vbb: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal design point: 4 GHz, 1 V, no body bias.
+    pub fn nominal() -> Self {
+        Self {
+            f_ghz: 4.0,
+            vdd: 1.0,
+            vbb: 0.0,
+        }
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} GHz / {:.0} mV / {:+.0} mV",
+            self.f_ghz,
+            self.vdd * 1e3,
+            self.vbb * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let op = OperatingPoint {
+            f_ghz: 4.3,
+            vdd: 1.05,
+            vbb: -0.1,
+        };
+        assert_eq!(op.to_string(), "4.3 GHz / 1050 mV / -100 mV");
+    }
+
+    #[test]
+    fn default_is_nominal() {
+        assert_eq!(OperatingPoint::default(), OperatingPoint::nominal());
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-subsystem power/thermal constants and the sensed environment.
+
+/// Per-subsystem constants measured or computed by the manufacturer and
+/// stored on chip (§4.1: "Rth, Kdyn, Ksta, and Vt0 are per-subsystem
+/// constants").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemPowerParams {
+    /// Dynamic-power coefficient in watts at `alpha_f = 1`, `Vdd = 1 V`,
+    /// `f = 1 GHz` (absorbs the switched capacitance `C` of Equation 7).
+    pub kdyn_w: f64,
+    /// Static power in watts at nominal `(Vt, Vdd, T)`; scaled by the
+    /// leakage factor of Equation 8 at other conditions.
+    pub ksta_nom_w: f64,
+    /// Thermal resistance to the heat sink in Celsius per watt (Equation 6).
+    pub rth_c_per_w: f64,
+    /// Reference threshold voltage in volts, as measured on the tester from
+    /// the subsystem's leakage at a known temperature.
+    pub vt0: f64,
+}
+
+impl SubsystemPowerParams {
+    /// Dynamic power (W) at activity `alpha_f`, supply `vdd` (V) and
+    /// frequency `f_ghz` — Equation 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is negative.
+    pub fn pdyn_w(&self, alpha_f: f64, vdd: f64, f_ghz: f64) -> f64 {
+        assert!(
+            alpha_f >= 0.0 && vdd >= 0.0 && f_ghz >= 0.0,
+            "power inputs must be non-negative"
+        );
+        self.kdyn_w * alpha_f * vdd * vdd * f_ghz
+    }
+}
+
+/// The dynamically sensed part of the controller inputs: the heat-sink
+/// temperature (one sensor, refreshed every few seconds) and the subsystem
+/// activity factor (performance counters, re-measured at each phase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalEnvironment {
+    /// Heat-sink temperature in Celsius.
+    pub th_c: f64,
+    /// Subsystem activity factor in accesses per cycle, `[0, 1]`-ish.
+    pub alpha_f: f64,
+}
+
+impl Default for ThermalEnvironment {
+    /// A warm heat sink (55 C) with a moderately active subsystem.
+    fn default() -> Self {
+        Self {
+            th_c: 55.0,
+            alpha_f: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdyn_scales_quadratically_with_vdd() {
+        let p = SubsystemPowerParams {
+            kdyn_w: 1.0,
+            ksta_nom_w: 0.0,
+            rth_c_per_w: 1.0,
+            vt0: 0.15,
+        };
+        let base = p.pdyn_w(1.0, 1.0, 4.0);
+        let boosted = p.pdyn_w(1.0, 1.2, 4.0);
+        assert!((boosted / base - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdyn_is_linear_in_activity_and_frequency() {
+        let p = SubsystemPowerParams {
+            kdyn_w: 0.7,
+            ksta_nom_w: 0.0,
+            rth_c_per_w: 1.0,
+            vt0: 0.15,
+        };
+        assert!((p.pdyn_w(0.5, 1.0, 4.0) * 2.0 - p.pdyn_w(1.0, 1.0, 4.0)).abs() < 1e-12);
+        assert!((p.pdyn_w(1.0, 1.0, 2.0) * 2.0 - p.pdyn_w(1.0, 1.0, 4.0)).abs() < 1e-12);
+    }
+}

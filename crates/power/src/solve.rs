@@ -1,0 +1,299 @@
+//! Damped fixed-point solver for the thermal/leakage feedback loop
+//! (Equations 6–9).
+
+use std::fmt;
+
+use eval_variation::{leakage_factor, DeviceParams};
+
+use crate::op::OperatingPoint;
+use crate::params::{SubsystemPowerParams, ThermalEnvironment};
+
+/// The converged operating state of one subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalSolution {
+    /// Steady-state subsystem temperature, Celsius.
+    pub t_c: f64,
+    /// Threshold voltage at that temperature and the applied biases, volts.
+    pub vt: f64,
+    /// Dynamic power, watts.
+    pub pdyn_w: f64,
+    /// Static (leakage) power, watts.
+    pub psta_w: f64,
+}
+
+impl ThermalSolution {
+    /// Total subsystem power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.pdyn_w + self.psta_w
+    }
+}
+
+/// Error: the leakage/temperature feedback diverged (thermal runaway) or
+/// the operating point is electrically invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalRunaway {
+    /// Temperature reached when the solver gave up, Celsius.
+    pub t_c: f64,
+}
+
+impl fmt::Display for ThermalRunaway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thermal runaway: temperature diverged past {:.0} C",
+            self.t_c
+        )
+    }
+}
+
+impl std::error::Error for ThermalRunaway {}
+
+/// Temperature ceiling beyond which the iteration is declared divergent.
+const T_RUNAWAY_C: f64 = 250.0;
+
+/// Solves the feedback system of Equations 6–9 for one subsystem.
+///
+/// Iterates `T -> Vt(T) -> Psta(T, Vt) -> T` with 0.5 damping until the
+/// temperature moves by less than 1e-6 C (typically < 30 iterations).
+///
+/// # Errors
+///
+/// Returns [`ThermalRunaway`] if the temperature diverges past 250 C —
+/// callers treat such operating points as violating `TMAX` by a wide margin.
+pub fn solve_thermal(
+    params: &SubsystemPowerParams,
+    env: &ThermalEnvironment,
+    op: &OperatingPoint,
+    device: &DeviceParams,
+) -> Result<ThermalSolution, ThermalRunaway> {
+    let pdyn = params.pdyn_w(env.alpha_f, op.vdd, op.f_ghz);
+    let mut t_c = env.th_c.max(device.t_ref_c * 0.5);
+    for _ in 0..200 {
+        let vt = device.vt_at(params.vt0, t_c, op.vdd, op.vbb);
+        let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_c);
+        let t_next = env.th_c + params.rth_c_per_w * (pdyn + psta);
+        if t_next > T_RUNAWAY_C || !t_next.is_finite() {
+            return Err(ThermalRunaway { t_c: t_next.min(1e6) });
+        }
+        let t_new = 0.5 * t_c + 0.5 * t_next;
+        if (t_new - t_c).abs() < 1e-6 {
+            let vt = device.vt_at(params.vt0, t_new, op.vdd, op.vbb);
+            let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_new);
+            return Ok(ThermalSolution {
+                t_c: t_new,
+                vt,
+                pdyn_w: pdyn,
+                psta_w: psta,
+            });
+        }
+        t_c = t_new;
+    }
+    // Slow but bounded convergence: accept the last iterate.
+    let vt = device.vt_at(params.vt0, t_c, op.vdd, op.vbb);
+    let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_c);
+    Ok(ThermalSolution {
+        t_c,
+        vt,
+        pdyn_w: pdyn,
+        psta_w: psta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SubsystemPowerParams {
+        SubsystemPowerParams {
+            kdyn_w: 0.4,
+            ksta_nom_w: 0.15,
+            rth_c_per_w: 6.0,
+            vt0: 0.150,
+        }
+    }
+
+    fn env() -> ThermalEnvironment {
+        ThermalEnvironment {
+            th_c: 55.0,
+            alpha_f: 0.8,
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_equation_6() {
+        let device = DeviceParams::micro08();
+        let op = OperatingPoint::nominal();
+        let sol = solve_thermal(&params(), &env(), &op, &device).unwrap();
+        let rhs = env().th_c + params().rth_c_per_w * sol.total_w();
+        assert!(
+            (sol.t_c - rhs).abs() < 1e-4,
+            "T = {} but TH + Rth*P = {}",
+            sol.t_c,
+            rhs
+        );
+    }
+
+    #[test]
+    fn higher_vdd_runs_hotter_and_leaks_more() {
+        let device = DeviceParams::micro08();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let boosted = solve_thermal(
+            &params(),
+            &env(),
+            &OperatingPoint {
+                vdd: 1.2,
+                ..OperatingPoint::nominal()
+            },
+            &device,
+        )
+        .unwrap();
+        assert!(boosted.t_c > base.t_c);
+        assert!(boosted.psta_w > base.psta_w);
+        assert!(boosted.pdyn_w > base.pdyn_w);
+    }
+
+    #[test]
+    fn forward_bias_increases_leakage() {
+        let device = DeviceParams::micro08();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let fbb = solve_thermal(
+            &params(),
+            &env(),
+            &OperatingPoint {
+                vbb: 0.5,
+                ..OperatingPoint::nominal()
+            },
+            &device,
+        )
+        .unwrap();
+        assert!(fbb.psta_w > base.psta_w);
+        assert!(fbb.vt < base.vt);
+    }
+
+    #[test]
+    fn reverse_bias_cuts_leakage() {
+        let device = DeviceParams::micro08();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let rbb = solve_thermal(
+            &params(),
+            &env(),
+            &OperatingPoint {
+                vbb: -0.5,
+                ..OperatingPoint::nominal()
+            },
+            &device,
+        )
+        .unwrap();
+        assert!(rbb.psta_w < base.psta_w);
+    }
+
+    #[test]
+    fn idle_subsystem_sits_near_heat_sink_temperature() {
+        let device = DeviceParams::micro08();
+        let quiet = ThermalEnvironment {
+            th_c: 45.0,
+            alpha_f: 0.0,
+        };
+        let tiny = SubsystemPowerParams {
+            kdyn_w: 0.4,
+            ksta_nom_w: 0.001,
+            rth_c_per_w: 2.0,
+            vt0: 0.150,
+        };
+        let sol = solve_thermal(&tiny, &quiet, &OperatingPoint::nominal(), &device).unwrap();
+        assert!(sol.pdyn_w == 0.0);
+        assert!(sol.t_c - quiet.th_c < 0.5);
+    }
+
+    #[test]
+    fn runaway_is_detected() {
+        let device = DeviceParams::micro08();
+        // Huge thermal resistance + strong leakage: diverges.
+        let bad = SubsystemPowerParams {
+            kdyn_w: 2.0,
+            ksta_nom_w: 5.0,
+            rth_c_per_w: 80.0,
+            vt0: 0.10,
+        };
+        let res = solve_thermal(
+            &bad,
+            &ThermalEnvironment {
+                th_c: 70.0,
+                alpha_f: 1.0,
+            },
+            &OperatingPoint {
+                f_ghz: 5.0,
+                vdd: 1.2,
+                vbb: 0.5,
+            },
+            &device,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn fixed_point_is_stable_across_restarts() {
+        // Solving twice gives the same answer (deterministic).
+        let device = DeviceParams::micro08();
+        let a = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let b = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The returned state always satisfies Equation 6 to solver
+        /// tolerance, for any plausible subsystem and operating point.
+        #[test]
+        fn prop_equation_6_residual(
+            kdyn in 0.1f64..1.5,
+            ksta in 0.01f64..0.8,
+            rth in 0.5f64..9.0,
+            vt0 in 0.18f64..0.32,
+            th in 40.0f64..70.0,
+            alpha in 0.0f64..1.0,
+            f in 2.4f64..5.6,
+            vdd in 0.8f64..1.2,
+            vbb in -0.5f64..0.5,
+        ) {
+            let device = eval_variation::DeviceParams::micro08();
+            let params = SubsystemPowerParams { kdyn_w: kdyn, ksta_nom_w: ksta, rth_c_per_w: rth, vt0 };
+            let env = ThermalEnvironment { th_c: th, alpha_f: alpha };
+            let op = OperatingPoint { f_ghz: f, vdd, vbb };
+            if let Ok(sol) = solve_thermal(&params, &env, &op, &device) {
+                let rhs = th + rth * sol.total_w();
+                prop_assert!((sol.t_c - rhs).abs() < 1e-3,
+                    "residual {} at T={}", (sol.t_c - rhs).abs(), sol.t_c);
+                prop_assert!(sol.t_c >= th - 1e-9);
+                prop_assert!(sol.pdyn_w >= 0.0 && sol.psta_w >= 0.0);
+            }
+        }
+
+        /// More activity never cools the subsystem down.
+        #[test]
+        fn prop_monotone_in_activity(
+            alpha_lo in 0.0f64..0.5,
+            delta in 0.01f64..0.5,
+            vdd in 0.8f64..1.2,
+        ) {
+            let device = eval_variation::DeviceParams::micro08();
+            let params = SubsystemPowerParams {
+                kdyn_w: 0.6, ksta_nom_w: 0.3, rth_c_per_w: 6.0, vt0: device.vt_nominal,
+            };
+            let op = OperatingPoint { f_ghz: 4.0, vdd, vbb: 0.0 };
+            let lo = solve_thermal(&params,
+                &ThermalEnvironment { th_c: 60.0, alpha_f: alpha_lo }, &op, &device);
+            let hi = solve_thermal(&params,
+                &ThermalEnvironment { th_c: 60.0, alpha_f: alpha_lo + delta }, &op, &device);
+            if let (Ok(lo), Ok(hi)) = (lo, hi) {
+                prop_assert!(hi.t_c >= lo.t_c - 1e-6);
+                prop_assert!(hi.total_w() >= lo.total_w() - 1e-9);
+            }
+        }
+    }
+}

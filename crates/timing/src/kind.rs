@@ -1,0 +1,163 @@
+//! Subsystem kinds and their nominal path-delay characteristics.
+
+use crate::paths::PathDistribution;
+
+/// The three subsystem types of the EVAL evaluation (Figure 7(b)).
+///
+/// The type determines the slope of the `PE(f)` curve: "memory subsystems,
+/// with their homogeneous paths, have a rapid error onset; logic subsystems
+/// have a wide variety of paths and produce a more gradual error onset;
+/// mixed subsystems fall between the two extremes" (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubsystemKind {
+    /// SRAM-dominated: caches, TLBs, register files, rename maps.
+    Memory,
+    /// Queues and predictors: CAM + logic.
+    Mixed,
+    /// Pure combinational logic: ALUs, FP units, decode.
+    Logic,
+}
+
+impl SubsystemKind {
+    /// All kinds, in display order.
+    pub const ALL: [SubsystemKind; 3] = [
+        SubsystemKind::Memory,
+        SubsystemKind::Mixed,
+        SubsystemKind::Logic,
+    ];
+
+    /// Short lowercase label ("memory", "mixed", "logic").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SubsystemKind::Memory => "memory",
+            SubsystemKind::Mixed => "mixed",
+            SubsystemKind::Logic => "logic",
+        }
+    }
+}
+
+impl std::fmt::Display for SubsystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Nominal (design-time, no-variation) path-delay statistics of a stage.
+///
+/// The stage is designed so that, at nominal process/voltage/temperature,
+/// its error rate at the nominal clock period equals the design sign-off
+/// target (`design_pe`, essentially error-free). Given the relative path
+/// spread `sigma_rel` and the effective number of independent critical
+/// paths `paths`, this pins the distribution mean below the period by the
+/// required number of sigmas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathClass {
+    /// Path-delay standard deviation relative to the mean.
+    pub sigma_rel: f64,
+    /// Effective number of independently failing critical paths per access.
+    pub paths: f64,
+    /// Sign-off error probability per access at the nominal period.
+    pub design_pe: f64,
+    /// Devices that dominate a path's delay: random per-transistor
+    /// variation averages down by `sqrt(gates_per_path)`. SRAM read paths
+    /// are dominated by the cell pair and sense amp (~2); logic paths by a
+    /// dozen gates.
+    pub gates_per_path: usize,
+}
+
+impl PathClass {
+    /// Canonical path statistics for a subsystem kind.
+    ///
+    /// Memory: many near-identical paths (narrow spread, sharp onset).
+    /// Logic: few highly optimized critical paths over a wide delay range.
+    pub fn for_kind(kind: SubsystemKind) -> Self {
+        match kind {
+            SubsystemKind::Memory => Self {
+                sigma_rel: 0.02,
+                paths: 4096.0,
+                design_pe: 1e-13,
+                gates_per_path: 2,
+            },
+            SubsystemKind::Mixed => Self {
+                sigma_rel: 0.05,
+                paths: 256.0,
+                design_pe: 1e-13,
+                gates_per_path: 6,
+            },
+            SubsystemKind::Logic => Self {
+                sigma_rel: 0.11,
+                paths: 64.0,
+                design_pe: 1e-13,
+                gates_per_path: 12,
+            },
+        }
+    }
+
+    /// Design margin in sigmas: the `z` such that
+    /// `paths * Q(z) = design_pe`.
+    pub fn design_margin_sigmas(&self) -> f64 {
+        let per_path = self.design_pe / self.paths;
+        eval_variation::inverse_normal_tail(per_path)
+    }
+
+    /// The nominal path-delay distribution for a stage clocked at
+    /// `t_nom_ns` (in nanoseconds): the stage signs off error-free at that
+    /// period *with the design guardband intact* — its physical worst path
+    /// sits at `t_nom / (1 + DESIGN_GUARDBAND)`. Conventionally clocked
+    /// processors (Baseline, NoVar) keep that margin against noise, aging
+    /// and unmodeled corners; timing-speculative environments spend it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_nom_ns` is not positive.
+    pub fn nominal_distribution(&self, t_nom_ns: f64) -> PathDistribution {
+        assert!(t_nom_ns > 0.0, "nominal period must be positive");
+        let z = self.design_margin_sigmas();
+        let physical_max = t_nom_ns / (1.0 + crate::DESIGN_GUARDBAND);
+        let mean = physical_max / (1.0 + z * self.sigma_rel);
+        PathDistribution::new(mean, mean * self.sigma_rel, self.paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_margin_grows_with_path_count() {
+        let mem = PathClass::for_kind(SubsystemKind::Memory);
+        let logic = PathClass::for_kind(SubsystemKind::Logic);
+        assert!(mem.design_margin_sigmas() > logic.design_margin_sigmas());
+        // Both are deep sign-off margins.
+        assert!(logic.design_margin_sigmas() > 6.0);
+    }
+
+    #[test]
+    fn nominal_distribution_signs_off_error_free() {
+        for kind in SubsystemKind::ALL {
+            let class = PathClass::for_kind(kind);
+            let d = class.nominal_distribution(0.25);
+            let pe = d.pe_at_period(0.25);
+            assert!(
+                pe < 10.0 * class.design_pe,
+                "{kind}: PE at nominal period = {pe}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_mean_is_closer_to_period_than_logic() {
+        // Narrow memory distributions sit close under the period; wide logic
+        // distributions need more headroom.
+        let mem = PathClass::for_kind(SubsystemKind::Memory).nominal_distribution(0.25);
+        let logic = PathClass::for_kind(SubsystemKind::Logic).nominal_distribution(0.25);
+        assert!(mem.mean_ns() > logic.mean_ns());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SubsystemKind::Memory.to_string(), "memory");
+        assert_eq!(SubsystemKind::Mixed.label(), "mixed");
+        assert_eq!(SubsystemKind::Logic.label(), "logic");
+    }
+}

@@ -1,0 +1,135 @@
+//! Error-mitigation transforms on the path-delay distribution (§3.3).
+//!
+//! * **Tilt** — the low-slope functional-unit replica: near-critical paths
+//!   are optimized, so the distribution's mean drops by 25 % while its
+//!   variance doubles (numbers from Augsburger & Nikolic, used by the
+//!   paper). Costs 30 % more power and area in that unit.
+//! * **Shift** — issue-queue downsizing to 3/4 capacity: shorter bitlines
+//!   speed every path up by a constant factor, shifting the `PE(f)` curve
+//!   right at no area cost (but at some IPC cost, handled by `eval-uarch`).
+
+use crate::paths::PathDistribution;
+
+/// Mean-delay factor of the low-slope replica (paper: "the mean decreases
+/// by 25%").
+pub const LOW_SLOPE_MEAN_FACTOR: f64 = 0.75;
+
+/// Variance factor of the low-slope replica (paper: "the variance doubles").
+pub const LOW_SLOPE_VARIANCE_FACTOR: f64 = 2.0;
+
+/// Power and area multiplier of the low-slope replica (paper: "consumes 30%
+/// more area and power").
+pub const LOW_SLOPE_POWER_AREA_FACTOR: f64 = 1.3;
+
+/// Delay factor applied to a downsized (3/4-capacity) SRAM structure:
+/// shorter buses to charge speed most paths up.
+pub const RESIZE_DELAY_FACTOR: f64 = 0.92;
+
+/// Capacity fraction of the downsized issue queue.
+pub const RESIZE_CAPACITY: f64 = 0.75;
+
+/// Side effects of enabling a mitigation technique on a subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationEffect {
+    /// Multiplier on the subsystem's dynamic and static power.
+    pub power_factor: f64,
+    /// Multiplier on the subsystem's area.
+    pub area_factor: f64,
+}
+
+impl MitigationEffect {
+    /// No side effects.
+    pub const NONE: MitigationEffect = MitigationEffect {
+        power_factor: 1.0,
+        area_factor: 1.0,
+    };
+
+    /// Side effects of the low-slope replica.
+    pub const LOW_SLOPE: MitigationEffect = MitigationEffect {
+        power_factor: LOW_SLOPE_POWER_AREA_FACTOR,
+        area_factor: LOW_SLOPE_POWER_AREA_FACTOR,
+    };
+}
+
+/// **Tilt**: the low-slope functional-unit replica's path distribution.
+///
+/// The mean drops by 25% and the *relative* variance (normalized to the
+/// mean) doubles — widening the transistors speeds the whole circuit up,
+/// so the absolute spread shrinks with the mean while the shape flattens.
+///
+/// # Example
+///
+/// ```
+/// use eval_timing::{low_slope, PathDistribution};
+/// let normal = PathDistribution::new(0.20, 0.02, 64.0);
+/// let ls = low_slope(&normal);
+/// assert!(ls.mean_ns() < normal.mean_ns());
+/// // Relative spread grows even though the absolute sigma shrank a bit.
+/// assert!(ls.sigma_ns() / ls.mean_ns() > normal.sigma_ns() / normal.mean_ns());
+/// ```
+pub fn low_slope(dist: &PathDistribution) -> PathDistribution {
+    PathDistribution::new(
+        dist.mean_ns() * LOW_SLOPE_MEAN_FACTOR,
+        dist.sigma_ns() * LOW_SLOPE_MEAN_FACTOR * LOW_SLOPE_VARIANCE_FACTOR.sqrt(),
+        dist.paths(),
+    )
+}
+
+/// **Shift**: the downsized SRAM structure's path distribution — every path
+/// sped up by [`RESIZE_DELAY_FACTOR`].
+pub fn resize_shift(dist: &PathDistribution) -> PathDistribution {
+    dist.scaled(RESIZE_DELAY_FACTOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PathDistribution {
+        PathDistribution::new(0.21, 0.012, 64.0)
+    }
+
+    #[test]
+    fn low_slope_reduces_pe_slope_but_keeps_tail_contained() {
+        // At a period near the original onset, the tilted unit is strictly
+        // better because its mean dropped far more than its sigma grew.
+        let d = base();
+        let ls = low_slope(&d);
+        let t = 0.24;
+        assert!(ls.pe_at_period(t) <= d.pe_at_period(t));
+    }
+
+    #[test]
+    fn low_slope_relative_variance_doubles() {
+        let d = base();
+        let ls = low_slope(&d);
+        let rel = |x: &PathDistribution| x.sigma_ns() / x.mean_ns();
+        let var_ratio = (rel(&ls) / rel(&d)).powi(2);
+        assert!((var_ratio - LOW_SLOPE_VARIANCE_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_slope_raises_error_free_frequency() {
+        // The replica lets a slow FU cycle faster at the same error budget.
+        let d = base();
+        let ls = low_slope(&d);
+        assert!(ls.max_error_free_frequency(1e-6) > d.max_error_free_frequency(1e-6));
+        assert!(ls.max_error_free_frequency(1e-12) > d.max_error_free_frequency(1e-12));
+    }
+
+    #[test]
+    fn resize_shifts_curve_right() {
+        let d = base();
+        let r = resize_shift(&d);
+        // Same PE is reached at a proportionally shorter period.
+        let f_d = d.max_error_free_frequency(1e-10);
+        let f_r = r.max_error_free_frequency(1e-10);
+        assert!((f_r / f_d - 1.0 / RESIZE_DELAY_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effects_expose_costs() {
+        assert_eq!(MitigationEffect::NONE.power_factor, 1.0);
+        assert!((MitigationEffect::LOW_SLOPE.area_factor - 1.3).abs() < 1e-12);
+    }
+}

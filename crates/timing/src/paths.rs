@@ -1,0 +1,223 @@
+//! Dynamic path-delay distributions and their error probabilities.
+
+use eval_variation::normal_tail;
+
+/// A Gaussian dynamic path-delay distribution for one pipeline stage
+/// (Figure 1(a)/(b) of the paper), together with the effective number of
+/// independently failing critical paths per access.
+///
+/// `PE` per access at clock period `t` is
+/// `1 - (1 - Q((t - mean)/sigma))^paths`, i.e. the probability that at least
+/// one exercised path misses the cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathDistribution {
+    mean_ns: f64,
+    sigma_ns: f64,
+    paths: f64,
+}
+
+impl PathDistribution {
+    /// Creates a distribution with the given mean and standard deviation in
+    /// nanoseconds and `paths` independent critical paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_ns <= 0`, `sigma_ns <= 0`, or `paths < 1`.
+    pub fn new(mean_ns: f64, sigma_ns: f64, paths: f64) -> Self {
+        assert!(mean_ns > 0.0, "path-delay mean must be positive");
+        assert!(sigma_ns > 0.0, "path-delay sigma must be positive");
+        assert!(paths >= 1.0, "at least one critical path required");
+        Self {
+            mean_ns,
+            sigma_ns,
+            paths,
+        }
+    }
+
+    /// Mean path delay in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+
+    /// Path-delay standard deviation in nanoseconds.
+    pub fn sigma_ns(&self) -> f64 {
+        self.sigma_ns
+    }
+
+    /// Effective number of independent critical paths per access.
+    pub fn paths(&self) -> f64 {
+        self.paths
+    }
+
+    /// Returns a copy with all path delays scaled by `factor`
+    /// (process/voltage/temperature slowdown or speedup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "delay scale factor must be positive");
+        Self {
+            mean_ns: self.mean_ns * factor,
+            sigma_ns: self.sigma_ns * factor,
+            paths: self.paths,
+        }
+    }
+
+    /// Returns a copy with extra *relative* Gaussian spread added in
+    /// quadrature (used for the random variation component, which widens
+    /// each path's delay without moving the mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_rel_sigma < 0`.
+    pub fn widened(&self, extra_rel_sigma: f64) -> Self {
+        assert!(extra_rel_sigma >= 0.0, "extra sigma must be non-negative");
+        let extra = self.mean_ns * extra_rel_sigma;
+        Self {
+            mean_ns: self.mean_ns,
+            sigma_ns: (self.sigma_ns * self.sigma_ns + extra * extra).sqrt(),
+            paths: self.paths,
+        }
+    }
+
+    /// Probability that a single path misses period `t_ns`.
+    pub fn single_path_miss(&self, t_ns: f64) -> f64 {
+        normal_tail((t_ns - self.mean_ns) / self.sigma_ns)
+    }
+
+    /// Error probability per access at clock period `t_ns`:
+    /// at least one of the `paths` exercised paths misses the cycle.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eval_timing::PathDistribution;
+    /// let d = PathDistribution::new(0.20, 0.01, 64.0);
+    /// // Clocked with lots of slack: error-free.
+    /// assert!(d.pe_at_period(0.30) < 1e-12);
+    /// // Clocked at the mean: half the paths miss, PE saturates at 1.
+    /// assert!(d.pe_at_period(0.20) > 0.999);
+    /// ```
+    pub fn pe_at_period(&self, t_ns: f64) -> f64 {
+        let q = self.single_path_miss(t_ns);
+        if q <= 0.0 {
+            return 0.0;
+        }
+        if q >= 1.0 {
+            return 1.0;
+        }
+        // 1 - (1-q)^n computed stably for tiny q.
+        -(self.paths * (-q).ln_1p()).exp_m1()
+    }
+
+    /// Error probability per access at frequency `f_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_ghz <= 0`.
+    pub fn pe_at_frequency(&self, f_ghz: f64) -> f64 {
+        assert!(f_ghz > 0.0, "frequency must be positive");
+        self.pe_at_period(1.0 / f_ghz)
+    }
+
+    /// Maximum error-free frequency in GHz: the largest `f` whose per-access
+    /// error probability stays at or below `pe_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pe_threshold < 1`.
+    pub fn max_error_free_frequency(&self, pe_threshold: f64) -> f64 {
+        assert!(
+            pe_threshold > 0.0 && pe_threshold < 1.0,
+            "threshold must be a probability in (0, 1)"
+        );
+        // Invert: q = pe_threshold/paths (small-q regime), then
+        // t = mean + sigma * Q^{-1}(q)  =>  f = 1/t.
+        let per_path = -(-pe_threshold).ln_1p() / self.paths;
+        let per_path = per_path.clamp(1e-300, 0.999_999);
+        let z = eval_variation::inverse_normal_tail(per_path);
+        1.0 / (self.mean_ns + self.sigma_ns * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pe_is_monotone_in_frequency() {
+        let d = PathDistribution::new(0.21, 0.012, 256.0);
+        let mut prev = 0.0;
+        for k in 0..100 {
+            let f = 3.0 + k as f64 * 0.05;
+            let pe = d.pe_at_frequency(f);
+            assert!(pe >= prev - 1e-18, "PE decreased at f={f}");
+            prev = pe;
+        }
+    }
+
+    #[test]
+    fn more_paths_means_more_errors() {
+        let few = PathDistribution::new(0.21, 0.012, 16.0);
+        let many = PathDistribution::new(0.21, 0.012, 1024.0);
+        assert!(many.pe_at_period(0.24) > few.pe_at_period(0.24));
+    }
+
+    #[test]
+    fn scaled_shifts_onset() {
+        let d = PathDistribution::new(0.20, 0.01, 64.0);
+        let slow = d.scaled(1.1);
+        assert!(slow.pe_at_period(0.24) > d.pe_at_period(0.24));
+        let fast = d.scaled(0.9);
+        assert!(fast.pe_at_period(0.24) < d.pe_at_period(0.24));
+    }
+
+    #[test]
+    fn widened_increases_tail_errors() {
+        let d = PathDistribution::new(0.20, 0.01, 64.0);
+        let wide = d.widened(0.05);
+        assert!(wide.sigma_ns() > d.sigma_ns());
+        assert!(wide.pe_at_period(0.26) > d.pe_at_period(0.26));
+    }
+
+    #[test]
+    fn max_error_free_frequency_is_consistent() {
+        let d = PathDistribution::new(0.20, 0.01, 256.0);
+        let f = d.max_error_free_frequency(1e-12);
+        let pe_at = d.pe_at_frequency(f);
+        let pe_above = d.pe_at_frequency(f * 1.02);
+        assert!(pe_at <= 1e-11, "PE at threshold frequency = {pe_at}");
+        assert!(pe_above > pe_at);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pe_in_unit_interval(
+            mean in 0.05f64..1.0,
+            sigma_rel in 0.005f64..0.3,
+            paths in 1.0f64..1e5,
+            t in 0.01f64..2.0,
+        ) {
+            let d = PathDistribution::new(mean, mean * sigma_rel, paths);
+            let pe = d.pe_at_period(t);
+            prop_assert!((0.0..=1.0).contains(&pe));
+        }
+
+        #[test]
+        fn prop_scaling_commutes_with_period(
+            mean in 0.1f64..0.5,
+            sigma_rel in 0.01f64..0.2,
+            factor in 0.5f64..2.0,
+            t in 0.1f64..1.0,
+        ) {
+            // Scaling delays by k and evaluating at t equals evaluating the
+            // original at t/k.
+            let d = PathDistribution::new(mean, mean * sigma_rel, 128.0);
+            let a = d.scaled(factor).pe_at_period(t);
+            let b = d.pe_at_period(t / factor);
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.max(b)));
+        }
+    }
+}

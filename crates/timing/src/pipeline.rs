@@ -1,0 +1,186 @@
+//! Series-failure composition of an n-stage pipeline (Equation 4).
+
+use crate::stage::{OperatingConditions, StageTiming};
+
+/// An `n`-stage pipeline viewed as a series failure system: each stage `i`
+/// fails independently with `PE_i(f)` per access and is exercised `rho_i`
+/// times by the average instruction, so
+/// `PE(f) = sum_i rho_i * PE_i(f)` errors per instruction (Equation 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineErrorModel {
+    stages: Vec<(f64, StageTiming)>,
+}
+
+impl PipelineErrorModel {
+    /// Creates the model from `(activity_factor, stage)` pairs, where the
+    /// activity factor `rho_i` is the number of accesses per instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or any activity factor is negative.
+    pub fn new(stages: Vec<(f64, StageTiming)>) -> Self {
+        assert!(!stages.is_empty(), "pipeline must have at least one stage");
+        assert!(
+            stages.iter().all(|(rho, _)| *rho >= 0.0),
+            "activity factors must be non-negative"
+        );
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Borrow the stages and their activity factors.
+    pub fn stages(&self) -> &[(f64, StageTiming)] {
+        &self.stages
+    }
+
+    /// Errors **per instruction** at `f_ghz` with every stage under the same
+    /// conditions.
+    pub fn pe_uniform(&self, f_ghz: f64, cond: &OperatingConditions) -> f64 {
+        self.stages
+            .iter()
+            .map(|(rho, s)| rho * s.pe_access(f_ghz, cond))
+            .sum()
+    }
+
+    /// Errors **per instruction** at `f_ghz` with per-stage conditions
+    /// (fine-grain ASV/ABB: each subsystem has its own `Vdd`, `Vbb`, `T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conds.len() != self.len()`.
+    pub fn pe_per_stage(&self, f_ghz: f64, conds: &[OperatingConditions]) -> f64 {
+        assert_eq!(
+            conds.len(),
+            self.stages.len(),
+            "one condition set per stage"
+        );
+        self.stages
+            .iter()
+            .zip(conds)
+            .map(|((rho, s), c)| rho * s.pe_access(f_ghz, c))
+            .sum()
+    }
+
+    /// The variation-safe frequency `fvar`: the largest `f` whose error rate
+    /// per instruction stays at or below `pe_threshold` with all stages under
+    /// `cond`. This is the frequency a `Baseline` (no-error-tolerance)
+    /// processor must run at.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pe_threshold < 1`.
+    pub fn fvar_uniform(&self, cond: &OperatingConditions, pe_threshold: f64) -> f64 {
+        assert!(
+            pe_threshold > 0.0 && pe_threshold < 1.0,
+            "threshold must be a probability in (0, 1)"
+        );
+        let (mut lo, mut hi) = (0.25f64, 40.0f64);
+        if self.pe_uniform(lo, cond) > pe_threshold {
+            return lo;
+        }
+        for _ in 0..70 {
+            let mid = 0.5 * (lo + hi);
+            if self.pe_uniform(mid, cond) <= pe_threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{PathClass, SubsystemKind};
+    use eval_variation::{ChipGrid, DeviceParams, VariationModel, VariationParams};
+
+    fn pipeline(seed: u64) -> PipelineErrorModel {
+        let model = VariationModel::new(ChipGrid::square(8), VariationParams::micro08());
+        let chip = model.sample_chip(seed);
+        let device = DeviceParams::micro08();
+        let mk = |kind, cells: std::ops::Range<usize>| {
+            StageTiming::from_chip(
+                &PathClass::for_kind(kind),
+                0.25,
+                &chip,
+                &cells.collect::<Vec<_>>(),
+                device,
+                12,
+            )
+        };
+        PipelineErrorModel::new(vec![
+            (1.0, mk(SubsystemKind::Memory, 0..8)),
+            (0.5, mk(SubsystemKind::Logic, 8..16)),
+            (0.3, mk(SubsystemKind::Mixed, 16..24)),
+        ])
+    }
+
+    #[test]
+    fn pipeline_pe_is_sum_of_weighted_stage_pes() {
+        let p = pipeline(1);
+        let cond = OperatingConditions::nominal();
+        let f = 4.4;
+        let direct: f64 = p
+            .stages()
+            .iter()
+            .map(|(rho, s)| rho * s.pe_access(f, &cond))
+            .sum();
+        assert!((p.pe_uniform(f, &cond) - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fvar_is_below_weakest_stage_threshold() {
+        let p = pipeline(2);
+        let cond = OperatingConditions::nominal();
+        let fvar = p.fvar_uniform(&cond, 1e-12);
+        // At fvar the pipeline meets the threshold; 3% above it does not.
+        assert!(p.pe_uniform(fvar, &cond) <= 1e-12 * 1.01);
+        assert!(p.pe_uniform(fvar * 1.03, &cond) > 1e-12);
+    }
+
+    #[test]
+    fn per_stage_conditions_allow_reshaping() {
+        let p = pipeline(3);
+        let f = p.fvar_uniform(&OperatingConditions::nominal(), 1e-12) * 1.05;
+        let nominal = vec![OperatingConditions::nominal(); p.len()];
+        let pe_before = p.pe_per_stage(f, &nominal);
+        // Boost every stage's supply: errors must not increase.
+        let boosted = vec![
+            OperatingConditions {
+                vdd: 1.15,
+                ..OperatingConditions::nominal()
+            };
+            p.len()
+        ];
+        let pe_after = p.pe_per_stage(f, &boosted);
+        assert!(pe_after <= pe_before);
+    }
+
+    #[test]
+    fn zero_activity_stage_contributes_nothing() {
+        let model = VariationModel::new(ChipGrid::square(8), VariationParams::micro08());
+        let chip = model.sample_chip(4);
+        let device = DeviceParams::micro08();
+        let stage = StageTiming::from_chip(
+            &PathClass::for_kind(SubsystemKind::Memory),
+            0.25,
+            &chip,
+            &[0, 1, 2],
+            device,
+            12,
+        );
+        let p = PipelineErrorModel::new(vec![(0.0, stage)]);
+        assert_eq!(p.pe_uniform(6.0, &OperatingConditions::nominal()), 0.0);
+    }
+}

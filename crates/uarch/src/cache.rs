@@ -1,0 +1,296 @@
+//! Set-associative caches with LRU replacement and the two-level hierarchy
+//! of the modeled core (Figure 7(a): round trips of 2 cycles to L1,
+//! 8 to L2 and 208 to memory at the nominal 4 GHz).
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The modeled 64 KB, 2-way, 64 B-line L1.
+    pub fn l1() -> Self {
+        Self {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+        }
+    }
+
+    /// The modeled 1 MB, 8-way, 64 B-line private L2.
+    pub fn l2() -> Self {
+        Self {
+            size_bytes: 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tags are stored per set together with an LRU ordering (most recent
+/// first). Capacities in this model are small enough that a simple vector
+/// scan per set is faster than fancier structures.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets x ways` tags, `u64::MAX` = invalid; each set ordered MRU-first.
+    tags: Vec<u64>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/sets or line size
+    /// not a power of two).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0, "cache needs at least one way");
+        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        assert!(config.sets() > 0, "cache needs at least one set");
+        Self {
+            config,
+            tags: vec![u64::MAX; config.sets() * config.ways],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks `addr` up, fills on miss, updates LRU. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let sets = self.config.sets() as u64;
+        let set = (line % sets) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways;
+        let base = set * ways;
+        let slot = self.tags[base..base + ways].iter().position(|&t| t == tag);
+        match slot {
+            Some(pos) => {
+                // Move to MRU position.
+                self.tags[base..base + pos + 1].rotate_right(1);
+                true
+            }
+            None => {
+                self.misses += 1;
+                // Evict LRU (last), insert at MRU (first).
+                self.tags[base..base + ways].rotate_right(1);
+                self.tags[base] = tag;
+                false
+            }
+        }
+    }
+
+    /// Forgets all contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+/// Where a memory access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the L1 data cache.
+    L1Hit,
+    /// Missed L1, hit the private L2.
+    L2Hit,
+    /// Missed both levels; went to memory.
+    Mem,
+}
+
+impl AccessOutcome {
+    /// Round-trip latency in cycles at the nominal 4 GHz (Figure 7(a)).
+    pub fn latency_cycles(&self) -> u32 {
+        match self {
+            AccessOutcome::L1Hit => 2,
+            AccessOutcome::L2Hit => 8,
+            AccessOutcome::Mem => 208,
+        }
+    }
+}
+
+/// A private L1 + L2 hierarchy for one core.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Creates the modeled L1 + L2 pair.
+    pub fn new() -> Self {
+        Self {
+            l1: Cache::new(CacheConfig::l1()),
+            l2: Cache::new(CacheConfig::l2()),
+        }
+    }
+
+    /// Performs an access, filling both levels on the way.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        if self.l1.access(addr) {
+            AccessOutcome::L1Hit
+        } else if self.l2.access(addr) {
+            AccessOutcome::L2Hit
+        } else {
+            AccessOutcome::Mem
+        }
+    }
+
+    /// L2 misses so far (the `mr` numerator of Equation 5).
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// L1 statistics (accesses, misses).
+    pub fn l1_stats(&self) -> (u64, u64) {
+        (self.l1.accesses(), self.l1.misses())
+    }
+
+    /// Forgets contents and statistics of both levels.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheConfig::l1());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1038)); // same 64B line
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way cache: touch three lines mapping to the same set.
+        let cfg = CacheConfig {
+            size_bytes: 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+        };
+        let mut c = Cache::new(cfg);
+        // One set only: every line maps to set 0.
+        c.access(0); // miss, [0]
+        c.access(64); // miss, [1,0]
+        assert!(c.access(0)); // hit, [0,1]
+        c.access(128); // miss, evicts 1 -> [2,0]
+        assert!(c.access(0), "0 was MRU, must survive");
+        assert!(!c.access(64), "1 was LRU, must be gone");
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_misses_to_l2() {
+        let mut h = Hierarchy::new();
+        let lines = 4 * 1024; // 256 KB working set > 64 KB L1, < 1 MB L2
+        for round in 0..3 {
+            let mut l1_hits = 0;
+            let mut l2_hits = 0;
+            for i in 0..lines {
+                match h.access(i * 64) {
+                    AccessOutcome::L1Hit => l1_hits += 1,
+                    AccessOutcome::L2Hit => l2_hits += 1,
+                    AccessOutcome::Mem => {}
+                }
+            }
+            if round > 0 {
+                assert!(l2_hits > l1_hits, "L2 should capture the working set");
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_match_figure_7a() {
+        assert_eq!(AccessOutcome::L1Hit.latency_cycles(), 2);
+        assert_eq!(AccessOutcome::L2Hit.latency_cycles(), 8);
+        assert_eq!(AccessOutcome::Mem.latency_cycles(), 208);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut h = Hierarchy::new();
+        h.access(0x2000);
+        h.reset();
+        assert_eq!(h.l2_misses(), 0);
+        assert_eq!(h.access(0x2000), AccessOutcome::Mem);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// An access immediately repeated always hits, and the miss count
+        /// never exceeds the access count.
+        #[test]
+        fn prop_rehit_and_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+            let mut c = Cache::new(CacheConfig::l1());
+            for &a in &addrs {
+                let _ = c.access(a);
+                prop_assert!(c.access(a), "immediate re-access of {a:#x} missed");
+            }
+            prop_assert!(c.misses() <= c.accesses());
+            prop_assert_eq!(c.accesses(), 2 * addrs.len() as u64);
+        }
+
+        /// A working set smaller than associativity * 1 set never conflicts:
+        /// after the first pass, everything hits.
+        #[test]
+        fn prop_small_working_set_fits(start in 0u64..1_000) {
+            let mut h = Hierarchy::new();
+            let lines: Vec<u64> = (0..256).map(|i| (start + i) * 64).collect();
+            for &a in &lines {
+                let _ = h.access(a);
+            }
+            for &a in &lines {
+                prop_assert_eq!(h.access(a), AccessOutcome::L1Hit);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Diva-style checker: error tolerance via retirement-time verification.
+//!
+//! The paper's timing-speculation substrate (§3.1, Figure 7(c)): a simple
+//! in-order checker clocked at a safe 3.5 GHz verifies results as the main
+//! core retires them. On a timing error, "recovery involves taking the
+//! result from the checker, flushing the pipeline, and restarting it from
+//! the instruction that follows the faulty one" — so the recovery penalty
+//! `rp` equals the branch-misprediction penalty.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::core::CoreConfig;
+
+/// Cycles to refill the window after a flush, beyond the front-end depth.
+const REFILL_CYCLES: u32 = 8;
+
+/// The recovery-cost model of Equation 5's `CPIrec = PE * rp` term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Recovery penalty per error, in cycles.
+    pub rp_cycles: f64,
+}
+
+impl RecoveryModel {
+    /// Derives `rp` from the core configuration: pipeline flush plus refill
+    /// (the Diva-style retirement checker of §3.1 — recovery equals a
+    /// branch misprediction).
+    pub fn from_config(config: &CoreConfig) -> Self {
+        Self {
+            rp_cycles: f64::from(config.branch_penalty() + REFILL_CYCLES),
+        }
+    }
+
+    /// Razor-style in-situ recovery (§3.1's alternative: "augment the
+    /// pipeline stages or functional units with error checking hardware").
+    /// Shadow latches catch the late edge locally, so recovery is a short
+    /// pipeline-local replay instead of a full flush.
+    pub fn razor() -> Self {
+        Self { rp_cycles: 5.0 }
+    }
+
+    /// Expected recovery cycles per instruction at error rate `pe`
+    /// (errors/instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in `[0, 1]`.
+    pub fn cpi_rec(&self, pe: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&pe), "PE must be a probability");
+        pe * self.rp_cycles
+    }
+}
+
+/// A Diva-like checker for the main core.
+///
+/// Tracks the core-wide error count (the `PE` counter the controller system
+/// reads, §4.3.2) and can stochastically replay a committed-instruction
+/// window to measure actual recovery cost.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// Checker clock in GHz (sped up with ASV so it is error-free).
+    pub f_checker_ghz: f64,
+    /// Checker commit width (wide-issue thanks to its simplicity).
+    pub width: usize,
+    recovery: RecoveryModel,
+    errors_detected: u64,
+    instructions_checked: u64,
+}
+
+impl Checker {
+    /// The evaluation checker: 3.5 GHz, 4-wide.
+    pub fn micro08(config: &CoreConfig) -> Self {
+        Self {
+            f_checker_ghz: 3.5,
+            width: 4,
+            recovery: RecoveryModel::from_config(config),
+            errors_detected: 0,
+            instructions_checked: 0,
+        }
+    }
+
+    /// The recovery model in use.
+    pub fn recovery(&self) -> RecoveryModel {
+        self.recovery
+    }
+
+    /// Whether the checker can keep up with the main core retiring `ipc`
+    /// instructions per cycle at `f_core_ghz`: its verification bandwidth
+    /// must cover the core's retirement bandwidth.
+    pub fn sustains(&self, ipc: f64, f_core_ghz: f64) -> bool {
+        ipc * f_core_ghz <= self.width as f64 * self.f_checker_ghz
+    }
+
+    /// Simulates checking `n` instructions at per-instruction error rate
+    /// `pe`; every detected error costs `rp` recovery cycles. Returns the
+    /// extra cycles incurred. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in `[0, 1]`.
+    pub fn check_window(&mut self, n: u64, pe: f64, seed: u64) -> u64 {
+        assert!((0.0..=1.0).contains(&pe), "PE must be a probability");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut extra = 0u64;
+        for _ in 0..n {
+            self.instructions_checked += 1;
+            if pe > 0.0 && rng.gen::<f64>() < pe {
+                self.errors_detected += 1;
+                extra += self.recovery.rp_cycles as u64;
+            }
+        }
+        extra
+    }
+
+    /// Observed error rate since construction (the controller's `PE`
+    /// sensor reading).
+    pub fn observed_pe(&self) -> f64 {
+        if self.instructions_checked == 0 {
+            0.0
+        } else {
+            self.errors_detected as f64 / self.instructions_checked as f64
+        }
+    }
+
+    /// Errors detected since construction.
+    pub fn errors_detected(&self) -> u64 {
+        self.errors_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rp_matches_branch_penalty_plus_refill() {
+        let config = CoreConfig::micro08();
+        let r = RecoveryModel::from_config(&config);
+        assert_eq!(r.rp_cycles, f64::from(config.branch_penalty() + 8));
+    }
+
+    #[test]
+    fn extra_stage_raises_rp() {
+        let mut config = CoreConfig::micro08();
+        let base = RecoveryModel::from_config(&config).rp_cycles;
+        config.extra_fu_stage = true;
+        assert_eq!(RecoveryModel::from_config(&config).rp_cycles, base + 1.0);
+    }
+
+    #[test]
+    fn simulated_recovery_matches_analytic_expectation() {
+        let config = CoreConfig::micro08();
+        let mut checker = Checker::micro08(&config);
+        let n = 2_000_000;
+        let pe = 1e-3;
+        let extra = checker.check_window(n, pe, 42);
+        let expect = checker.recovery().cpi_rec(pe) * n as f64;
+        let rel = (extra as f64 - expect).abs() / expect;
+        assert!(rel < 0.10, "simulated {extra} vs expected {expect}");
+        let obs = checker.observed_pe();
+        assert!((obs / pe - 1.0).abs() < 0.10, "observed PE {obs}");
+    }
+
+    #[test]
+    fn error_free_window_costs_nothing() {
+        let config = CoreConfig::micro08();
+        let mut checker = Checker::micro08(&config);
+        assert_eq!(checker.check_window(10_000, 0.0, 1), 0);
+        assert_eq!(checker.observed_pe(), 0.0);
+    }
+
+    #[test]
+    fn checker_bandwidth_covers_evaluated_range() {
+        let checker = Checker::micro08(&CoreConfig::micro08());
+        // 3-wide core, even at the top of the frequency ladder.
+        assert!(checker.sustains(2.5, 5.6));
+        // But an absurd retirement rate exceeds it.
+        assert!(!checker.sustains(4.0, 5.6));
+    }
+}
+
+#[cfg(test)]
+mod razor_tests {
+    use super::*;
+
+    #[test]
+    fn razor_recovery_is_cheaper_per_error() {
+        let diva = RecoveryModel::from_config(&CoreConfig::micro08());
+        let razor = RecoveryModel::razor();
+        assert!(razor.rp_cycles < diva.rp_cycles);
+        // At the PEMAX operating point both are negligible (<< 1% CPI)...
+        assert!(diva.cpi_rec(1e-4) < 0.01);
+        // ...but past the cliff Razor tolerates an order of magnitude more
+        // errors for the same recovery CPI.
+        let budget = 0.1; // cycles/instruction spent on recovery
+        let pe_diva = budget / diva.rp_cycles;
+        let pe_razor = budget / razor.rp_cycles;
+        assert!(pe_razor > 3.0 * pe_diva);
+    }
+}

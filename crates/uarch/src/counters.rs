@@ -1,0 +1,161 @@
+//! Performance counters: per-subsystem activity factors.
+//!
+//! The controller needs, for each of the 15 subsystems, the activity factor
+//! `alpha_f` in accesses per cycle (Equation 7's utilization input) and the
+//! per-instruction exercise rate `rho` (Equation 4's weighting of stage
+//! error rates). Both are derived from the committed-instruction mix of a
+//! simulation window, "with performance counters similar to those already
+//! available" (§4.1).
+
+use crate::core::CoreStats;
+use crate::subsystem::{SubsystemId, N_SUBSYSTEMS};
+
+/// Per-subsystem activity measured over one simulation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityVector {
+    /// Accesses per cycle per port, in `[0, 1]`, indexed by
+    /// [`SubsystemId::index`].
+    pub alpha_f: [f64; N_SUBSYSTEMS],
+    /// Accesses per committed instruction, indexed by [`SubsystemId::index`].
+    pub rho: [f64; N_SUBSYSTEMS],
+}
+
+/// Number of ports each subsystem can serve per cycle (used to convert raw
+/// access counts into `[0, 1]` utilizations). Functional units switch (and
+/// burn power) per issued operation, so they are *not* divided by their
+/// replica count — this is what makes them the power-density hotspots the
+/// paper observes (§6.2: "the FUs and issue queues routinely form
+/// hotspots").
+fn ports(s: SubsystemId) -> f64 {
+    match s {
+        SubsystemId::Dcache | SubsystemId::Dtlb | SubsystemId::LdStQueue => 2.0,
+        SubsystemId::Icache | SubsystemId::Itlb | SubsystemId::BranchPred => 1.0,
+        SubsystemId::Decode | SubsystemId::IntMap => 3.0,
+        SubsystemId::IntAlu | SubsystemId::FpUnit => 1.0,
+        SubsystemId::FpMap => 2.0,
+        SubsystemId::IntQueue => 3.0,
+        SubsystemId::FpQueue => 1.0,
+        SubsystemId::IntReg => 6.0,
+        SubsystemId::FpReg => 4.0,
+    }
+}
+
+impl ActivityVector {
+    /// Derives the activity vector from a window's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (no cycles or instructions).
+    pub fn from_stats(stats: &CoreStats) -> Self {
+        assert!(
+            stats.cycles > 0 && stats.instructions > 0,
+            "cannot derive activity from an empty window"
+        );
+        let k = &stats.kind_counts;
+        let int_alu_ops = (k[0] + k[1] + k[6]) as f64; // alu + mul + branch
+        let fp_ops = (k[2] + k[3]) as f64;
+        let mem_ops = (k[4] + k[5]) as f64;
+        let int_side = (k[0] + k[1] + k[4] + k[5] + k[6]) as f64;
+        let instrs = stats.instructions as f64;
+        let branches = stats.branches as f64;
+
+        let count = |s: SubsystemId| -> f64 {
+            match s {
+                SubsystemId::Dcache | SubsystemId::Dtlb | SubsystemId::LdStQueue => mem_ops,
+                SubsystemId::Icache | SubsystemId::Itlb | SubsystemId::Decode => instrs,
+                SubsystemId::BranchPred => branches,
+                SubsystemId::IntQueue | SubsystemId::IntMap => int_side,
+                SubsystemId::IntAlu => int_alu_ops,
+                SubsystemId::IntReg => 2.0 * int_side,
+                SubsystemId::FpQueue | SubsystemId::FpMap => fp_ops,
+                SubsystemId::FpUnit => fp_ops,
+                SubsystemId::FpReg => 2.0 * fp_ops,
+            }
+        };
+
+        let mut alpha_f = [0.0; N_SUBSYSTEMS];
+        let mut rho = [0.0; N_SUBSYSTEMS];
+        for s in SubsystemId::ALL {
+            let c = count(s);
+            alpha_f[s.index()] = (c / (stats.cycles as f64 * ports(s))).clamp(0.0, 1.0);
+            rho[s.index()] = c / instrs;
+        }
+        Self { alpha_f, rho }
+    }
+
+    /// Activity factor of one subsystem (accesses/cycle/port).
+    pub fn alpha(&self, s: SubsystemId) -> f64 {
+        self.alpha_f[s.index()]
+    }
+
+    /// Per-instruction exercise rate of one subsystem.
+    pub fn rho_of(&self, s: SubsystemId) -> f64 {
+        self.rho[s.index()]
+    }
+
+    /// Element-wise maximum — the conservative "worst-case activity" vector
+    /// a static (non-adaptive) configuration must assume.
+    pub fn max_with(&self, other: &ActivityVector) -> ActivityVector {
+        let mut out = *self;
+        for i in 0..N_SUBSYSTEMS {
+            out.alpha_f[i] = out.alpha_f[i].max(other.alpha_f[i]);
+            out.rho[i] = out.rho[i].max(other.rho[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreConfig, OooCore, QueueSize};
+    use crate::trace::TraceGenerator;
+    use crate::workload::Workload;
+
+    fn stats_for(name: &str) -> CoreStats {
+        let w = Workload::by_name(name).unwrap();
+        let mut core = OooCore::new(CoreConfig {
+            queue_size: QueueSize::Full,
+            ..CoreConfig::micro08()
+        });
+        let mut t = TraceGenerator::new(&w, 21).peekable();
+        core.run(&mut t, 5_000);
+        core.run(&mut t, 20_000)
+    }
+
+    #[test]
+    fn alphas_are_utilizations() {
+        let v = ActivityVector::from_stats(&stats_for("swim"));
+        for s in SubsystemId::ALL {
+            let a = v.alpha(s);
+            assert!((0.0..=1.0).contains(&a), "{s}: alpha {a}");
+        }
+    }
+
+    #[test]
+    fn fp_workload_exercises_fp_side_int_workload_does_not() {
+        let fp = ActivityVector::from_stats(&stats_for("mgrid"));
+        let int = ActivityVector::from_stats(&stats_for("crafty"));
+        assert!(fp.alpha(SubsystemId::FpUnit) > 0.1);
+        assert_eq!(int.alpha(SubsystemId::FpUnit), 0.0);
+        assert!(int.alpha(SubsystemId::IntAlu) > fp.alpha(SubsystemId::IntAlu));
+    }
+
+    #[test]
+    fn rho_of_fetch_side_is_about_one() {
+        let v = ActivityVector::from_stats(&stats_for("gzip"));
+        assert!((v.rho_of(SubsystemId::Icache) - 1.0).abs() < 1e-9);
+        assert!((v.rho_of(SubsystemId::Decode) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_with_is_elementwise() {
+        let a = ActivityVector::from_stats(&stats_for("swim"));
+        let b = ActivityVector::from_stats(&stats_for("crafty"));
+        let m = a.max_with(&b);
+        for s in SubsystemId::ALL {
+            assert!(m.alpha(s) >= a.alpha(s));
+            assert!(m.alpha(s) >= b.alpha(s));
+        }
+    }
+}

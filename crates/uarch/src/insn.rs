@@ -1,0 +1,108 @@
+//! Instruction representation for the synthetic traces.
+
+/// Operation class of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Floating-point add/sub.
+    FpAdd,
+    /// Floating-point multiply (also stands in for divide in the mix).
+    FpMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl Kind {
+    /// Execution latency in cycles once issued (memory kinds add cache time).
+    pub fn latency(&self) -> u32 {
+        match self {
+            Kind::IntAlu => 1,
+            Kind::IntMul => 3,
+            Kind::FpAdd => 2,
+            Kind::FpMul => 4,
+            Kind::Load => 0,  // cache hierarchy supplies the latency
+            Kind::Store => 1, // retire-time store; address generation only
+            Kind::Branch => 1,
+        }
+    }
+
+    /// Whether the instruction executes on the floating-point side.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, Kind::FpAdd | Kind::FpMul)
+    }
+
+    /// Whether the instruction references memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Kind::Load | Kind::Store)
+    }
+}
+
+/// One dynamic instruction in a synthetic trace.
+///
+/// Register dependences are encoded positionally: `dep1`/`dep2` give the
+/// distance (in dynamic instructions) back to the producer of each source
+/// operand, or 0 for "no dependence / ready at dispatch".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// Operation class.
+    pub kind: Kind,
+    /// Distance to first source's producer (0 = none).
+    pub dep1: u32,
+    /// Distance to second source's producer (0 = none).
+    pub dep2: u32,
+    /// Memory address (loads/stores; line-aligned by the cache model).
+    pub addr: u64,
+    /// Branch outcome (branches only).
+    pub taken: bool,
+    /// Static basic-block id (feeds the BBV phase detector and gshare).
+    pub bb_id: u32,
+}
+
+impl Instruction {
+    /// A no-dependence single-cycle ALU op — useful as filler in tests.
+    pub fn nop(bb_id: u32) -> Self {
+        Self {
+            kind: Kind::IntAlu,
+            dep1: 0,
+            dep2: 0,
+            addr: 0,
+            taken: false,
+            bb_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(Kind::IntMul.latency() > Kind::IntAlu.latency());
+        assert!(Kind::FpMul.latency() > Kind::FpAdd.latency());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Kind::FpAdd.is_fp());
+        assert!(!Kind::Load.is_fp());
+        assert!(Kind::Load.is_mem());
+        assert!(Kind::Store.is_mem());
+        assert!(!Kind::Branch.is_mem());
+    }
+
+    #[test]
+    fn nop_is_dependence_free() {
+        let n = Instruction::nop(3);
+        assert_eq!(n.dep1, 0);
+        assert_eq!(n.dep2, 0);
+        assert_eq!(n.bb_id, 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Workload profiling: distilling a program into the per-phase inputs of
+//! the EVAL adaptation layer.
+//!
+//! This mirrors the paper's measurement protocol (§4.3.3): at each phase,
+//! counters estimate the activity factor of every subsystem and `CPIcomp`
+//! under both issue-queue configurations; the L2 miss rate and observed
+//! miss penalty parameterize the `mr * mp(f)` term of Equation 5.
+
+use crate::checker::RecoveryModel;
+use crate::core::{CoreConfig, OooCore, QueueSize};
+use crate::counters::ActivityVector;
+use crate::subsystem::N_SUBSYSTEMS;
+use crate::trace::TraceGenerator;
+use crate::workload::{Workload, WorkloadClass};
+
+/// Frequency the fixed cache/memory latencies are expressed at (GHz).
+pub const SIM_FREQ_GHZ: f64 = 4.0;
+
+/// The measured behaviour of one program phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase index within the workload.
+    pub index: usize,
+    /// Fraction of the workload's instructions spent in this phase.
+    pub weight: f64,
+    /// Computation CPI with the full-size issue queue.
+    pub cpi_comp_full: f64,
+    /// Computation CPI with the 3/4-size issue queue.
+    pub cpi_comp_small: f64,
+    /// L2 misses per instruction.
+    pub mr: f64,
+    /// Observed non-overlapped L2 miss penalty in nanoseconds (frequency
+    /// independent; multiply by `f` to get cycles — `mp(f)` grows with `f`).
+    pub mp_ns: f64,
+    /// Per-subsystem activity (with the full queue).
+    pub activity: ActivityVector,
+}
+
+impl PhaseProfile {
+    /// Computation CPI under the given queue sizing.
+    pub fn cpi_comp(&self, size: QueueSize) -> f64 {
+        match size {
+            QueueSize::Full => self.cpi_comp_full,
+            QueueSize::ThreeQuarters => self.cpi_comp_small,
+        }
+    }
+
+    /// Per-instruction subsystem exercise rates (Equation 4 weights).
+    pub fn rho(&self) -> &[f64; N_SUBSYSTEMS] {
+        &self.activity.rho
+    }
+}
+
+/// The complete profile of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: &'static str,
+    /// Integer or FP program.
+    pub class: WorkloadClass,
+    /// Diva recovery penalty in cycles (frequency independent).
+    pub rp_cycles: f64,
+    /// Per-phase measurements, in program order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl WorkloadProfile {
+    /// Instruction-weighted mean over phases of an extractor function.
+    pub fn weighted<F: Fn(&PhaseProfile) -> f64>(&self, f: F) -> f64 {
+        self.phases.iter().map(|p| p.weight * f(p)).sum()
+    }
+
+    /// The conservative worst-case activity vector across phases, which a
+    /// static configuration must provision for.
+    pub fn worst_case_activity(&self) -> ActivityVector {
+        let mut iter = self.phases.iter();
+        let first = iter.next().expect("profiles have phases").activity;
+        iter.fold(first, |acc, p| acc.max_with(&p.activity))
+    }
+}
+
+/// Measures one phase in isolation: warm-up, then a measurement window.
+fn measure_phase(
+    workload: &Workload,
+    phase_idx: usize,
+    queue: QueueSize,
+    budget: u64,
+    seed: u64,
+) -> (f64, f64, f64, ActivityVector) {
+    // Re-create the workload consisting of just this phase, long enough for
+    // warm-up plus measurement.
+    let mut phase = workload.phases[phase_idx];
+    let warmup = (budget / 2).max(2_000);
+    phase.instructions = warmup + budget;
+    let single = Workload {
+        name: workload.name,
+        class: workload.class,
+        phases: vec![phase],
+    };
+    let config = CoreConfig {
+        queue_size: queue,
+        ..CoreConfig::micro08()
+    };
+    let mut core = OooCore::new(config);
+    // Bring the phase's resident working set into the hierarchy first —
+    // the measurement window is far shorter than one pass over the warm
+    // set, so without this every warm access would be a compulsory miss.
+    core.warm_caches(single.phases[0].footprint());
+    let mut trace = TraceGenerator::new(&single, seed).peekable();
+    core.run(&mut trace, warmup);
+    let stats = core.run(&mut trace, budget);
+    (
+        stats.cpi_comp(),
+        stats.mr(),
+        stats.mp_cycles() / SIM_FREQ_GHZ,
+        ActivityVector::from_stats(&stats),
+    )
+}
+
+/// Profiles every phase of `workload` with `budget` measured instructions
+/// per (phase, queue-config) pair, deterministically in `seed`.
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+pub fn profile_workload(workload: &Workload, budget: u64, seed: u64) -> WorkloadProfile {
+    assert!(budget > 0, "measurement budget must be non-zero");
+    let total: u64 = workload.phases.iter().map(|p| p.instructions).sum();
+    let rp = RecoveryModel::from_config(&CoreConfig::micro08()).rp_cycles;
+    let phases = workload
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (cpi_full, mr, mp_ns, activity) =
+                measure_phase(workload, i, QueueSize::Full, budget, seed);
+            let (cpi_small, _, _, _) =
+                measure_phase(workload, i, QueueSize::ThreeQuarters, budget, seed);
+            PhaseProfile {
+                index: i,
+                weight: p.instructions as f64 / total as f64,
+                cpi_comp_full: cpi_full,
+                // Downsizing can only remove scheduling opportunities; tiny
+                // negative noise from identical traces is clamped away.
+                cpi_comp_small: cpi_small.max(cpi_full),
+                mr,
+                mp_ns,
+                activity,
+            }
+        })
+        .collect();
+    WorkloadProfile {
+        name: workload.name,
+        class: workload.class,
+        rp_cycles: rp,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystem::SubsystemId;
+
+    #[test]
+    fn profile_covers_all_phases_with_unit_weight() {
+        let w = Workload::by_name("equake").unwrap();
+        let p = profile_workload(&w, 10_000, 5);
+        assert_eq!(p.phases.len(), w.phases.len());
+        let total_weight: f64 = p.phases.iter().map(|ph| ph.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_hogs_show_big_mr() {
+        let art = profile_workload(&Workload::by_name("art").unwrap(), 10_000, 5);
+        let sixtrack = profile_workload(&Workload::by_name("sixtrack").unwrap(), 10_000, 5);
+        assert!(art.weighted(|p| p.mr) > 5.0 * sixtrack.weighted(|p| p.mr));
+    }
+
+    #[test]
+    fn queue_downsizing_never_improves_cpi() {
+        for name in ["swim", "gcc", "mcf", "mesa"] {
+            let p = profile_workload(&Workload::by_name(name).unwrap(), 8_000, 9);
+            for ph in &p.phases {
+                assert!(ph.cpi_comp_small >= ph.cpi_comp_full);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let w = Workload::by_name("gzip").unwrap();
+        assert_eq!(profile_workload(&w, 5_000, 3), profile_workload(&w, 5_000, 3));
+    }
+
+    #[test]
+    fn worst_case_activity_dominates_every_phase() {
+        let p = profile_workload(&Workload::by_name("gcc").unwrap(), 8_000, 7);
+        let wc = p.worst_case_activity();
+        for ph in &p.phases {
+            for s in SubsystemId::ALL {
+                assert!(wc.alpha(s) >= ph.activity.alpha(s));
+            }
+        }
+    }
+
+    #[test]
+    fn mp_is_positive_when_misses_exist() {
+        let p = profile_workload(&Workload::by_name("mcf").unwrap(), 10_000, 5);
+        let heavy = &p.phases[0];
+        assert!(heavy.mr > 0.0);
+        assert!(heavy.mp_ns > 0.0);
+        // Non-overlapped penalty cannot exceed the full memory round trip.
+        assert!(heavy.mp_ns <= 208.0 / SIM_FREQ_GHZ + 1e-9);
+    }
+}

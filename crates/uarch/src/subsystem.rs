@@ -1,0 +1,137 @@
+//! The 15 processor subsystems of the EVAL evaluation (Figure 7(b)).
+
+use std::fmt;
+
+/// Number of subsystems per core.
+pub const N_SUBSYSTEMS: usize = 15;
+
+/// One of the 15 per-core subsystems, each of which gets its own variation
+/// locality, `PE(f)` curve, thermal node and (with fine-grain ASV/ABB) its
+/// own voltages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SubsystemId {
+    Dcache,
+    Dtlb,
+    FpQueue,
+    FpReg,
+    LdStQueue,
+    FpUnit,
+    FpMap,
+    IntAlu,
+    IntReg,
+    IntQueue,
+    IntMap,
+    Itlb,
+    Icache,
+    BranchPred,
+    Decode,
+}
+
+impl SubsystemId {
+    /// All subsystems in canonical (index) order.
+    pub const ALL: [SubsystemId; N_SUBSYSTEMS] = [
+        SubsystemId::Dcache,
+        SubsystemId::Dtlb,
+        SubsystemId::FpQueue,
+        SubsystemId::FpReg,
+        SubsystemId::LdStQueue,
+        SubsystemId::FpUnit,
+        SubsystemId::FpMap,
+        SubsystemId::IntAlu,
+        SubsystemId::IntReg,
+        SubsystemId::IntQueue,
+        SubsystemId::IntMap,
+        SubsystemId::Itlb,
+        SubsystemId::Icache,
+        SubsystemId::BranchPred,
+        SubsystemId::Decode,
+    ];
+
+    /// Canonical index in `[0, N_SUBSYSTEMS)`.
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|s| s == self).expect("in ALL")
+    }
+
+    /// Subsystem from its canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_SUBSYSTEMS`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubsystemId::Dcache => "dcache",
+            SubsystemId::Dtlb => "dtlb",
+            SubsystemId::FpQueue => "fpq",
+            SubsystemId::FpReg => "fpreg",
+            SubsystemId::LdStQueue => "ldstq",
+            SubsystemId::FpUnit => "fpunit",
+            SubsystemId::FpMap => "fpmap",
+            SubsystemId::IntAlu => "intalu",
+            SubsystemId::IntReg => "intreg",
+            SubsystemId::IntQueue => "intq",
+            SubsystemId::IntMap => "intmap",
+            SubsystemId::Itlb => "itlb",
+            SubsystemId::Icache => "icache",
+            SubsystemId::BranchPred => "branchpred",
+            SubsystemId::Decode => "decode",
+        }
+    }
+
+    /// Whether this is one of the two resizable issue queues.
+    pub fn is_issue_queue(&self) -> bool {
+        matches!(self, SubsystemId::IntQueue | SubsystemId::FpQueue)
+    }
+
+    /// Whether this is one of the replicable functional units.
+    pub fn is_replicable_fu(&self) -> bool {
+        matches!(self, SubsystemId::IntAlu | SubsystemId::FpUnit)
+    }
+}
+
+impl fmt::Display for SubsystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, s) in SubsystemId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(SubsystemId::from_index(i), *s);
+        }
+    }
+
+    #[test]
+    fn there_are_fifteen_subsystems() {
+        assert_eq!(SubsystemId::ALL.len(), N_SUBSYSTEMS);
+        assert_eq!(N_SUBSYSTEMS, 15);
+    }
+
+    #[test]
+    fn special_roles() {
+        assert!(SubsystemId::IntQueue.is_issue_queue());
+        assert!(SubsystemId::FpQueue.is_issue_queue());
+        assert!(SubsystemId::IntAlu.is_replicable_fu());
+        assert!(SubsystemId::FpUnit.is_replicable_fu());
+        assert!(!SubsystemId::Dcache.is_issue_queue());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SubsystemId::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_SUBSYSTEMS);
+    }
+}

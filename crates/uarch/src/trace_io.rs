@@ -1,0 +1,313 @@
+//! Trace import/export: a line-oriented text format so externally captured
+//! instruction traces (from a binary-instrumentation tool, another
+//! simulator, or a saved synthetic run) can drive [`crate::OooCore`], and
+//! synthetic traces can be archived for exact replay elsewhere.
+//!
+//! Format (`# eval trace v1` header, one instruction per line):
+//!
+//! ```text
+//! # eval trace v1
+//! alu   1 0 0x0    0 12      <- kind dep1 dep2 addr taken bb_id
+//! load  2 0 0x1f40 0 12
+//! br    0 0 0x0    1 13
+//! ```
+//!
+//! Kinds: `alu`, `mul`, `fadd`, `fmul`, `load`, `store`, `br`.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::insn::{Instruction, Kind};
+
+/// Header line identifying the format version.
+pub const HEADER: &str = "# eval trace v1";
+
+/// Error while parsing a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or unsupported header.
+    BadHeader,
+    /// Malformed instruction line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadHeader => write!(f, "missing or unsupported trace header"),
+            TraceIoError::BadLine { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn kind_token(kind: Kind) -> &'static str {
+    match kind {
+        Kind::IntAlu => "alu",
+        Kind::IntMul => "mul",
+        Kind::FpAdd => "fadd",
+        Kind::FpMul => "fmul",
+        Kind::Load => "load",
+        Kind::Store => "store",
+        Kind::Branch => "br",
+    }
+}
+
+fn parse_kind(token: &str) -> Option<Kind> {
+    Some(match token {
+        "alu" => Kind::IntAlu,
+        "mul" => Kind::IntMul,
+        "fadd" => Kind::FpAdd,
+        "fmul" => Kind::FpMul,
+        "load" => Kind::Load,
+        "store" => Kind::Store,
+        "br" => Kind::Branch,
+        _ => return None,
+    })
+}
+
+/// Writes a trace (header + one line per instruction).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+pub fn write_trace<I, W>(instructions: I, out: &mut W) -> Result<usize, TraceIoError>
+where
+    I: IntoIterator<Item = Instruction>,
+    W: Write,
+{
+    writeln!(out, "{HEADER}")?;
+    let mut count = 0;
+    for insn in instructions {
+        writeln!(
+            out,
+            "{} {} {} {:#x} {} {}",
+            kind_token(insn.kind),
+            insn.dep1,
+            insn.dep2,
+            insn.addr,
+            u8::from(insn.taken),
+            insn.bb_id
+        )?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Reads a whole trace into memory.
+///
+/// Blank lines and `#` comments (after the header) are ignored.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, a bad header, or any malformed
+/// line.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Instruction>, TraceIoError> {
+    let mut lines = input.lines();
+    match lines.next() {
+        Some(Ok(first)) if first.trim() == HEADER => {}
+        Some(Ok(_)) | None => return Err(TraceIoError::BadHeader),
+        Some(Err(e)) => return Err(e.into()),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let line_no = idx + 2;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tok = trimmed.split_whitespace();
+        let bad = |reason| TraceIoError::BadLine {
+            line: line_no,
+            reason,
+        };
+        let kind = parse_kind(tok.next().ok_or(bad("missing kind"))?)
+            .ok_or(bad("unknown kind"))?;
+        let dep1: u32 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(bad("bad dep1"))?;
+        let dep2: u32 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(bad("bad dep2"))?;
+        let addr_tok = tok.next().ok_or(bad("missing addr"))?;
+        let addr = if let Some(hex) = addr_tok.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| bad("bad addr"))?
+        } else {
+            addr_tok.parse().map_err(|_| bad("bad addr"))?
+        };
+        let taken = match tok.next().ok_or(bad("missing taken"))? {
+            "0" => false,
+            "1" => true,
+            _ => return Err(bad("taken must be 0 or 1")),
+        };
+        let bb_id: u32 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(bad("bad bb_id"))?;
+        if tok.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        out.push(Instruction {
+            kind,
+            dep1,
+            dep2,
+            addr,
+            taken,
+            bb_id,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGenerator;
+    use crate::workload::Workload;
+    use crate::{CoreConfig, OooCore};
+
+    #[test]
+    fn round_trip_preserves_the_trace_exactly() {
+        let w = Workload::by_name("equake").expect("exists");
+        let original: Vec<Instruction> = TraceGenerator::new(&w, 3).take(2_000).collect();
+        let mut buf = Vec::new();
+        let written = write_trace(original.iter().copied(), &mut buf).expect("writes");
+        assert_eq!(written, original.len());
+        let back = read_trace(buf.as_slice()).expect("parses");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn imported_trace_drives_the_core_identically() {
+        let w = Workload::by_name("gzip").expect("exists");
+        let original: Vec<Instruction> = TraceGenerator::new(&w, 5).take(5_000).collect();
+        let mut buf = Vec::new();
+        write_trace(original.iter().copied(), &mut buf).expect("writes");
+        let imported = read_trace(buf.as_slice()).expect("parses");
+
+        let run = |insns: &[Instruction]| {
+            let mut core = OooCore::new(CoreConfig::micro08());
+            let mut it = insns.iter().copied().peekable();
+            core.run(&mut it, insns.len() as u64)
+        };
+        assert_eq!(run(&original), run(&imported));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{HEADER}\n\n# a comment\nalu 1 0 0x0 0 7\n\nload 0 0 0x40 0 7\n"
+        );
+        let trace = read_trace(text.as_bytes()).expect("parses");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, Kind::IntAlu);
+        assert_eq!(trace[1].addr, 0x40);
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        assert!(matches!(
+            read_trace("alu 0 0 0 0 1\n".as_bytes()),
+            Err(TraceIoError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let text = format!("{HEADER}\nalu 1 0 0x0 0 7\nwat 0 0 0 0 1\n");
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::BadLine { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn taken_field_is_strict() {
+        let text = format!("{HEADER}\nbr 0 0 0x0 2 1\n");
+        assert!(matches!(
+            read_trace(text.as_bytes()),
+            Err(TraceIoError::BadLine { reason: "taken must be 0 or 1", .. })
+        ));
+    }
+
+    #[test]
+    fn decimal_and_hex_addresses_both_parse() {
+        let text = format!("{HEADER}\nload 0 0 4096 0 1\nstore 0 0 0x1000 0 1\n");
+        let trace = read_trace(text.as_bytes()).expect("parses");
+        assert_eq!(trace[0].addr, trace[1].addr);
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    use super::*;
+
+    /// The on-disk format is a contract: this golden test pins it so a
+    /// refactor cannot silently orphan archived traces.
+    #[test]
+    fn serialization_format_is_stable() {
+        let trace = [
+            Instruction {
+                kind: Kind::IntAlu,
+                dep1: 1,
+                dep2: 2,
+                addr: 0,
+                taken: false,
+                bb_id: 7,
+            },
+            Instruction {
+                kind: Kind::Load,
+                dep1: 0,
+                dep2: 0,
+                addr: 0x1f40,
+                taken: false,
+                bb_id: 7,
+            },
+            Instruction {
+                kind: Kind::Branch,
+                dep1: 3,
+                dep2: 0,
+                addr: 0,
+                taken: true,
+                bb_id: 8,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_trace(trace.iter().copied(), &mut buf).expect("writes");
+        let text = String::from_utf8(buf).expect("utf-8");
+        assert_eq!(
+            text,
+            "# eval trace v1\n\
+             alu 1 2 0x0 0 7\n\
+             load 0 0 0x1f40 0 7\n\
+             br 3 0 0x0 1 8\n"
+        );
+    }
+}

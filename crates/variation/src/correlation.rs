@@ -1,0 +1,128 @@
+//! Spatial correlation of the systematic variation component.
+//!
+//! VARIUS correlates the systematic component of `Vt` (and `Leff`) with a
+//! function that depends only on the distance `r` between two points and
+//! decreases to zero at a distance `phi` called the *range*. We use the
+//! spherical variogram model recommended by VARIUS:
+//!
+//! ```text
+//! rho(r) = 1 - 3r/(2 phi) + r^3 / (2 phi^3)   for r <= phi
+//! rho(r) = 0                                   for r >  phi
+//! ```
+
+use crate::grid::ChipGrid;
+use crate::linalg::Matrix;
+
+/// Spherical correlation function with range `phi`.
+///
+/// Returns the correlation between the systematic components at two points
+/// separated by distance `r` (both in chip-edge units).
+///
+/// # Panics
+///
+/// Panics if `phi <= 0` or `r < 0`.
+///
+/// # Example
+///
+/// ```
+/// use eval_variation::spherical_correlation;
+/// assert_eq!(spherical_correlation(0.0, 0.5), 1.0);
+/// assert_eq!(spherical_correlation(0.5, 0.5), 0.0);
+/// assert!(spherical_correlation(0.25, 0.5) > 0.0);
+/// ```
+pub fn spherical_correlation(r: f64, phi: f64) -> f64 {
+    assert!(phi > 0.0, "correlation range must be positive");
+    assert!(r >= 0.0, "distance must be non-negative");
+    if r >= phi {
+        0.0
+    } else {
+        let x = r / phi;
+        1.0 - 1.5 * x + 0.5 * x * x * x
+    }
+}
+
+/// Builds the full cell-to-cell correlation matrix for `grid` with range `phi`.
+///
+/// The result is symmetric positive semi-definite with unit diagonal.
+pub fn correlation_matrix(grid: &ChipGrid, phi: f64) -> Matrix {
+    let n = grid.cells();
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = 1.0;
+        for j in 0..i {
+            let rho = spherical_correlation(grid.distance(i, j), phi);
+            m[(i, j)] = rho;
+            m[(j, i)] = rho;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(spherical_correlation(0.0, 0.3), 1.0);
+        assert_eq!(spherical_correlation(0.3, 0.3), 0.0);
+        assert_eq!(spherical_correlation(1.0, 0.3), 0.0);
+    }
+
+    #[test]
+    fn monotonically_decreasing_within_range() {
+        let phi = 0.5;
+        let mut prev = spherical_correlation(0.0, phi);
+        for k in 1..=100 {
+            let r = phi * k as f64 / 100.0;
+            let c = spherical_correlation(r, phi);
+            assert!(c <= prev + 1e-15, "correlation increased at r={r}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let g = ChipGrid::square(6);
+        let m = correlation_matrix(&g, 0.5);
+        for i in 0..g.cells() {
+            assert_eq!(m[(i, i)], 1.0);
+            for j in 0..g.cells() {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn rejects_nonpositive_phi() {
+        spherical_correlation(0.1, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The spherical model is a valid correlation: bounded by [0, 1],
+        /// 1 at zero distance, 0 at and beyond the range.
+        #[test]
+        fn prop_spherical_bounds(r in 0.0f64..3.0, phi in 0.05f64..2.0) {
+            let c = spherical_correlation(r, phi);
+            prop_assert!((0.0..=1.0).contains(&c));
+            if r >= phi {
+                prop_assert_eq!(c, 0.0);
+            }
+        }
+
+        /// Correlation decays with distance for a fixed range.
+        #[test]
+        fn prop_spherical_monotone(r1 in 0.0f64..1.0, dr in 0.0f64..1.0, phi in 0.1f64..2.0) {
+            let a = spherical_correlation(r1, phi);
+            let b = spherical_correlation(r1 + dr, phi);
+            prop_assert!(b <= a + 1e-15);
+        }
+    }
+}

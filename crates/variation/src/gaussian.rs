@@ -1,0 +1,228 @@
+//! Gaussian distribution utilities with tail-accurate `erfc`.
+//!
+//! Timing-error probabilities in EVAL live deep in the Gaussian tail
+//! (the error-rate constraint is 1e-4 errors/instruction and "error-free"
+//! operation corresponds to ~1e-12), so the complementary error function
+//! must be accurate in a *relative* sense far from the mean. We use the
+//! Chebyshev-fitted rational approximation (fractional error < 1.2e-7 for
+//! all arguments) popularized by *Numerical Recipes*.
+
+/// Complementary error function with fractional error below `1.2e-7`.
+///
+/// # Example
+///
+/// ```
+/// use eval_variation::erfc;
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+/// assert!(erfc(5.0) < 2e-11);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t * (-z * z
+        - 1.265_512_23
+        + t * (1.000_023_68
+            + t * (0.374_091_96
+                + t * (0.096_784_18
+                    + t * (-0.186_288_06
+                        + t * (0.278_868_07
+                            + t * (-1.135_203_98
+                                + t * (1.488_515_87
+                                    + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal cumulative distribution function `Phi(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal upper-tail probability `Q(x) = 1 - Phi(x)`.
+///
+/// Accurate in relative terms even for large `x`, unlike `1.0 - normal_cdf(x)`.
+pub fn normal_tail(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm, |rel err| < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+///
+/// # Example
+///
+/// ```
+/// use eval_variation::{inverse_normal_cdf, normal_cdf};
+/// let x = inverse_normal_cdf(0.975);
+/// assert!((x - 1.959964).abs() < 1e-4);
+/// assert!((normal_cdf(x) - 0.975).abs() < 1e-9);
+/// ```
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the accurate erfc.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Inverse of the standard normal upper-tail: returns `z` with
+/// `normal_tail(z) = q`. Unlike `inverse_normal_cdf(1.0 - q)`, this stays
+/// accurate for tail probabilities far below machine epsilon relative to 1
+/// (e.g. `q = 1e-17`), which is where timing-error sign-off margins live.
+///
+/// # Panics
+///
+/// Panics unless `0 < q < 1`.
+///
+/// # Example
+///
+/// ```
+/// use eval_variation::{inverse_normal_tail, normal_tail};
+/// let z = inverse_normal_tail(1e-15);
+/// assert!((normal_tail(z) / 1e-15 - 1.0).abs() < 1e-5);
+/// ```
+pub fn inverse_normal_tail(q: f64) -> f64 {
+    assert!(q > 0.0 && q < 1.0, "probability must be in (0, 1)");
+    if q >= 0.02425 {
+        return inverse_normal_cdf(1.0 - q);
+    }
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let r = (-2.0 * q.ln()).sqrt();
+    let z = -(((((C[0] * r + C[1]) * r + C[2]) * r + C[3]) * r + C[4]) * r + C[5])
+        / ((((D[0] * r + D[1]) * r + D[2]) * r + D[3]) * r + 1.0);
+    // One Newton step on Q(z) - q using the relative-accurate tail.
+    let e = normal_tail(z) - q;
+    let phi = (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    z + e / phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.479_500_122_186_9),
+            (1.0, 0.157_299_207_050_3),
+            (2.0, 0.004_677_734_981_063),
+            (3.0, 2.209_049_699_858_5e-5),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-6,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_negative_symmetry() {
+        for x in [0.3, 1.1, 2.7] {
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_tail_deep_values() {
+        // Q(6) ~ 9.866e-10; relative accuracy should hold.
+        let q6 = normal_tail(6.0);
+        assert!(((q6 - 9.865_9e-10) / 9.865_9e-10).abs() < 1e-4);
+        // Monotone decreasing.
+        assert!(normal_tail(7.0) < q6);
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrip() {
+        for &p in &[1e-9, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6] {
+            let x = inverse_normal_cdf(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() < 1e-8 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e6),
+                "roundtrip failed at p={p}: x={x}, back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_median_is_near_zero() {
+        // The Halley refinement uses erfc (1.2e-7 fractional error), so the
+        // median lands within that tolerance of zero rather than exactly on it.
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in (0, 1)")]
+    fn inverse_cdf_rejects_zero() {
+        inverse_normal_cdf(0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Chip grid geometry.
+//!
+//! The chip is normalized to the unit square: distances are expressed as a
+//! fraction of the chip edge, matching how the EVAL paper expresses the
+//! correlation range `phi` (0.5 means "half the chip width").
+
+/// A rectangular grid of cells covering the (unit-square) chip.
+///
+/// Each cell takes a single value of the systematic variation component,
+/// exactly as in the VARIUS model ("a chip is divided into a grid; each grid
+/// cell takes on a single value of Vt's systematic component").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChipGrid {
+    nx: usize,
+    ny: usize,
+}
+
+impl ChipGrid {
+    /// Creates a grid with `nx` columns and `ny` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be non-zero");
+        Self { nx, ny }
+    }
+
+    /// Creates a square `n x n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Center coordinates of cell `(ix, iy)` in chip-edge units.
+    ///
+    /// The longer grid edge maps to 1.0; the aspect ratio is preserved.
+    pub fn cell_center(&self, ix: usize, iy: usize) -> (f64, f64) {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        let scale = 1.0 / self.nx.max(self.ny) as f64;
+        (
+            (ix as f64 + 0.5) * scale,
+            (iy as f64 + 0.5) * scale,
+        )
+    }
+
+    /// Flat index of cell `(ix, iy)` (row-major).
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`ChipGrid::index`].
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        debug_assert!(idx < self.cells());
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// Euclidean distance between the centers of two cells, in chip-edge units.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let (axc, ayc) = self.cell_center(ax, ay);
+        let (bxc, byc) = self.cell_center(bx, by);
+        ((axc - bxc).powi(2) + (ayc - byc).powi(2)).sqrt()
+    }
+
+    /// Iterates over all flat cell indices inside the axis-aligned rectangle
+    /// `[x0, x1) x [y0, y1)` given in cell coordinates.
+    ///
+    /// Used to map a subsystem's floorplan rectangle onto grid cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle exceeds the grid bounds or is empty.
+    pub fn rect_cells(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> Vec<usize> {
+        assert!(x0 < x1 && y0 < y1, "empty rectangle");
+        assert!(x1 <= self.nx && y1 <= self.ny, "rectangle out of bounds");
+        let mut out = Vec::with_capacity((x1 - x0) * (y1 - y0));
+        for iy in y0..y1 {
+            for ix in x0..x1 {
+                out.push(self.index(ix, iy));
+            }
+        }
+        out
+    }
+}
+
+impl Default for ChipGrid {
+    /// A 32 x 32 grid: fine enough that the 15 subsystems of a core quadrant
+    /// each cover several cells, coarse enough that the one-time Cholesky
+    /// factorization stays cheap.
+    fn default() -> Self {
+        Self::square(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = ChipGrid::new(7, 5);
+        for iy in 0..5 {
+            for ix in 0..7 {
+                let idx = g.index(ix, iy);
+                assert_eq!(g.coords(idx), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let g = ChipGrid::square(8);
+        assert_eq!(g.distance(3, 3), 0.0);
+        assert!((g.distance(0, 63) - g.distance(63, 0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corner_to_corner_distance_is_near_sqrt2() {
+        let g = ChipGrid::square(64);
+        let d = g.distance(0, 64 * 64 - 1);
+        // Centers are half a cell in from the corners.
+        assert!((d - std::f64::consts::SQRT_2 * (63.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_cells_covers_expected_cells() {
+        let g = ChipGrid::square(4);
+        let cells = g.rect_cells(1, 1, 3, 2);
+        assert_eq!(cells, vec![g.index(1, 1), g.index(2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rectangle")]
+    fn rect_cells_rejects_empty() {
+        ChipGrid::square(4).rect_cells(2, 2, 2, 3);
+    }
+
+    #[test]
+    fn rectangular_grid_preserves_aspect() {
+        let g = ChipGrid::new(8, 4);
+        let (x, y) = g.cell_center(7, 3);
+        assert!(x < 1.0 && y < 0.5 + 1e-12);
+    }
+}

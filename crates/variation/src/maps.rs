@@ -1,0 +1,388 @@
+//! Per-chip variation maps: systematic (spatially correlated) plus random
+//! components for `Vt` and `Leff`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::correlation::correlation_matrix;
+use crate::grid::ChipGrid;
+use crate::linalg::LowerTriangular;
+
+/// Statistical parameters of the variation model (EVAL §5, Figure 7(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationParams {
+    /// Mean threshold voltage in volts (at the reference temperature).
+    pub vt_mean: f64,
+    /// Total `sigma/mu` for Vt (systematic and random in equal parts).
+    pub vt_sigma_over_mu: f64,
+    /// Mean effective channel length (normalized to 1.0).
+    pub leff_mean: f64,
+    /// Total `sigma/mu` for Leff.
+    pub leff_sigma_over_mu: f64,
+    /// Correlation range as a fraction of the chip edge.
+    pub phi: f64,
+}
+
+impl VariationParams {
+    /// The EVAL evaluation settings: `sigma/mu = 0.09` for `Vt`, `Leff`
+    /// with half that ratio (0.045), `phi = 0.5`, equal systematic/random
+    /// split. The `Vt` mean matches `DeviceParams::micro08().vt_nominal`
+    /// (the calibrated 250 mV design point at the 100 C reference).
+    pub fn micro08() -> Self {
+        Self {
+            vt_mean: 0.250,
+            vt_sigma_over_mu: 0.09,
+            leff_mean: 1.0,
+            leff_sigma_over_mu: 0.045,
+            phi: 0.5,
+        }
+    }
+
+    /// Systematic standard deviation of Vt in volts
+    /// (`sigma_sys = sigma_ran = sqrt(sigma^2 / 2)`).
+    pub fn vt_sigma_sys(&self) -> f64 {
+        self.vt_mean * self.vt_sigma_over_mu / std::f64::consts::SQRT_2
+    }
+
+    /// Random standard deviation of Vt in volts.
+    pub fn vt_sigma_ran(&self) -> f64 {
+        self.vt_sigma_sys()
+    }
+
+    /// Systematic standard deviation of Leff (normalized units).
+    pub fn leff_sigma_sys(&self) -> f64 {
+        self.leff_mean * self.leff_sigma_over_mu / std::f64::consts::SQRT_2
+    }
+
+    /// Random standard deviation of Leff (normalized units).
+    pub fn leff_sigma_ran(&self) -> f64 {
+        self.leff_sigma_sys()
+    }
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        Self::micro08()
+    }
+}
+
+/// A per-cell scalar field over the chip grid (e.g. the systematic Vt map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarField {
+    grid: ChipGrid,
+    values: Vec<f64>,
+}
+
+impl ScalarField {
+    /// Wraps per-cell `values` (row-major, one per grid cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != grid.cells()`.
+    pub fn new(grid: ChipGrid, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), grid.cells(), "one value per grid cell");
+        Self { grid, values }
+    }
+
+    /// The grid this field is defined on.
+    pub fn grid(&self) -> ChipGrid {
+        self.grid
+    }
+
+    /// Value at flat cell index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn at(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// Borrow all per-cell values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean over all cells.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation over all cells.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / (self.values.len() as f64 - 1.0);
+        var.sqrt()
+    }
+
+    /// Minimum cell value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum cell value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean over a set of flat cell indices (e.g. a subsystem footprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty or contains an out-of-bounds index.
+    pub fn mean_over(&self, cells: &[usize]) -> f64 {
+        assert!(!cells.is_empty(), "cell set must be non-empty");
+        cells.iter().map(|&c| self.values[c]).sum::<f64>() / cells.len() as f64
+    }
+}
+
+/// The variation maps of one manufactured chip.
+///
+/// `vt` and `leff` are the **systematic** fields; the random component is
+/// carried as per-parameter sigmas and added analytically by consumers
+/// (the timing model widens path distributions with it, matching VARIUS).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipMap {
+    /// Systematic threshold-voltage map in volts (at reference temperature).
+    pub vt: ScalarField,
+    /// Systematic effective-channel-length map (normalized).
+    pub leff: ScalarField,
+    /// Random per-transistor sigma of Vt in volts.
+    pub vt_sigma_ran: f64,
+    /// Random per-transistor sigma of Leff (normalized).
+    pub leff_sigma_ran: f64,
+    /// Seed this chip was generated from (for reproducibility/labelling).
+    pub seed: u64,
+}
+
+/// Generator of per-chip variation maps.
+///
+/// Building the model performs the one-time Cholesky factorization of the
+/// grid correlation matrix; sampling a chip is then two matrix-vector
+/// products.
+#[derive(Debug, Clone)]
+pub struct VariationModel {
+    grid: ChipGrid,
+    params: VariationParams,
+    factor: LowerTriangular,
+}
+
+impl VariationModel {
+    /// Builds the sampler for `grid` and `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the correlation matrix cannot be factored, which cannot
+    /// happen for the spherical model with jitter (it is a valid variogram).
+    pub fn new(grid: ChipGrid, params: VariationParams) -> Self {
+        let corr = correlation_matrix(&grid, params.phi);
+        let factor = LowerTriangular::cholesky(&corr)
+            .expect("spherical correlation matrix is positive semi-definite");
+        Self {
+            grid,
+            params,
+            factor,
+        }
+    }
+
+    /// The grid chips are sampled on.
+    pub fn grid(&self) -> ChipGrid {
+        self.grid
+    }
+
+    /// The statistical parameters in use.
+    pub fn params(&self) -> VariationParams {
+        self.params
+    }
+
+    /// Samples the variation maps of one chip from a deterministic stream
+    /// derived from `seed`. Identical seeds give identical chips.
+    pub fn sample_chip(&self, seed: u64) -> ChipMap {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let n = self.grid.cells();
+        let z_vt: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let z_leff: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+
+        let vt_field = self.factor.mul_vec(&z_vt);
+        let leff_field = self.factor.mul_vec(&z_leff);
+
+        let vt = ScalarField::new(
+            self.grid,
+            vt_field
+                .iter()
+                .map(|g| self.params.vt_mean + g * self.params.vt_sigma_sys())
+                .collect(),
+        );
+        let leff = ScalarField::new(
+            self.grid,
+            leff_field
+                .iter()
+                .map(|g| self.params.leff_mean + g * self.params.leff_sigma_sys())
+                .collect(),
+        );
+
+        ChipMap {
+            vt,
+            leff,
+            vt_sigma_ran: self.params.vt_sigma_ran(),
+            leff_sigma_ran: self.params.leff_sigma_ran(),
+            seed,
+        }
+    }
+}
+
+/// Box–Muller standard-normal sample.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > 0.0 {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> VariationModel {
+        VariationModel::new(ChipGrid::square(12), VariationParams::micro08())
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = model();
+        let a = m.sample_chip(42);
+        let b = m.sample_chip(42);
+        assert_eq!(a, b);
+        let c = m.sample_chip(43);
+        assert_ne!(a.vt.values(), c.vt.values());
+    }
+
+    #[test]
+    fn field_statistics_match_params() {
+        // Average over many chips: per-cell mean ~ vt_mean, sigma ~ sigma_sys.
+        let m = model();
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for seed in 0..200 {
+            let chip = m.sample_chip(seed);
+            for &v in chip.vt.values() {
+                sum += v;
+                sum_sq += v * v;
+                count += 1;
+            }
+        }
+        let mean = sum / count as f64;
+        let var = sum_sq / count as f64 - mean * mean;
+        let sigma = var.sqrt();
+        let params = VariationParams::micro08();
+        assert!((mean - params.vt_mean).abs() < 0.002, "mean={mean}");
+        assert!(
+            (sigma - params.vt_sigma_sys()).abs() < 0.0015,
+            "sigma={sigma}, want {}",
+            params.vt_sigma_sys()
+        );
+    }
+
+    #[test]
+    fn nearby_cells_are_more_correlated_than_distant_ones() {
+        let m = model();
+        let g = m.grid();
+        let a = g.index(0, 0);
+        let near = g.index(1, 0);
+        let far = g.index(11, 11);
+        let (mut c_near, mut c_far) = (0.0, 0.0);
+        let n = 400;
+        let mut mean_a = 0.0;
+        let mut samples = Vec::with_capacity(n);
+        for seed in 0..n as u64 {
+            let chip = m.sample_chip(seed);
+            samples.push((chip.vt.at(a), chip.vt.at(near), chip.vt.at(far)));
+            mean_a += chip.vt.at(a);
+        }
+        mean_a /= n as f64;
+        let mean_near = samples.iter().map(|s| s.1).sum::<f64>() / n as f64;
+        let mean_far = samples.iter().map(|s| s.2).sum::<f64>() / n as f64;
+        for (va, vn, vf) in samples {
+            c_near += (va - mean_a) * (vn - mean_near);
+            c_far += (va - mean_a) * (vf - mean_far);
+        }
+        assert!(
+            c_near > c_far,
+            "near covariance {c_near} should exceed far covariance {c_far}"
+        );
+        assert!(c_near > 0.0);
+    }
+
+    #[test]
+    fn mean_over_subsets_matches_field() {
+        let m = model();
+        let chip = m.sample_chip(1);
+        let all: Vec<usize> = (0..chip.vt.grid().cells()).collect();
+        assert!((chip.vt.mean_over(&all) - chip.vt.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leff_params_are_half_of_vt_ratio() {
+        let p = VariationParams::micro08();
+        assert!((p.leff_sigma_over_mu - 0.5 * p.vt_sigma_over_mu).abs() < 1e-12);
+    }
+}
+
+impl ScalarField {
+    /// Renders the field as an ASCII heat map (rows of characters from
+    /// light `.` to heavy `@`), normalized to the field's own range —
+    /// handy for eyeballing the spatial correlation of a sampled map.
+    pub fn render_ascii(&self) -> String {
+        const RAMP: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+        let (lo, hi) = (self.min(), self.max());
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let mut out = String::with_capacity((self.grid.nx() + 1) * self.grid.ny());
+        for iy in 0..self.grid.ny() {
+            for ix in 0..self.grid.nx() {
+                let v = self.at(self.grid.index(ix, iy));
+                let idx = (((v - lo) / span) * (RAMP.len() as f64 - 1.0)).round() as usize;
+                out.push(RAMP[idx.min(RAMP.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::grid::ChipGrid;
+
+    #[test]
+    fn ascii_map_has_one_row_per_grid_row() {
+        let g = ChipGrid::new(6, 4);
+        let field = ScalarField::new(g, (0..24).map(|i| i as f64).collect());
+        let art = field.render_ascii();
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.chars().count() == 6));
+        // The smallest value renders light, the largest heavy.
+        assert!(art.starts_with('.'));
+        assert!(art.trim_end().ends_with('@'));
+    }
+
+    #[test]
+    fn constant_field_renders_uniformly() {
+        let g = ChipGrid::square(3);
+        let field = ScalarField::new(g, vec![5.0; 9]);
+        let art = field.render_ascii();
+        let chars: std::collections::HashSet<char> =
+            art.chars().filter(|c| *c != '\n').collect();
+        assert_eq!(chars.len(), 1);
+    }
+}

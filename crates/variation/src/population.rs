@@ -1,0 +1,101 @@
+//! Chip populations: the "100 chips per experiment" Monte Carlo protocol.
+
+use crate::maps::{ChipMap, VariationModel, VariationParams};
+use crate::grid::ChipGrid;
+
+/// A reproducible set of manufactured chips sharing statistical parameters
+/// but with personalized variation maps (EVAL §5: "each individual experiment
+/// is repeated 100 times, using 100 chips").
+#[derive(Debug, Clone)]
+pub struct ChipPopulation {
+    model: VariationModel,
+    base_seed: u64,
+    count: usize,
+}
+
+impl ChipPopulation {
+    /// Creates a population of `count` chips on `grid` with `params`,
+    /// deterministically derived from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(grid: ChipGrid, params: VariationParams, base_seed: u64, count: usize) -> Self {
+        assert!(count > 0, "population must contain at least one chip");
+        Self {
+            model: VariationModel::new(grid, params),
+            base_seed,
+            count,
+        }
+    }
+
+    /// The paper's protocol: 100 chips on the default grid with MICRO'08
+    /// parameters.
+    pub fn micro08(base_seed: u64) -> Self {
+        Self::new(ChipGrid::default(), VariationParams::micro08(), base_seed, 100)
+    }
+
+    /// Number of chips in the population.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the population is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The shared sampler.
+    pub fn model(&self) -> &VariationModel {
+        &self.model
+    }
+
+    /// Generates chip `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn chip(&self, i: usize) -> ChipMap {
+        assert!(i < self.count, "chip index {i} out of range {}", self.count);
+        self.model
+            .sample_chip(self.base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+    }
+
+    /// Iterates over all chips in the population.
+    pub fn iter(&self) -> impl Iterator<Item = ChipMap> + '_ {
+        (0..self.count).map(move |i| self.chip(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic() {
+        let p1 = ChipPopulation::new(ChipGrid::square(8), VariationParams::micro08(), 5, 4);
+        let p2 = ChipPopulation::new(ChipGrid::square(8), VariationParams::micro08(), 5, 4);
+        assert_eq!(p1.chip(2), p2.chip(2));
+    }
+
+    #[test]
+    fn chips_differ_from_each_other() {
+        let p = ChipPopulation::new(ChipGrid::square(8), VariationParams::micro08(), 5, 3);
+        assert_ne!(p.chip(0).vt.values(), p.chip(1).vt.values());
+        assert_ne!(p.chip(1).vt.values(), p.chip(2).vt.values());
+    }
+
+    #[test]
+    fn iter_yields_len_chips() {
+        let p = ChipPopulation::new(ChipGrid::square(6), VariationParams::micro08(), 1, 5);
+        assert_eq!(p.iter().count(), 5);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chip_index_is_bounds_checked() {
+        let p = ChipPopulation::new(ChipGrid::square(6), VariationParams::micro08(), 1, 2);
+        p.chip(2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error rate, power and frequency are tradeable (§6.1): sweep the clock
+//! past the safe frequency for one application and watch performance climb
+//! until the error-recovery cost swamps it — then validate the analytic
+//! `PE * rp` recovery term of Equation 5 against a stochastic Diva-checker
+//! simulation.
+//!
+//! Run with: `cargo run --release --example error_tradeoff`
+
+use eval::prelude::*;
+use eval::uarch::{CoreConfig, RecoveryModel};
+
+fn main() {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(11);
+    let core = chip.core(0);
+
+    let workload = Workload::by_name("mesa").expect("mesa exists");
+    let profile = profile_workload(&workload, 8_000, 11);
+    let ph = &profile.phases[0];
+    let perf_model = PerfModel::new(
+        ph.cpi_comp(eval::uarch::QueueSize::Full),
+        ph.mr,
+        ph.mp_ns,
+        profile.rp_cycles,
+    );
+
+    let fvar = core.fvar_nominal(&config);
+    println!("# {}: fvar = {:.2} GHz; sweeping past it with a checker", workload.name, fvar);
+    println!("{:>7} {:>12} {:>10} {:>10}", "f_GHz", "PE/inst", "BIPS", "P_W");
+
+    let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+    let mut best = (0.0f64, 0.0f64);
+    for step in 0..=20 {
+        let f = fvar + 0.08 * step as f64;
+        let Ok(eval_res) = core.evaluate(
+            &config,
+            config.th_c,
+            f,
+            &settings,
+            &ph.activity.alpha_f,
+            &ph.activity.rho,
+            &VariantSelection::default(),
+        ) else {
+            break;
+        };
+        let pe = eval_res.pe_per_instruction.clamp(0.0, 1.0);
+        let bips = perf_model.perf(f, pe);
+        if bips > best.1 {
+            best = (f, bips);
+        }
+        println!(
+            "{f:>7.2} {pe:>12.2e} {bips:>10.3} {:>10.1}",
+            eval_res.total_power_w
+        );
+        if pe > 0.05 {
+            break; // deep past the cliff
+        }
+    }
+    println!(
+        "# fopt = {:.2} GHz ({:+.0}% over fvar) at {:.3} BIPS",
+        best.0,
+        100.0 * (best.0 / fvar - 1.0),
+        best.1
+    );
+
+    // Validate Equation 5's CPIrec = PE * rp against the stochastic checker.
+    println!();
+    println!("# checker validation: analytic vs simulated recovery cycles");
+    let core_cfg = CoreConfig::micro08();
+    let mut checker = Checker::micro08(&core_cfg);
+    let recovery = RecoveryModel::from_config(&core_cfg);
+    for pe in [1e-4, 1e-3, 1e-2] {
+        let n = 1_000_000u64;
+        let simulated = checker.check_window(n, pe, 2008) as f64 / n as f64;
+        let analytic = recovery.cpi_rec(pe);
+        println!(
+            "PE = {pe:.0e}: analytic {analytic:.5} cycles/inst, simulated {simulated:.5} \
+             ({:+.1}%)",
+            100.0 * (simulated / analytic - 1.0)
+        );
+    }
+    println!(
+        "# checker observed error rate: {:.2e} (detected {} errors)",
+        checker.observed_pe(),
+        checker.errors_detected()
+    );
+}

@@ -1,0 +1,75 @@
+//! Reproducibility guarantees: everything from chip manufacturing to whole
+//! campaigns is a deterministic function of its seeds, independent of
+//! thread count.
+
+use eval::prelude::*;
+
+#[test]
+fn campaign_is_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut c = Campaign::new(3);
+        c.profile_budget = 3_000;
+        c.workloads = vec![Workload::by_name("gzip").expect("exists")];
+        c.threads = threads;
+        c.run(&[Environment::TS], &[Scheme::ExhDyn])
+    };
+    let serial = run(1);
+    let chunked = run(3);
+    assert_eq!(serial, chunked, "thread count must not change results");
+}
+
+#[test]
+fn campaign_is_identical_across_invocations() {
+    let run = || {
+        let mut c = Campaign::new(2);
+        c.profile_budget = 3_000;
+        c.workloads = vec![Workload::by_name("mesa").expect("exists")];
+        c.run(&[Environment::TS_ASV], &[Scheme::Static])
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fuzzy_training_is_deterministic_end_to_end() {
+    let cfg = EvalConfig::micro08();
+    let factory = ChipFactory::new(cfg.clone());
+    let chip = factory.chip(4);
+    let budget = TrainingBudget {
+        examples: 50,
+        ..TrainingBudget::default()
+    };
+    let a = FuzzyOptimizer::train(&cfg, &chip, 0, Environment::TS, &budget);
+    let b = FuzzyOptimizer::train(&cfg, &chip, 0, Environment::TS, &budget);
+    // Same queries, same answers.
+    let profile = profile_workload(&Workload::by_name("gzip").expect("exists"), 3_000, 1);
+    let scene_args = &profile.phases[0];
+    let d_a = decide_phase(
+        &cfg,
+        chip.core(0),
+        &a,
+        Environment::TS,
+        scene_args,
+        WorkloadClass::Int,
+        profile.rp_cycles,
+        cfg.th_c,
+    );
+    let d_b = decide_phase(
+        &cfg,
+        chip.core(0),
+        &b,
+        Environment::TS,
+        scene_args,
+        WorkloadClass::Int,
+        profile.rp_cycles,
+        cfg.th_c,
+    );
+    assert_eq!(d_a, d_b);
+}
+
+#[test]
+fn different_seeds_give_different_chips_same_seed_same_chip() {
+    let cfg = EvalConfig::micro08();
+    let factory = ChipFactory::new(cfg);
+    assert_eq!(factory.chip(100), factory.chip(100));
+    assert_ne!(factory.chip(100), factory.chip(101));
+}
