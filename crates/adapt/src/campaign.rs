@@ -1,8 +1,11 @@
 //! The experiment harness behind Figures 10–13: environments x adaptation
 //! schemes over a chip population and the 16-workload suite.
 
+use eval_units::GHz;
+
 use eval_core::{
-    ChipFactory, CoreModel, Environment, EvalConfig, PerfModel, VariantSelection, N_SUBSYSTEMS,
+    ChipFactory, CoreModel, Environment, EvalConfig, InfeasibleConfig, PerfModel,
+    VariantSelection, N_SUBSYSTEMS,
 };
 use eval_uarch::profile::{PhaseProfile, WorkloadProfile};
 use eval_uarch::{profile_workload, ActivityVector, QueueSize, Workload};
@@ -40,6 +43,45 @@ impl Scheme {
     }
 }
 
+/// Error from a campaign run.
+///
+/// The reference machines and the statically provisioned configurations
+/// are *supposed* to be feasible at every chip and phase; if one is not,
+/// the campaign surfaces the divergence instead of panicking so batch
+/// drivers (and the test harness) can report which configuration failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignError {
+    /// A fixed (non-adaptive) operating point hit thermal runaway.
+    Infeasible {
+        /// Which fixed configuration was being evaluated.
+        context: &'static str,
+        /// The underlying per-subsystem divergence.
+        source: InfeasibleConfig,
+    },
+    /// A structural invariant of the parallel chip sweep was violated.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Infeasible { context, source } => {
+                write!(f, "{context}: {source}")
+            }
+            CampaignError::Internal(what) => write!(f, "internal campaign error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Infeasible { source, .. } => Some(source),
+            CampaignError::Internal(_) => None,
+        }
+    }
+}
+
 /// Outcome histogram over controller invocations (Figure 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OutcomeCounts {
@@ -49,8 +91,7 @@ pub struct OutcomeCounts {
 impl OutcomeCounts {
     /// Records one outcome.
     pub fn add(&mut self, o: Outcome) {
-        let idx = Outcome::ALL.iter().position(|x| *x == o).expect("known");
-        self.counts[idx] += 1;
+        self.counts[o.index()] += 1;
     }
 
     /// Total invocations recorded.
@@ -60,11 +101,10 @@ impl OutcomeCounts {
 
     /// Fraction of invocations with outcome `o` (0 if nothing recorded).
     pub fn fraction(&self, o: Outcome) -> f64 {
-        let idx = Outcome::ALL.iter().position(|x| *x == o).expect("known");
         if self.total() == 0 {
             0.0
         } else {
-            self.counts[idx] as f64 / self.total() as f64
+            self.counts[o.index()] as f64 / self.total() as f64
         }
     }
 
@@ -149,10 +189,19 @@ impl Campaign {
 
     /// Runs the campaign over the given environments and schemes.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if a reference or statically provisioned
+    /// operating point turns out to be thermally infeasible on some chip.
+    ///
     /// # Panics
     ///
     /// Panics if `chips`, `workloads` or `cores_per_chip` is empty/zero.
-    pub fn run(&self, envs: &[Environment], schemes: &[Scheme]) -> CampaignResult {
+    pub fn run(
+        &self,
+        envs: &[Environment],
+        schemes: &[Scheme],
+    ) -> Result<CampaignResult, CampaignError> {
         assert!(self.chips > 0, "need at least one chip");
         assert!(!self.workloads.is_empty(), "need at least one workload");
         assert!(self.cores_per_chip >= 1, "need at least one core");
@@ -172,10 +221,10 @@ impl Campaign {
             .collect();
         let novar = self.reference_cell(
             novar_chip.core(0),
-            self.config.f_nominal_ghz,
+            GHz::raw(self.config.f_nominal_ghz),
             &profiles,
             &novar_perf,
-        );
+        )?;
 
         // --- population cells ---
         // Chips are independent Monte Carlo samples, so they run in
@@ -193,7 +242,8 @@ impl Campaign {
         } else {
             self.threads.min(self.chips)
         };
-        let mut per_chip: Vec<Option<(CellResult, Vec<CellResult>)>> = vec![None; self.chips];
+        type ChipSlot = Option<Result<(CellResult, Vec<CellResult>), CampaignError>>;
+        let mut per_chip: Vec<ChipSlot> = vec![None; self.chips];
         std::thread::scope(|scope| {
             let chunks = per_chip.chunks_mut(self.chips.div_ceil(threads));
             for (worker, chunk) in chunks.enumerate() {
@@ -219,7 +269,8 @@ impl Campaign {
             .map(|(e, s)| (*e, *s, CellResult::default()))
             .collect();
         for entry in per_chip {
-            let (chip_baseline, chip_cells) = entry.expect("every chip computed");
+            let (chip_baseline, chip_cells) =
+                entry.ok_or(CampaignError::Internal("chip slot left uncomputed"))??;
             accumulate(&mut baseline, &chip_baseline);
             for ((_, _, acc), cell) in cells.iter_mut().zip(chip_cells) {
                 accumulate(acc, &cell);
@@ -230,11 +281,11 @@ impl Campaign {
         for (_, _, c) in cells.iter_mut() {
             normalize(c, samples);
         }
-        CampaignResult {
+        Ok(CampaignResult {
             baseline,
             novar,
             cells,
-        }
+        })
     }
 
     /// All measurements for one chip: the baseline reference plus one cell
@@ -246,7 +297,7 @@ impl Campaign {
         pairs: &[(Environment, Scheme)],
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
-    ) -> (CellResult, Vec<CellResult>) {
+    ) -> Result<(CellResult, Vec<CellResult>), CampaignError> {
         let chip = factory.chip(self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37));
         let mut baseline = CellResult::default();
         let mut cells = vec![CellResult::default(); pairs.len()];
@@ -257,7 +308,7 @@ impl Campaign {
             let fvar = core.fvar_nominal(&self.config);
             accumulate(
                 &mut baseline,
-                &self.reference_cell(core, fvar, profiles, novar_perf),
+                &self.reference_cell(core, fvar, profiles, novar_perf)?,
             );
 
             // Adapted environments.
@@ -266,43 +317,48 @@ impl Campaign {
                 let exhaustive = ExhaustiveOptimizer::new();
                 let optimizer: &dyn Optimizer = match scheme {
                     Scheme::FuzzyDyn => {
-                        if !fuzzy_cache.iter().any(|(e, _)| e == env) {
-                            let trained = FuzzyOptimizer::train(
-                                &self.config,
-                                &chip,
-                                core_idx,
-                                *env,
-                                &self.training,
-                            );
-                            fuzzy_cache.push((*env, trained));
-                        }
-                        &fuzzy_cache
-                            .iter()
-                            .find(|(e, _)| e == env)
-                            .expect("just inserted")
-                            .1
+                        let pos = match fuzzy_cache.iter().position(|(e, _)| e == env) {
+                            Some(pos) => pos,
+                            None => {
+                                let trained = FuzzyOptimizer::train(
+                                    &self.config,
+                                    &chip,
+                                    core_idx,
+                                    *env,
+                                    &self.training,
+                                );
+                                fuzzy_cache.push((*env, trained));
+                                fuzzy_cache.len() - 1
+                            }
+                        };
+                        &fuzzy_cache[pos].1
                     }
                     _ => &exhaustive,
                 };
                 let cell = match scheme {
-                    Scheme::Static => self.run_static(core, *env, profiles, novar_perf),
+                    Scheme::Static => self.run_static(core, *env, profiles, novar_perf)?,
                     _ => self.run_dynamic(core, *env, optimizer, profiles, novar_perf),
                 };
                 accumulate(acc, &cell);
             }
         }
-        (baseline, cells)
+        Ok((baseline, cells))
     }
 
     /// Per-workload breakdown for one (environment, scheme) pair: the mean
     /// cell of each workload over the chip population, in suite order.
     /// (Figures 10–12 report suite averages; this exposes the per-app
     /// detail an artifact evaluation wants.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if a statically provisioned operating
+    /// point turns out to be thermally infeasible on some chip.
     pub fn run_per_workload(
         &self,
         env: Environment,
         scheme: Scheme,
-    ) -> Vec<(&'static str, CellResult)> {
+    ) -> Result<Vec<(&'static str, CellResult)>, CampaignError> {
         assert!(self.chips > 0, "need at least one chip");
         let factory = ChipFactory::new(self.config.clone());
         let profiles: Vec<WorkloadProfile> = self
@@ -326,18 +382,12 @@ impl Campaign {
                 for (profile, (_, acc)) in profiles.iter().zip(out.iter_mut()) {
                     let single = std::slice::from_ref(profile);
                     let ref_perf = [self.novar_perf(profile)];
-                    let cell = match scheme {
-                        Scheme::Static => self.run_static(core, env, single, &ref_perf),
-                        Scheme::FuzzyDyn => self.run_dynamic(
-                            core,
-                            env,
-                            fuzzy.as_ref().expect("trained above"),
-                            single,
-                            &ref_perf,
-                        ),
-                        Scheme::ExhDyn => {
-                            self.run_dynamic(core, env, &exhaustive, single, &ref_perf)
+                    let cell = match (scheme, fuzzy.as_ref()) {
+                        (Scheme::Static, _) => self.run_static(core, env, single, &ref_perf)?,
+                        (Scheme::FuzzyDyn, Some(fuzzy)) => {
+                            self.run_dynamic(core, env, fuzzy, single, &ref_perf)
                         }
+                        _ => self.run_dynamic(core, env, &exhaustive, single, &ref_perf),
                     };
                     accumulate(acc, &cell);
                 }
@@ -347,7 +397,7 @@ impl Campaign {
         for (_, c) in out.iter_mut() {
             normalize(c, samples);
         }
-        out
+        Ok(out)
     }
 
     /// NoVar performance of one workload (nominal f, no errors), weighted
@@ -369,10 +419,10 @@ impl Campaign {
     fn reference_cell(
         &self,
         core: &CoreModel,
-        f_ghz: f64,
+        f: GHz,
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
-    ) -> CellResult {
+    ) -> Result<CellResult, CampaignError> {
         let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
         let mut cell = CellResult::default();
         for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
@@ -382,27 +432,30 @@ impl Campaign {
                     .evaluate(
                         &self.config,
                         self.config.th_c,
-                        f_ghz,
+                        f,
                         &settings,
                         &ph.activity.alpha_f,
                         &ph.activity.rho,
                         &VariantSelection::default(),
                     )
-                    .expect("nominal point is feasible");
+                    .map_err(|source| CampaignError::Infeasible {
+                        context: "reference machine at nominal voltages",
+                        source,
+                    })?;
                 let perf = PerfModel::new(
                     ph.cpi_comp(QueueSize::Full),
                     ph.mr,
                     ph.mp_ns,
                     profile.rp_cycles,
                 )
-                .perf(f_ghz, 0.0);
-                cell.freq_rel += weight * f_ghz / self.config.f_nominal_ghz;
+                .perf(f.get(), 0.0);
+                cell.freq_rel += weight * f.get() / self.config.f_nominal_ghz;
                 cell.perf_rel += weight * perf / ref_perf;
                 // No checker in the reference machines.
                 cell.power_w += weight * (eval.total_power_w - self.config.checker_w);
             }
         }
-        cell
+        Ok(cell)
     }
 
     /// Dynamic adaptation: the controller runs at every phase.
@@ -448,7 +501,7 @@ impl Campaign {
         env: Environment,
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
-    ) -> CellResult {
+    ) -> Result<CellResult, CampaignError> {
         let exhaustive = ExhaustiveOptimizer::new();
         let mut cell = CellResult::default();
         for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
@@ -473,13 +526,16 @@ impl Campaign {
                     .evaluate(
                         &self.config,
                         self.config.th_c,
-                        d.f_ghz,
+                        GHz::raw(d.f_ghz),
                         &d.settings,
                         &ph.activity.alpha_f,
                         &ph.activity.rho,
                         &d.variants,
                     )
-                    .expect("worst-case-provisioned point is feasible");
+                    .map_err(|source| CampaignError::Infeasible {
+                        context: "worst-case-provisioned static configuration",
+                        source,
+                    })?;
                 let queue = static_queue_size(profile, &d);
                 let perf = PerfModel::new(
                     ph.cpi_comp(queue),
@@ -493,7 +549,7 @@ impl Campaign {
                 cell.power_w += weight * self.billed_power(env, eval.total_power_w);
             }
         }
-        cell
+        Ok(cell)
     }
 
     /// Checker power is only billed when the environment has a checker.
@@ -571,7 +627,7 @@ mod tests {
     #[test]
     fn baseline_is_slower_than_novar_and_ts_beats_baseline() {
         let c = tiny_campaign();
-        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]);
+        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]).expect("campaign runs");
         assert!(r.baseline.freq_rel < 0.95, "baseline {}", r.baseline.freq_rel);
         assert!((r.novar.freq_rel - 1.0).abs() < 1e-9);
         let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
@@ -589,7 +645,7 @@ mod tests {
         let r = c.run(
             &[Environment::TS, Environment::TS_ASV],
             &[Scheme::ExhDyn],
-        );
+        ).expect("campaign runs");
         let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
         let asv = r.cell(Environment::TS_ASV, Scheme::ExhDyn).unwrap();
         assert!(asv.freq_rel > ts.freq_rel);
@@ -600,7 +656,7 @@ mod tests {
     #[test]
     fn static_is_no_faster_than_dynamic() {
         let c = tiny_campaign();
-        let r = c.run(&[Environment::TS_ASV], &[Scheme::Static, Scheme::ExhDyn]);
+        let r = c.run(&[Environment::TS_ASV], &[Scheme::Static, Scheme::ExhDyn]).expect("campaign runs");
         let st = r.cell(Environment::TS_ASV, Scheme::Static).unwrap();
         let dy = r.cell(Environment::TS_ASV, Scheme::ExhDyn).unwrap();
         assert!(
@@ -614,7 +670,7 @@ mod tests {
     #[test]
     fn dynamic_cells_record_outcomes() {
         let c = tiny_campaign();
-        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]);
+        let r = c.run(&[Environment::TS], &[Scheme::ExhDyn]).expect("campaign runs");
         let ts = r.cell(Environment::TS, Scheme::ExhDyn).unwrap();
         assert!(ts.outcomes.total() > 0);
     }

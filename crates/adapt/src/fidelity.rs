@@ -6,8 +6,7 @@ use eval_core::{
     N_SUBSYSTEMS,
 };
 use eval_uarch::SubsystemId;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::exhaustive::ExhaustiveOptimizer;
 use crate::fuzzy_ctl::{FuzzyOptimizer, TrainingBudget};

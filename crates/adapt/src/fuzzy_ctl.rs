@@ -20,8 +20,7 @@ use eval_core::{
     FREQ_LADDER, N_SUBSYSTEMS, VBB_LADDER, VDD_LADDER,
 };
 use eval_fuzzy::{FuzzyController, Normalizer, TrainingConfig};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::exhaustive::ExhaustiveOptimizer;
 use crate::optimizer::{Optimizer, SubsystemScene};
@@ -166,6 +165,9 @@ impl FuzzyOptimizer {
                         &budget.config,
                         budget.seed ^ salt ^ (id.index() as u64) << 8,
                     )
+                    // lint:allow(panic-safety): TrainingBudget::default
+                    // sizes the example set well above the rule count, and
+                    // train() only fails when it is smaller.
                     .expect("training set is larger than the rule count");
                     Trained { norm, fc }
                 };
@@ -197,6 +199,8 @@ impl FuzzyOptimizer {
         self.controllers[id.index()][alt as usize]
             .as_ref()
             .or(self.controllers[id.index()][0].as_ref())
+            // lint:allow(panic-safety): the constructor trains slot 0 for
+            // every subsystem id before FuzzyOptimizer is handed out.
             .expect("controller trained for every subsystem")
     }
 }
@@ -243,7 +247,7 @@ mod tests {
 
     fn small_budget() -> TrainingBudget {
         TrainingBudget {
-            examples: 80,
+            examples: 160,
             config: TrainingConfig {
                 epochs: 3,
                 ..TrainingConfig::micro08()
@@ -322,9 +326,42 @@ mod tests {
             pe_budget,
             env: Environment::TS_ASV_Q_FU,
         };
-        let f_normal = fuzzy.freq_max(&cfg, &mk(FuChoice::Normal));
-        let f_low = fuzzy.freq_max(&cfg, &mk(FuChoice::LowSlope));
-        // The low-slope replica should never look slower to the controller.
-        assert!(f_low + 1e-9 >= f_normal, "low {f_low} vs normal {f_normal}");
+        // The variant is part of the learned function: each (subsystem,
+        // variant) pair has its own controller, and each must track the
+        // exhaustive oracle for *its* variant. (Whether low-slope beats
+        // normal at any given scene is chip-dependent — tilt trades mean
+        // delay for variance — so that is not asserted.) Averaged over a
+        // grid of scenes, the per-variant tracking error should stay
+        // within a couple of ladder steps.
+        let oracle = ExhaustiveOptimizer::new();
+        let mut err = [0.0f64; 2];
+        let mut diverged = false;
+        let mut scenes = 0u32;
+        for th in [50.0, 58.0, 66.0] {
+            for alpha in [0.3, 0.6, 0.9] {
+                for rho in [0.4, 0.8, 1.6] {
+                    let at = |fu: FuChoice| {
+                        let mut s = mk(fu);
+                        s.th_c = th;
+                        s.alpha_f = alpha;
+                        s.rho = rho;
+                        (fuzzy.freq_max(&cfg, &s), oracle.freq_max(&cfg, &s))
+                    };
+                    let (f_normal, o_normal) = at(FuChoice::Normal);
+                    let (f_low, o_low) = at(FuChoice::LowSlope);
+                    err[0] += (f_normal - o_normal).abs();
+                    err[1] += (f_low - o_low).abs();
+                    diverged |= f_normal != f_low;
+                    scenes += 1;
+                }
+            }
+        }
+        let mean_err_normal = err[0] / scenes as f64;
+        let mean_err_low = err[1] / scenes as f64;
+        assert!(
+            mean_err_normal <= 0.3 && mean_err_low <= 0.3,
+            "mean tracking error: normal {mean_err_normal} GHz, low-slope {mean_err_low} GHz"
+        );
+        assert!(diverged, "variant controllers never disagreed — not variant-specific");
     }
 }

@@ -36,7 +36,7 @@ pub mod retune;
 pub mod runtime;
 pub mod surface;
 
-pub use campaign::{Campaign, CampaignResult, CellResult, Scheme};
+pub use campaign::{Campaign, CampaignError, CampaignResult, CellResult, Scheme};
 pub use choice::{choose_fu, choose_queue};
 pub use controller::{decide_phase, AdaptationTimeline, PhaseDecision};
 pub use exhaustive::ExhaustiveOptimizer;

@@ -5,6 +5,7 @@ use eval_core::{
     Environment, EvalConfig, OperatingConditions, SubsystemState, VariantSelection,
 };
 use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_units::{GHz, Volts};
 
 /// Everything the per-subsystem `Freq`/`Power` algorithms see about one
 /// subsystem in one phase (the paper's `{TH, Rth, Kdyn, alpha_f, Ksta,
@@ -33,7 +34,9 @@ impl<'a> SubsystemScene<'a> {
     /// constraints for this subsystem, and if so at what cost.
     /// Returns `Some((power_w, t_c))` when feasible.
     pub fn check(&self, config: &EvalConfig, f_ghz: f64, vdd: f64, vbb: f64) -> Option<(f64, f64)> {
-        let op = OperatingPoint { f_ghz, vdd, vbb };
+        // Candidates come off the actuator ladders (validated once at
+        // construction), so the unchecked constructor is safe here.
+        let op = OperatingPoint::raw(f_ghz, vdd, vbb);
         let env = ThermalEnvironment {
             th_c: self.th_c,
             alpha_f: self.alpha_f,
@@ -44,11 +47,11 @@ impl<'a> SubsystemScene<'a> {
             return None;
         }
         let cond = OperatingConditions {
-            vdd,
-            vbb,
+            vdd: Volts::raw(vdd),
+            vbb: Volts::raw(vbb),
             t_c: sol.t_c,
         };
-        let pe = self.rho * self.state.timing(&self.variants).pe_access(f_ghz, &cond);
+        let pe = self.rho * self.state.timing(&self.variants).pe_access(GHz::raw(f_ghz), &cond);
         if pe > self.pe_budget {
             return None;
         }

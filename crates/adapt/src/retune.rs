@@ -1,6 +1,8 @@
 //! Retuning cycles (§4.3.3): sensor-driven frequency correction after the
 //! controller picks a configuration, and the five outcomes of Figure 13.
 
+use eval_units::GHz;
+
 use eval_core::{
     CoreEvaluation, CoreModel, EvalConfig, VariantSelection, FREQ_LADDER, N_SUBSYSTEMS,
 };
@@ -31,6 +33,17 @@ impl Outcome {
         Outcome::Temp,
         Outcome::Power,
     ];
+
+    /// Position of this outcome in [`Outcome::ALL`] (histogram slot).
+    pub const fn index(self) -> usize {
+        match self {
+            Outcome::NoChange => 0,
+            Outcome::LowFreq => 1,
+            Outcome::Error => 2,
+            Outcome::Temp => 3,
+            Outcome::Power => 4,
+        }
+    }
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -72,6 +85,18 @@ fn violation(config: &EvalConfig, eval: &CoreEvaluation) -> Option<Outcome> {
     }
 }
 
+/// One probed operating point, classified. Binding the evaluation into the
+/// variant (instead of checking a separate `Option`) is what lets the
+/// retuning loops below stay free of `unwrap`/`expect`.
+enum Checked {
+    /// Feasible and violation-free.
+    Clean(CoreEvaluation),
+    /// Feasible but violating a constraint.
+    Violating(Outcome, CoreEvaluation),
+    /// Thermal runaway (counts as a `Temp` violation).
+    Runaway,
+}
+
 fn evaluate(
     config: &EvalConfig,
     core: &CoreModel,
@@ -82,7 +107,7 @@ fn evaluate(
     rho: &[f64; N_SUBSYSTEMS],
     variants: &VariantSelection,
 ) -> Option<CoreEvaluation> {
-    core.evaluate(config, th_c, f_ghz, settings, alpha, rho, variants)
+    core.evaluate(config, th_c, GHz::raw(f_ghz), settings, alpha, rho, variants)
         .ok()
 }
 
@@ -96,11 +121,6 @@ fn evaluate(
 /// probe distinguishes `NoChange` from `LowFreq`.
 ///
 /// A thermally infeasible (runaway) point counts as a `Temp` violation.
-///
-/// # Panics
-///
-/// Panics if no frequency on the ladder is violation-free (the ladder
-/// floor is far below any realistic constraint).
 #[allow(clippy::too_many_arguments)]
 pub fn retune(
     config: &EvalConfig,
@@ -112,33 +132,36 @@ pub fn retune(
     rho: &[f64; N_SUBSYSTEMS],
     variants: &VariantSelection,
 ) -> RetuneResult {
-    let eval_at = |f: f64| evaluate(config, core, th_c, f, settings, alpha, rho, variants);
-    let violation_at = |ev: &Option<CoreEvaluation>| match ev {
-        Some(e) => violation(config, e),
-        None => Some(Outcome::Temp),
+    let check = |f: f64| -> Checked {
+        match evaluate(config, core, th_c, f, settings, alpha, rho, variants) {
+            Some(e) => match violation(config, &e) {
+                None => Checked::Clean(e),
+                Some(v) => Checked::Violating(v, e),
+            },
+            None => Checked::Runaway,
+        }
     };
 
     let mut steps = 0u32;
-    let first = eval_at(f0_ghz);
-    match violation_at(&first) {
-        None => {
+    match check(f0_ghz) {
+        Checked::Clean(mut eval) => {
             // Clean: probe upward.
             let mut f = f0_ghz;
-            let mut eval = first.expect("clean evaluation exists");
             let mut raised = false;
             loop {
                 let next = FREQ_LADDER.step_by(f, 1);
                 if next <= f {
                     break; // already at the top of the ladder
                 }
-                let ev = eval_at(next);
-                if violation_at(&ev).is_some() {
-                    break;
+                match check(next) {
+                    Checked::Clean(e) => {
+                        f = next;
+                        eval = e;
+                        raised = true;
+                        steps += 1;
+                    }
+                    _ => break,
                 }
-                f = next;
-                eval = ev.expect("checked clean");
-                raised = true;
-                steps += 1;
             }
             RetuneResult {
                 f_ghz: f,
@@ -151,63 +174,52 @@ pub fn retune(
                 evaluation: eval,
             }
         }
-        Some(initial_violation) => {
+        first => {
+            let initial_violation = match &first {
+                Checked::Violating(v, _) => *v,
+                _ => Outcome::Temp,
+            };
             // Exponential back-off: 1, 2, 4, 8, 8, ... steps.
             let mut f = f0_ghz;
             let mut back = 1i64;
-            let mut eval;
-            loop {
+            let eval = loop {
                 let next = FREQ_LADDER.step_by(f, -back);
                 steps += back.unsigned_abs() as u32;
                 f = next;
-                eval = eval_at(f);
-                if violation_at(&eval).is_none() {
-                    break;
-                }
-                if f <= FREQ_LADDER.min + 1e-9 {
-                    // Even the ladder floor violates with these settings;
-                    // report the floor — the next controller invocation
-                    // will pick different voltages.
-                    return RetuneResult {
-                        f_ghz: f,
-                        outcome: initial_violation,
-                        steps,
-                        evaluation: eval.unwrap_or_else(|| {
-                            // Thermal runaway even at the floor: synthesize
-                            // an evaluation by probing at the floor with
-                            // minimum supply so callers still get numbers.
-                            let floor_settings: Vec<(f64, f64)> =
-                                settings.iter().map(|_| (1.0, 0.0)).collect();
-                            evaluate(
-                                config,
-                                core,
-                                th_c,
-                                FREQ_LADDER.min,
-                                &floor_settings,
-                                alpha,
-                                rho,
-                                variants,
-                            )
-                            .expect("nominal floor operating point is feasible")
-                        }),
-                    };
+                match check(f) {
+                    Checked::Clean(e) => break e,
+                    state if f <= FREQ_LADDER.min + 1e-9 => {
+                        // Even the ladder floor violates with these settings;
+                        // report the floor — the next controller invocation
+                        // will pick different voltages.
+                        return RetuneResult {
+                            f_ghz: f,
+                            outcome: initial_violation,
+                            steps,
+                            evaluation: floor_evaluation(
+                                state, config, core, th_c, settings, alpha, rho, variants,
+                            ),
+                        };
+                    }
+                    _ => {}
                 }
                 back = (back * 2).min(8);
-            }
+            };
             // Ramp back up in single steps to just below the violation.
-            let mut best = eval.expect("violation-free point found");
+            let mut best = eval;
             loop {
                 let next = FREQ_LADDER.step_by(f, 1);
                 if next <= f || next >= f0_ghz {
                     break;
                 }
-                let ev = eval_at(next);
-                if violation_at(&ev).is_some() {
-                    break;
+                match check(next) {
+                    Checked::Clean(e) => {
+                        f = next;
+                        best = e;
+                        steps += 1;
+                    }
+                    _ => break,
                 }
-                f = next;
-                best = ev.expect("checked clean");
-                steps += 1;
             }
             RetuneResult {
                 f_ghz: f,
@@ -215,6 +227,42 @@ pub fn retune(
                 steps,
                 evaluation: best,
             }
+        }
+    }
+}
+
+/// The evaluation reported when retuning bottoms out at the ladder floor:
+/// the floor point itself if it at least converged, otherwise a probe at
+/// the floor with nominal voltages so callers still get numbers.
+#[allow(clippy::too_many_arguments)]
+fn floor_evaluation(
+    state: Checked,
+    config: &EvalConfig,
+    core: &CoreModel,
+    th_c: f64,
+    settings: &[(f64, f64)],
+    alpha: &[f64; N_SUBSYSTEMS],
+    rho: &[f64; N_SUBSYSTEMS],
+    variants: &VariantSelection,
+) -> CoreEvaluation {
+    match state {
+        Checked::Clean(e) | Checked::Violating(_, e) => e,
+        Checked::Runaway => {
+            let floor_settings: Vec<(f64, f64)> = settings.iter().map(|_| (1.0, 0.0)).collect();
+            evaluate(
+                config,
+                core,
+                th_c,
+                FREQ_LADDER.min,
+                &floor_settings,
+                alpha,
+                rho,
+                variants,
+            )
+            // lint:allow(panic-safety): the 2.4 GHz floor at nominal
+            // voltages converges for every chip the variation model can
+            // produce; a runaway here means the thermal model itself broke.
+            .expect("nominal floor operating point is feasible")
         }
     }
 }

@@ -4,7 +4,7 @@
 //! configuration ("if this phase has been seen before, a saved
 //! configuration is reused").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eval_core::{CoreModel, Environment, EvalConfig};
 use eval_uarch::profile::PhaseProfile;
@@ -45,7 +45,9 @@ pub struct AdaptiveSystem<'a> {
     rp_cycles: f64,
     detector: PhaseDetector,
     timeline: AdaptationTimeline,
-    saved: HashMap<u32, PhaseDecision>,
+    // BTreeMap, not HashMap: iteration order must not depend on hasher
+    // seeds anywhere on the simulation path (eval-lint: determinism).
+    saved: BTreeMap<u32, PhaseDecision>,
     active: Option<PhaseDecision>,
     stats: RuntimeStats,
     overhead_us: f64,
@@ -70,7 +72,7 @@ impl<'a> AdaptiveSystem<'a> {
             rp_cycles,
             detector: PhaseDetector::micro08(),
             timeline: AdaptationTimeline::micro08(),
-            saved: HashMap::new(),
+            saved: BTreeMap::new(),
             active: None,
             stats: RuntimeStats::default(),
             overhead_us: 0.0,

@@ -6,6 +6,7 @@ use eval_core::{
     Environment, EvalConfig, OperatingConditions, PerfModel, SubsystemState, VariantSelection,
 };
 use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_units::{GHz, Volts};
 
 /// One sample of the Figure 9(a) surface.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,11 +61,7 @@ pub fn pe_power_frequency_surface(
         let mut candidates: Vec<(f64, f64)> = Vec::new();
         for &vdd in &vdds {
             for &vbb in &vbbs {
-                let op = OperatingPoint {
-                    f_ghz: f,
-                    vdd,
-                    vbb,
-                };
+                let op = OperatingPoint::raw(f, vdd, vbb);
                 let tenv = ThermalEnvironment { th_c, alpha_f };
                 let params = state.power_params(&variants);
                 let Ok(sol) = solve_thermal(&params, &tenv, &op, &config.device) else {
@@ -74,11 +71,11 @@ pub fn pe_power_frequency_surface(
                     continue;
                 }
                 let cond = OperatingConditions {
-                    vdd,
-                    vbb,
+                    vdd: Volts::raw(vdd),
+                    vbb: Volts::raw(vbb),
                     t_c: sol.t_c,
                 };
-                let pe = state.timing(&variants).pe_access(f, &cond);
+                let pe = state.timing(&variants).pe_access(GHz::raw(f), &cond);
                 candidates.push((sol.total_w(), pe));
             }
         }

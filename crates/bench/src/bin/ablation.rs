@@ -23,7 +23,7 @@ fn mean_fvar(config: &EvalConfig, chips: usize, seed: u64) -> f64 {
     let factory = ChipFactory::new(config.clone());
     factory
         .population(seed, chips)
-        .map(|chip| chip.core(0).fvar_nominal(config) / config.f_nominal_ghz)
+        .map(|chip| chip.core(0).fvar_nominal(config).get() / config.f_nominal_ghz)
         .sum::<f64>()
         / chips as f64
 }

@@ -7,14 +7,14 @@ use eval_adapt::Scheme;
 use eval_bench::standard_campaign;
 use eval_core::Environment;
 
-fn main() {
+fn main() -> Result<(), eval_adapt::CampaignError> {
     let campaign = standard_campaign(6);
     eprintln!(
         "# per-workload breakdown: {} chips x {} workloads (TS+ASV+Q+FU, Fuzzy-Dyn)",
         campaign.chips,
         campaign.workloads.len()
     );
-    let rows = campaign.run_per_workload(Environment::TS_ASV_Q_FU, Scheme::FuzzyDyn);
+    let rows = campaign.run_per_workload(Environment::TS_ASV_Q_FU, Scheme::FuzzyDyn)?;
     println!(
         "{:<10} {:>9} {:>9} {:>9}",
         "workload", "freq_rel", "perf_rel", "power_W"
@@ -39,4 +39,5 @@ fn main() {
         mean(|c| c.perf_rel),
         mean(|c| c.power_w)
     );
+    Ok(())
 }

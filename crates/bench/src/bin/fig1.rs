@@ -9,6 +9,7 @@
 
 use eval_core::EvalConfig;
 use eval_timing::{OperatingConditions, PathClass, PipelineErrorModel, StageTiming, SubsystemKind};
+use eval_units::GHz;
 use eval_variation::{ChipGrid, VariationModel, VariationParams};
 
 fn main() {
@@ -55,10 +56,10 @@ fn main() {
     let cond = OperatingConditions::nominal();
     println!("csv,f_ghz,pe_memory,pe_logic");
     for k in 0..=40 {
-        let f = 2.8 + 0.05 * k as f64;
+        let f = GHz::raw(2.8 + 0.05 * k as f64);
         println!(
             "csv,{:.2},{:.3e},{:.3e}",
-            f,
+            f.get(),
             mem.pe_access(f, &cond),
             stage.pe_access(f, &cond)
         );
@@ -69,9 +70,9 @@ fn main() {
     let pipeline = PipelineErrorModel::new(vec![(1.0, mem.clone()), (0.6, stage.clone())]);
     println!("csv,f_ghz,pe_per_instruction");
     for k in 0..=40 {
-        let f = 2.8 + 0.05 * k as f64;
-        println!("csv,{:.2},{:.3e}", f, pipeline.pe_uniform(f, &cond));
+        let f = GHz::raw(2.8 + 0.05 * k as f64);
+        println!("csv,{:.2},{:.3e}", f.get(), pipeline.pe_uniform(f, &cond));
     }
-    let fvar = pipeline.fvar_uniform(&cond, 1e-12);
+    let fvar = pipeline.fvar_uniform(&cond, 1e-12).get();
     println!("# fvar (error-free) = {fvar:.2} GHz vs nominal {:.1} GHz", config.f_nominal_ghz);
 }

@@ -6,8 +6,8 @@
 
 use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
 
-fn main() {
-    let result = run_figure10_campaign(10);
+fn main() -> Result<(), eval_adapt::CampaignError> {
+    let result = run_figure10_campaign(10)?;
     print_environment_matrix(
         "Figure 10: relative frequency (NoVar = 1.0)",
         "x NoVar",
@@ -21,4 +21,5 @@ fn main() {
         "# paper shape: Baseline 0.78; TS ~0.87; TS+ASV static 0.97, dynamic ~1.05;"
     );
     println!("# adding Q+FU with dynamic adaptation reaches 1.21 (their best).");
+    Ok(())
 }

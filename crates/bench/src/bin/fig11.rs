@@ -4,8 +4,8 @@
 
 use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
 
-fn main() {
-    let result = run_figure10_campaign(10);
+fn main() -> Result<(), eval_adapt::CampaignError> {
+    let result = run_figure10_campaign(10)?;
     print_environment_matrix(
         "Figure 11: relative performance (NoVar = 1.0)",
         "x NoVar",
@@ -17,4 +17,5 @@ fn main() {
     println!();
     println!("# paper shape: same ordering as Figure 10 with smaller magnitudes;");
     println!("# their preferred scheme (TS+ASV+Q+FU, Fuzzy-Dyn) gains 14% over NoVar.");
+    Ok(())
 }

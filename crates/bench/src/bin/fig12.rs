@@ -5,8 +5,8 @@
 
 use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
 
-fn main() {
-    let result = run_figure10_campaign(10);
+fn main() -> Result<(), eval_adapt::CampaignError> {
+    let result = run_figure10_campaign(10)?;
     print_environment_matrix(
         "Figure 12: processor power (watts)",
         "W",
@@ -18,4 +18,5 @@ fn main() {
     println!();
     println!("# paper shape: NoVar ~25 W, Baseline ~17 W (it runs slower); power grows");
     println!("# as techniques are added; the best dynamic scheme rides PMAX = 30 W.");
+    Ok(())
 }

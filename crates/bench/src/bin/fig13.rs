@@ -10,7 +10,7 @@ use eval_adapt::{Campaign, Outcome, Scheme};
 use eval_bench::{chips_from_env, workloads_from_env};
 use eval_core::Environment;
 
-fn main() {
+fn main() -> Result<(), eval_adapt::CampaignError> {
     let mut campaign = Campaign::new(chips_from_env(8));
     campaign.workloads = workloads_from_env();
     eprintln!(
@@ -39,7 +39,7 @@ fn main() {
                 queue,
                 ..base
             };
-            let result = campaign.run(&[env], &[Scheme::FuzzyDyn]);
+            let result = campaign.run(&[env], &[Scheme::FuzzyDyn])?;
             let cell = result.cell(env, Scheme::FuzzyDyn).expect("cell exists");
             let frac = |o: Outcome| 100.0 * cell.outcomes.fraction(o);
             println!(
@@ -66,4 +66,5 @@ fn main() {
     println!();
     println!("# paper shape: NoChange dominates for TS; NoChange+LowFreq cover ~50%+");
     println!("# of invocations everywhere; Temp cases are infrequent.");
+    Ok(())
 }

@@ -13,6 +13,7 @@ use eval_core::{EvalConfig, PerfModel};
 use eval_timing::{
     low_slope, resize_shift, OperatingConditions, PathClass, StageTiming, SubsystemKind,
 };
+use eval_units::{GHz, Volts};
 use eval_variation::{ChipGrid, VariationModel, VariationParams};
 
 fn main() {
@@ -34,7 +35,7 @@ fn main() {
     let mut best = (0.0, 0.0);
     for k in 0..=60 {
         let f = 3.0 + 0.04 * k as f64;
-        let pe = (0.9 * stage.pe_access(f, &cond)).clamp(0.0, 1.0);
+        let pe = (0.9 * stage.pe_access(GHz::raw(f), &cond)).clamp(0.0, 1.0);
         let p = perf.perf(f, pe);
         if p > best.1 {
             best = (f, p);
@@ -53,9 +54,9 @@ fn main() {
         let f = 3.0 + 0.04 * k as f64;
         println!(
             "csv,{f:.2},{:.3e},{:.3e},{:.3e}",
-            stage.pe_access(f, &cond),
-            tilted.pe_access(f, &cond),
-            shifted.pe_access(f, &cond)
+            stage.pe_access(GHz::raw(f), &cond),
+            tilted.pe_access(GHz::raw(f), &cond),
+            shifted.pe_access(GHz::raw(f), &cond)
         );
     }
 
@@ -63,11 +64,11 @@ fn main() {
     println!();
     println!("# Figure 2(d): reshape — ASV boost on slow stage, ASV save on fast stage");
     let boost = OperatingConditions {
-        vdd: 1.15,
+        vdd: Volts::raw(1.15),
         ..cond
     };
     let save = OperatingConditions {
-        vdd: 0.90,
+        vdd: Volts::raw(0.90),
         ..cond
     };
     println!("csv,f_ghz,pe_nominal,pe_boosted,pe_saving");
@@ -75,9 +76,9 @@ fn main() {
         let f = 3.0 + 0.04 * k as f64;
         println!(
             "csv,{f:.2},{:.3e},{:.3e},{:.3e}",
-            stage.pe_access(f, &cond),
-            stage.pe_access(f, &boost),
-            stage.pe_access(f, &save)
+            stage.pe_access(GHz::raw(f), &cond),
+            stage.pe_access(GHz::raw(f), &boost),
+            stage.pe_access(GHz::raw(f), &save)
         );
     }
 
@@ -87,7 +88,7 @@ fn main() {
     println!("csv,f_ghz,pe_hot_phase,pe_cold_phase");
     for k in 0..=60 {
         let f = 3.0 + 0.04 * k as f64;
-        let pe = stage.pe_access(f, &cond);
+        let pe = stage.pe_access(GHz::raw(f), &cond);
         println!("csv,{f:.2},{:.3e},{:.3e}", 1.2 * pe, 0.1 * pe);
     }
 }

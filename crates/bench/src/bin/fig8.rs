@@ -8,6 +8,7 @@ use eval_core::{
     VariantSelection, N_SUBSYSTEMS,
 };
 use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_units::{GHz, Volts};
 use eval_uarch::{profile_workload, QueueSize, Workload};
 
 fn main() {
@@ -45,20 +46,16 @@ fn main() {
                 th_c: config.th_c,
                 alpha_f: ph.activity.alpha_f[id.index()],
             };
-            let op = OperatingPoint {
-                f_ghz: f,
-                vdd: 1.0,
-                vbb: 0.0,
-            };
+            let op = OperatingPoint::raw(f, 1.0, 0.0);
             let t_c = solve_thermal(&state.power_params(&variants), &env, &op, &config.device)
                 .map(|s| s.t_c)
                 .unwrap_or(config.constraints.t_max_c);
             let cond = OperatingConditions {
-                vdd: 1.0,
-                vbb: 0.0,
+                vdd: Volts::raw(1.0),
+                vbb: Volts::raw(0.0),
                 t_c,
             };
-            let pe = state.timing(&variants).pe_access(f, &cond);
+            let pe = state.timing(&variants).pe_access(GHz::raw(f), &cond);
             total_pe += ph.activity.rho[id.index()] * pe;
             print!(",{pe:.3e}");
         }
@@ -121,7 +118,7 @@ fn main() {
                 rows.push((id.index(), 1.0, 0.0, p0, pe0));
             }
         }
-        let uncore = config.uncore_power_w(f) + config.checker_w;
+        let uncore = config.uncore_power_w(GHz::raw(f)) + config.checker_w;
         let mut total: f64 = uncore + rows.iter().map(|r| r.3).sum::<f64>();
         // Power-cap pass: revert boosts (most power saved first).
         if total > config.constraints.p_max_w {
@@ -184,11 +181,7 @@ fn evaluate_at(
     vdd: f64,
     vbb: f64,
 ) -> (f64, f64) {
-    let op = OperatingPoint {
-        f_ghz: f,
-        vdd,
-        vbb,
-    };
+    let op = OperatingPoint::raw(f, vdd, vbb);
     let env = ThermalEnvironment {
         th_c: scene.th_c,
         alpha_f: scene.alpha_f,
@@ -197,13 +190,13 @@ fn evaluate_at(
     match solve_thermal(&params, &env, &op, &config.device) {
         Ok(sol) => {
             let cond = OperatingConditions {
-                vdd,
-                vbb,
+                vdd: Volts::raw(vdd),
+                vbb: Volts::raw(vbb),
                 t_c: sol.t_c,
             };
             (
                 sol.total_w(),
-                scene.state.timing(&scene.variants).pe_access(f, &cond),
+                scene.state.timing(&scene.variants).pe_access(GHz::raw(f), &cond),
             )
         }
         Err(_) => (f64::INFINITY, 1.0),

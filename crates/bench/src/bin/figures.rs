@@ -6,8 +6,8 @@
 
 use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
 
-fn main() {
-    let result = run_figure10_campaign(10);
+fn main() -> Result<(), eval_adapt::CampaignError> {
+    let result = run_figure10_campaign(10)?;
     print_environment_matrix(
         "Figure 10: relative frequency (NoVar = 1.0)",
         "x NoVar",
@@ -32,4 +32,5 @@ fn main() {
     print_environment_csv("freq_rel", &result, |c| c.freq_rel);
     print_environment_csv("perf_rel", &result, |c| c.perf_rel);
     print_environment_csv("power_w", &result, |c| c.power_w);
+    Ok(())
 }

@@ -12,7 +12,7 @@ use eval_adapt::{Campaign, Scheme};
 use eval_bench::{chips_from_env, workloads_from_env};
 use eval_core::{AreaBreakdown, Environment};
 
-fn main() {
+fn main() -> Result<(), eval_adapt::CampaignError> {
     let mut campaign = Campaign::new(chips_from_env(15));
     campaign.workloads = workloads_from_env();
     eprintln!(
@@ -23,7 +23,7 @@ fn main() {
     let result = campaign.run(
         &[Environment::TS_ASV_Q_FU],
         &[Scheme::FuzzyDyn, Scheme::ExhDyn],
-    );
+    )?;
     let best = result
         .cell(Environment::TS_ASV_Q_FU, Scheme::FuzzyDyn)
         .expect("cell exists");
@@ -82,4 +82,5 @@ fn main() {
         "fuzzy control must track the exhaustive oracle"
     );
     println!("# all ordering assertions passed");
+    Ok(())
 }

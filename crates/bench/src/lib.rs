@@ -69,7 +69,9 @@ pub fn standard_campaign(default_chips: usize) -> Campaign {
 
 /// Runs the Figures 10–12 campaign (six environments, three schemes) and
 /// returns the result. This is the expensive shared computation.
-pub fn run_figure10_campaign(default_chips: usize) -> CampaignResult {
+pub fn run_figure10_campaign(
+    default_chips: usize,
+) -> Result<CampaignResult, eval_adapt::CampaignError> {
     let campaign = standard_campaign(default_chips);
     eprintln!(
         "# campaign: {} chips x {} workloads x 6 environments x 3 schemes",

@@ -2,6 +2,7 @@
 //! power models, plus whole-core configuration evaluation.
 
 use eval_power::{solve_thermal, OperatingPoint, SubsystemPowerParams, ThermalEnvironment};
+use eval_units::{GHz, Volts};
 use eval_timing::{
     low_slope, resize_shift, OperatingConditions, PathClass, StageTiming,
     LOW_SLOPE_POWER_AREA_FACTOR,
@@ -82,7 +83,7 @@ impl SubsystemState {
             .is_issue_queue()
             .then(|| timing.with_distribution(resize_shift(&dist)));
         let power = SubsystemPowerParams {
-            kdyn_w: descriptor.kdyn_w(config.f_nominal_ghz),
+            kdyn_w: descriptor.kdyn_w(GHz::raw(config.f_nominal_ghz)),
             ksta_nom_w: descriptor.sta_nom_w,
             rth_c_per_w: descriptor.rth_c_per_w,
             // The manufacturer's leakage-based tester measurement (§4.1),
@@ -122,18 +123,21 @@ impl SubsystemState {
 
     /// The timing model under the given variant selection.
     pub fn timing(&self, variants: &VariantSelection) -> &StageTiming {
+        // A variant request for a subsystem without that alternative model
+        // (which the optimizers never make) degrades to the base timing
+        // rather than panicking.
         match self.descriptor.id {
             SubsystemId::IntAlu if variants.int_fu == FuChoice::LowSlope => {
-                self.timing_low_slope.as_ref().expect("replicable FU")
+                self.timing_low_slope.as_ref().unwrap_or(&self.timing)
             }
             SubsystemId::FpUnit if variants.fp_fu == FuChoice::LowSlope => {
-                self.timing_low_slope.as_ref().expect("replicable FU")
+                self.timing_low_slope.as_ref().unwrap_or(&self.timing)
             }
             SubsystemId::IntQueue if variants.int_queue == QueueChoice::Small => {
-                self.timing_small.as_ref().expect("issue queue")
+                self.timing_small.as_ref().unwrap_or(&self.timing)
             }
             SubsystemId::FpQueue if variants.fp_queue == QueueChoice::Small => {
-                self.timing_small.as_ref().expect("issue queue")
+                self.timing_small.as_ref().unwrap_or(&self.timing)
             }
             _ => &self.timing,
         }
@@ -234,7 +238,7 @@ impl CoreModel {
     /// preserved**. This is what a conventionally clocked `Baseline`
     /// processor must run at; on a no-variation chip it equals the rated
     /// nominal frequency by construction.
-    pub fn fvar_nominal(&self, _config: &EvalConfig) -> f64 {
+    pub fn fvar_nominal(&self, _config: &EvalConfig) -> GHz {
         let cond = OperatingConditions::nominal();
         let physical = self
             .subsystems
@@ -242,9 +246,10 @@ impl CoreModel {
             .map(|s| {
                 s.timing(&VariantSelection::default())
                     .max_frequency(&cond, s.design_pe())
+                    .get()
             })
             .fold(f64::INFINITY, f64::min);
-        physical / (1.0 + eval_timing::DESIGN_GUARDBAND)
+        GHz::raw(physical / (1.0 + eval_timing::DESIGN_GUARDBAND))
     }
 
     /// Evaluates a candidate configuration: per-subsystem operating points
@@ -270,7 +275,7 @@ impl CoreModel {
         &self,
         config: &EvalConfig,
         th_c: f64,
-        f_ghz: f64,
+        f: GHz,
         settings: &[(f64, f64)],
         alpha: &[f64; N_SUBSYSTEMS],
         rho: &[f64; N_SUBSYSTEMS],
@@ -278,12 +283,18 @@ impl CoreModel {
     ) -> Result<CoreEvaluation, InfeasibleConfig> {
         assert_eq!(settings.len(), N_SUBSYSTEMS, "one (Vdd, Vbb) per subsystem");
         let mut subsystems = Vec::with_capacity(N_SUBSYSTEMS);
-        let mut total_power = config.uncore_power_w(f_ghz) + config.checker_w;
+        let mut total_power = config.uncore_power_w(f) + config.checker_w;
         let mut total_pe = 0.0;
         let mut max_t = th_c;
         for (i, state) in self.subsystems.iter().enumerate() {
+            // Settings come off the discrete actuator ladders, which are
+            // validated at construction; `raw` skips re-validation per call.
             let (vdd, vbb) = settings[i];
-            let op = OperatingPoint { f_ghz, vdd, vbb };
+            let op = OperatingPoint {
+                f,
+                vdd: Volts::raw(vdd),
+                vbb: Volts::raw(vbb),
+            };
             let env = ThermalEnvironment {
                 th_c,
                 alpha_f: alpha[i],
@@ -295,11 +306,11 @@ impl CoreModel {
                 }
             })?;
             let cond = OperatingConditions {
-                vdd,
-                vbb,
+                vdd: Volts::raw(vdd),
+                vbb: Volts::raw(vbb),
                 t_c: sol.t_c,
             };
-            let pe = rho[i] * state.timing(variants).pe_access(f_ghz, &cond);
+            let pe = rho[i] * state.timing(variants).pe_access(f, &cond);
             total_power += sol.total_w();
             total_pe += pe;
             max_t = max_t.max(sol.t_c);
@@ -484,7 +495,7 @@ mod tests {
     fn novar_core_reaches_nominal_frequency() {
         let cfg = config();
         let chip = ChipModel::no_variation(&cfg);
-        let fvar = chip.core(0).fvar_nominal(&cfg);
+        let fvar = chip.core(0).fvar_nominal(&cfg).get();
         assert!(
             (fvar - cfg.f_nominal_ghz).abs() / cfg.f_nominal_ghz < 0.03,
             "NoVar fvar = {fvar}"
@@ -498,7 +509,7 @@ mod tests {
         let n = 8;
         for seed in 0..n {
             let chip = factory().chip(seed);
-            total += chip.core(0).fvar_nominal(&cfg);
+            total += chip.core(0).fvar_nominal(&cfg).get();
         }
         let mean = total / n as f64;
         assert!(
@@ -517,7 +528,7 @@ mod tests {
             .evaluate(
                 &cfg,
                 cfg.th_c,
-                4.2,
+                GHz::raw(4.2),
                 &settings,
                 &uniform(0.5),
                 &uniform(0.5),
@@ -540,7 +551,7 @@ mod tests {
             core.evaluate(
                 &cfg,
                 cfg.th_c,
-                f,
+                GHz::raw(f),
                 &settings,
                 &uniform(0.5),
                 &uniform(0.5),

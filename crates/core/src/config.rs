@@ -1,5 +1,6 @@
 //! Global configuration of the modeled system (Figure 7(a)).
 
+use eval_units::GHz;
 use eval_power::Constraints;
 use eval_variation::{ChipGrid, DeviceParams, VariationParams};
 
@@ -52,9 +53,9 @@ impl EvalConfig {
         1.0 / self.f_nominal_ghz
     }
 
-    /// Uncore power (W) at core frequency `f_ghz` (nominal-voltage domain).
-    pub fn uncore_power_w(&self, f_ghz: f64) -> f64 {
-        self.uncore_dyn_w * f_ghz / self.f_nominal_ghz + self.uncore_sta_w
+    /// Uncore power (W) at core frequency `f` (nominal-voltage domain).
+    pub fn uncore_power_w(&self, f: GHz) -> f64 {
+        self.uncore_dyn_w * f.get() / self.f_nominal_ghz + self.uncore_sta_w
     }
 }
 
@@ -76,7 +77,7 @@ mod tests {
     #[test]
     fn uncore_power_scales_with_frequency() {
         let c = EvalConfig::micro08();
-        assert!(c.uncore_power_w(5.0) > c.uncore_power_w(4.0));
-        assert!((c.uncore_power_w(4.0) - (c.uncore_dyn_w + c.uncore_sta_w)).abs() < 1e-12);
+        assert!(c.uncore_power_w(GHz::raw(5.0)) > c.uncore_power_w(GHz::raw(4.0)));
+        assert!((c.uncore_power_w(GHz::raw(4.0)) - (c.uncore_dyn_w + c.uncore_sta_w)).abs() < 1e-12);
     }
 }

@@ -106,7 +106,7 @@ mod tests {
     fn subsystem_rects_do_not_overlap() {
         let g = ChipGrid::default();
         let fp = Floorplan::new(g, 0);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for id in SubsystemId::ALL {
             for c in fp.cells(id) {
                 assert!(seen.insert(c), "cell {c} covered twice ({id})");
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn cores_occupy_distinct_quadrants() {
         let g = ChipGrid::default();
-        let mut all = std::collections::HashSet::new();
+        let mut all = std::collections::BTreeSet::new();
         for core in 0..4 {
             let fp = Floorplan::new(g, core);
             for id in SubsystemId::ALL {

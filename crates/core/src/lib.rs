@@ -25,7 +25,7 @@
 //! // Variation makes the safe frequency workload-independent and usually
 //! // below the 4 GHz nominal:
 //! let fvar = core.fvar_nominal(&config);
-//! assert!(fvar > 2.0 && fvar < 5.0);
+//! assert!(fvar.get() > 2.0 && fvar.get() < 5.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,4 +57,5 @@ pub use tester::measure_vt0;
 // Re-export the vocabulary types users need alongside this crate.
 pub use eval_power::{Constraints, Ladder, OperatingPoint, FREQ_LADDER, VBB_LADDER, VDD_LADDER};
 pub use eval_timing::{OperatingConditions, SubsystemKind};
+pub use eval_units::{consts, ErrorRate, GHz, Kelvin, UnitRangeError, Volts, Watts};
 pub use eval_uarch::{SubsystemId, N_SUBSYSTEMS};

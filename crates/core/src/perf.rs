@@ -54,6 +54,8 @@ impl PerfModel {
     }
 
     /// Total CPI at `f_ghz` with error rate `pe` (errors/instruction).
+    // lint:allow(unit-safety): hottest inner loop of the optimizer sweep;
+    // takes ladder-validated plain floats to avoid per-candidate wrapping.
     pub fn cpi(&self, f_ghz: f64, pe: f64) -> f64 {
         self.cpi_comp + self.mr * self.mp_ns * f_ghz + pe * self.rp_cycles
     }
@@ -64,6 +66,8 @@ impl PerfModel {
     /// # Panics
     ///
     /// Panics if `f_ghz <= 0` or `pe` is not in `[0, 1]`.
+    // lint:allow(unit-safety): hottest inner loop of the optimizer sweep;
+    // takes ladder-validated plain floats to avoid per-candidate wrapping.
     pub fn perf(&self, f_ghz: f64, pe: f64) -> f64 {
         assert!(f_ghz > 0.0, "frequency must be positive");
         assert!((0.0..=1.0).contains(&pe), "PE must be a probability");

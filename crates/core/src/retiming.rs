@@ -62,7 +62,7 @@ pub fn retime_core(config: &EvalConfig, core: &CoreModel, borrow_limit: f64) -> 
             let f_phys = s
                 .timing(&VariantSelection::default())
                 .max_frequency(&cond, s.design_pe());
-            guard / f_phys
+            guard / f_phys.get()
         })
         .collect();
     let worst = periods.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -134,7 +134,7 @@ mod tests {
         let cfg = factory().config().clone();
         let chip = factory().chip(7);
         let r = retime_core(&cfg, chip.core(0), 0.1);
-        let fvar = chip.core(0).fvar_nominal(&cfg);
+        let fvar = chip.core(0).fvar_nominal(&cfg).get();
         assert!(
             (r.f_baseline_ghz - fvar).abs() / fvar < 1e-9,
             "retiming baseline {} vs fvar {fvar}",

@@ -7,6 +7,7 @@
 //! quarter leakage, distributed over subsystems in proportion to published
 //! Wattch/CACTI-style breakdowns.
 
+use eval_units::GHz;
 use eval_timing::SubsystemKind;
 use eval_uarch::SubsystemId;
 
@@ -66,8 +67,8 @@ impl SubsystemDescriptor {
     /// The `Kdyn` coefficient for `eval-power` (watts per unit activity at
     /// 1 V and 1 GHz), derived from the full-activity budget at nominal
     /// 4 GHz / 1 V.
-    pub fn kdyn_w(&self, f_nominal_ghz: f64) -> f64 {
-        self.dyn_w_at_full_activity / f_nominal_ghz
+    pub fn kdyn_w(&self, f_nominal: GHz) -> f64 {
+        self.dyn_w_at_full_activity / f_nominal.get()
     }
 }
 
@@ -113,7 +114,7 @@ mod tests {
     #[test]
     fn kdyn_derivation() {
         let d = SubsystemDescriptor::of(SubsystemId::IntAlu);
-        let kdyn = d.kdyn_w(4.0);
+        let kdyn = d.kdyn_w(GHz::raw(4.0));
         // Pdyn at alpha=1, 1V, 4GHz recovers the budget.
         assert!((kdyn * 4.0 - d.dyn_w_at_full_activity).abs() < 1e-12);
     }

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace-local
+//! package provides the subset of criterion's API the benches in
+//! `crates/bench` use: `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a simple
+//! wall-clock median over a fixed number of samples — good enough to rank
+//! hot paths, not a statistics suite.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The bench harness handle passed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Runs one benchmark body repeatedly and reports timing.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then taking timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-sample iteration calibration: aim for ~5 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as f64;
+        let iters = ((5e6 / once_ns) as u64).clamp(1, 100_000);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+fn run_one(id: &str, samples: u32, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(2),
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    let mut line = format!("{id:<44} {:>12}/iter", human(b.last_ns));
+    if let Some(Throughput::Elements(n)) = throughput {
+        if b.last_ns > 0.0 {
+            let per_sec = n as f64 * 1e9 / b.last_ns;
+            line.push_str(&format!("  ({per_sec:.0} elem/s)"));
+        }
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id` with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 10, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2) as u32;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("us"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+    }
+}

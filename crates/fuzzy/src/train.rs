@@ -2,8 +2,7 @@
 
 use std::fmt;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::controller::FuzzyController;
 

@@ -1,0 +1,782 @@
+//! # eval-lint
+//!
+//! A std-only, token/line-level static-analysis pass over the EVAL
+//! workspace. It enforces four rule families that the type system alone
+//! cannot (or that we chose to enforce by convention):
+//!
+//! * **unit-safety** — public functions of the physics crates
+//!   (`eval-power`, `eval-timing`, `eval-core`) must not take raw `f64`
+//!   parameters whose names say they carry a physical unit (`vdd`, `vbb`,
+//!   `*_ghz`, `volts`, `watts`, ...); those cross API boundaries as the
+//!   `eval-units` newtypes with range-validated constructors.
+//! * **determinism** — the simulation crates must not use wall-clock or
+//!   OS-entropy sources (`thread_rng`, `from_entropy`, `SystemTime`,
+//!   `Instant::now`) nor iteration-order-unstable collections
+//!   (`HashMap`, `HashSet`); the Monte-Carlo campaign must be bit-identical
+//!   across runs.
+//! * **panic-safety** — library crates must not call `.unwrap()` /
+//!   `.expect(...)` or the panicking macros outside `#[cfg(test)]` regions;
+//!   fallible paths return typed errors.
+//! * **config-invariants** — the paper's constants (PMAX = 30 W,
+//!   TMAX = 85 °C, PEMAX = 1e-4 err/inst, σ/μ = 0.09, φ = 0.5) are defined
+//!   exactly once, in `eval_units::consts`, with the paper's values;
+//!   shadow definitions elsewhere are flagged.
+//!
+//! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
+//! the offending line or in the contiguous comment block directly above
+//! it — every suppression in the tree carries a justification.
+//!
+//! The pass is deliberately lexical: comments and string literals are
+//! stripped by a small scanner, `#[cfg(test)]` items are tracked by brace
+//! depth, and everything else is substring/shape matching. That keeps the
+//! tool dependency-free (no syn, no proc-macro machinery) and fast enough
+//! to run as a tier-1 gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The four rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Raw `f64` where a unit newtype is required.
+    UnitSafety,
+    /// Entropy / wall-clock / hash-order sources in simulation crates.
+    Determinism,
+    /// `unwrap`/`expect`/panicking macros in library code.
+    PanicSafety,
+    /// Paper constants redefined outside `eval_units::consts`.
+    ConfigInvariants,
+}
+
+impl Rule {
+    /// All rule families, in report order.
+    pub const ALL: [Rule; 4] = [
+        Rule::UnitSafety,
+        Rule::Determinism,
+        Rule::PanicSafety,
+        Rule::ConfigInvariants,
+    ];
+
+    /// The kebab-case name used in diagnostics and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnitSafety => "unit-safety",
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic-safety",
+            Rule::ConfigInvariants => "config-invariants",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a rule violated at a file/line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path as reported (workspace-relative when produced by the walker).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule family.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// What the linter needs to know about a file before scanning it.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Cargo package name the file belongs to (`eval` for the root crate).
+    pub crate_name: String,
+    /// Test/bench/example code: exempt from panic-safety.
+    pub is_test_code: bool,
+}
+
+/// Crates whose public `f64` parameters are checked for unit names.
+const UNIT_CRATES: [&str; 3] = ["eval-power", "eval-timing", "eval-core"];
+
+/// Crates that participate in the deterministic simulation pipeline.
+const SIM_CRATES: [&str; 8] = [
+    "eval-rng",
+    "eval-units",
+    "eval-variation",
+    "eval-timing",
+    "eval-power",
+    "eval-uarch",
+    "eval-fuzzy",
+    "eval-core",
+];
+
+/// Simulation crates plus the campaign layer (also deterministic).
+fn is_sim_crate(name: &str) -> bool {
+    SIM_CRATES.contains(&name) || name == "eval-adapt"
+}
+
+/// Library crates subject to panic-safety (everything in the pipeline;
+/// `eval-bench` is a figure-printing bin crate and exempt).
+fn is_library_crate(name: &str) -> bool {
+    is_sim_crate(name) || name == "eval"
+}
+
+/// Parameter-name fragments that indicate a physical unit.
+const UNIT_NAME_HINTS: [&str; 6] = ["vdd", "vbb", "ghz", "volt", "watt", "kelvin"];
+
+/// Tokens forbidden by the determinism rule.
+const NONDET_TOKENS: [&str; 6] = [
+    "thread_rng",
+    "from_entropy",
+    "SystemTime",
+    "Instant::now",
+    "HashMap",
+    "HashSet",
+];
+
+/// Tokens forbidden by the panic-safety rule.
+const PANIC_TOKENS: [&str; 5] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Paper constants: name, expected defining literal, paper meaning.
+const PAPER_CONSTS: [(&str, &str, &str); 7] = [
+    ("P_MAX", "30.0", "PMAX = 30 W per processor"),
+    ("T_MAX_C", "85.0", "TMAX = 85 C junction"),
+    ("TH_MAX_C", "70.0", "THMAX = 70 C heatsink"),
+    ("PE_MAX", "1e-4", "PEMAX = 1e-4 errors/instruction"),
+    ("SIGMA_OVER_MU", "0.09", "sigma/mu = 0.09 total variation"),
+    ("PHI", "0.5", "phi = 0.5 of chip width correlation range"),
+    ("F_NOMINAL", "4.0", "nominal frequency 4 GHz"),
+];
+
+/// A source file after lexical preprocessing.
+struct Scanned {
+    /// Lines with comments and string/char literal *contents* blanked out
+    /// (structure — line count and column positions — is preserved).
+    code: Vec<String>,
+    /// Per line: rule names suppressed via `lint:allow(...)` comments.
+    allows: Vec<Vec<String>>,
+    /// Per line: true when the line holds no code at all (comment/blank).
+    comment_only: Vec<bool>,
+    /// Per line: true inside a `#[cfg(test)]` item's braces.
+    in_test: Vec<bool>,
+}
+
+/// Strips comments and literal contents while recording `lint:allow`
+/// markers, then marks `#[cfg(test)]` brace regions.
+fn scan(source: &str) -> Scanned {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut code = Vec::new();
+    let mut allows = Vec::new();
+    let mut comment_only = Vec::new();
+
+    for raw in source.lines() {
+        let b: Vec<char> = raw.chars().collect();
+        let mut out = String::with_capacity(raw.len());
+        let mut comment_text = String::new();
+        let mut i = 0usize;
+        // Line comments never span lines.
+        if st == St::Line {
+            st = St::Code;
+        }
+        while i < b.len() {
+            let c = b[i];
+            let next = b.get(i + 1).copied();
+            match st {
+                St::Code => match (c, next) {
+                    ('/', Some('/')) => {
+                        st = St::Line;
+                        comment_text.push_str(&raw[raw.len() - (b.len() - i)..]);
+                        break;
+                    }
+                    ('/', Some('*')) => {
+                        st = St::Block(1);
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    }
+                    ('r', Some('"')) => {
+                        st = St::RawStr(0);
+                        out.push_str("r\"");
+                        i += 2;
+                    }
+                    ('r', Some('#')) => {
+                        // r#"..."# or r#ident; count hashes then expect '"'.
+                        let mut h = 0u32;
+                        let mut j = i + 1;
+                        while b.get(j) == Some(&'#') {
+                            h += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') {
+                            st = St::RawStr(h);
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            i = j + 1;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                    ('"', _) => {
+                        st = St::Str;
+                        out.push('"');
+                        i += 1;
+                    }
+                    ('\'', _) => {
+                        // Char literal vs lifetime: a literal is '\x', 'c',
+                        // or multi-char escape ending in a quote nearby.
+                        if next == Some('\\') {
+                            st = St::Char;
+                            out.push('\'');
+                            i += 2;
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            out.push_str("' '");
+                            i += 3;
+                        } else {
+                            out.push('\'');
+                            i += 1; // lifetime
+                        }
+                    }
+                    _ => {
+                        out.push(c);
+                        i += 1;
+                    }
+                },
+                St::Block(depth) => match (c, next) {
+                    ('*', Some('/')) => {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        comment_text.push(' ');
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                    }
+                    _ => {
+                        comment_text.push(c);
+                        i += 1;
+                    }
+                },
+                St::Str => match (c, next) {
+                    ('\\', Some(_)) => i += 2,
+                    ('"', _) => {
+                        st = St::Code;
+                        out.push('"');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                St::RawStr(h) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..h {
+                            if b.get(i + 1 + k as usize) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            st = St::Code;
+                            out.push('"');
+                            i += 1 + h as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                St::Char => match (c, next) {
+                    ('\\', Some(_)) => i += 2,
+                    ('\'', _) => {
+                        st = St::Code;
+                        out.push('\'');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                St::Line => break,
+            }
+        }
+        let mut line_allows = Vec::new();
+        let mut rest = comment_text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let tail = &rest[pos + "lint:allow(".len()..];
+            if let Some(end) = tail.find(')') {
+                line_allows.push(tail[..end].trim().to_string());
+                rest = &tail[end + 1..];
+            } else {
+                break;
+            }
+        }
+        comment_only.push(out.trim().is_empty());
+        code.push(out);
+        allows.push(line_allows);
+    }
+
+    // Mark #[cfg(test)] brace regions.
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the next item and track depth.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                for c in code[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                in_test[j] = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    Scanned {
+        code,
+        allows,
+        comment_only,
+        in_test,
+    }
+}
+
+/// True when `rule` is suppressed at `line` (0-based): an allow marker on
+/// the line itself or in the contiguous comment block directly above.
+fn allowed(s: &Scanned, line: usize, rule: Rule) -> bool {
+    let hit = |l: usize| s.allows[l].iter().any(|a| a == rule.name());
+    if hit(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 0 && s.comment_only[l - 1] {
+        l -= 1;
+        if hit(l) {
+            return true;
+        }
+    }
+    false
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    s: &Scanned,
+    path: &str,
+    line: usize,
+    rule: Rule,
+    message: String,
+) {
+    if !allowed(s, line, rule) {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Lints one file's source under the given context. `path` is only used
+/// to label diagnostics.
+pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let s = scan(source);
+    let mut out = Vec::new();
+
+    if UNIT_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_test_code {
+        unit_safety(&s, path, &mut out);
+    }
+    if is_sim_crate(&ctx.crate_name) {
+        determinism(&s, path, &mut out);
+    }
+    if is_library_crate(&ctx.crate_name) && !ctx.is_test_code {
+        panic_safety(&s, path, &mut out);
+    }
+    config_invariants(&s, path, ctx, &mut out);
+    out
+}
+
+/// Flags `name: f64` parameters of `pub fn`s where `name` carries a unit.
+fn unit_safety(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < s.code.len() {
+        let line = &s.code[i];
+        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn "]
+            .iter()
+            .any(|p| line.trim_start().starts_with(p) || line.contains(p));
+        if !is_pub_fn || s.in_test[i] {
+            i += 1;
+            continue;
+        }
+        // Accumulate the signature until its body/semicolon.
+        let mut sig = String::new();
+        let mut j = i;
+        while j < s.code.len() {
+            sig.push_str(&s.code[j]);
+            sig.push(' ');
+            if s.code[j].contains('{') || s.code[j].contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        for (name, _ty) in f64_params(&sig) {
+            let lname = name.to_ascii_lowercase();
+            if UNIT_NAME_HINTS.iter().any(|h| lname.contains(h)) {
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::UnitSafety,
+                    format!(
+                        "public fn parameter `{name}: f64` names a physical \
+                         unit; use the eval-units newtype (Volts, GHz, Watts, \
+                         Kelvin, ErrorRate) or justify with \
+                         lint:allow(unit-safety)"
+                    ),
+                );
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// Extracts `(name, type)` pairs for parameters typed `f64` / `&f64`.
+fn f64_params(sig: &str) -> Vec<(String, String)> {
+    let mut res = Vec::new();
+    let Some(open) = sig.find('(') else {
+        return res;
+    };
+    // Cut the parameter list at the matching close paren.
+    let mut depth = 0i32;
+    let mut end = sig.len();
+    for (k, c) in sig[open..].char_indices() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | '>' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let params = &sig[open + 1..end.min(sig.len())];
+    for part in params.split(',') {
+        let Some((name, ty)) = part.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_start_matches("mut ").trim();
+        let ty = ty.trim();
+        let bare = ty.trim_start_matches('&').trim();
+        if bare == "f64"
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && !name.is_empty()
+        {
+            res.push((name.to_string(), ty.to_string()));
+        }
+    }
+    res
+}
+
+/// Flags entropy, wall-clock and hash-ordered-collection tokens.
+fn determinism(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in s.code.iter().enumerate() {
+        for tok in NONDET_TOKENS {
+            if line.contains(tok) {
+                let fix = match tok {
+                    "HashMap" => "use BTreeMap (stable iteration order)",
+                    "HashSet" => "use BTreeSet (stable iteration order)",
+                    _ => "derive all randomness from the seeded eval-rng stream",
+                };
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::Determinism,
+                    format!("`{tok}` breaks bit-identical simulation; {fix}"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags `unwrap`/`expect`/panicking macros outside test regions.
+fn panic_safety(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in s.code.iter().enumerate() {
+        if s.in_test[i] {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if line.contains(tok) {
+                let shown = tok.trim_matches(|c| c == '.' || c == '(');
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::PanicSafety,
+                    format!(
+                        "`{shown}` can panic in library code; return a typed \
+                         error or justify with lint:allow(panic-safety)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// In `eval-units`: paper constants must exist with the paper's values.
+/// Everywhere else: defining a constant with one of those names shadows
+/// the single source of truth.
+fn config_invariants(s: &Scanned, path: &str, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "eval-units" {
+        // Only the file that actually declares the consts module is
+        // checked for presence/values.
+        let joined = s.code.join("\n");
+        if !joined.contains("mod consts") {
+            return;
+        }
+        for (name, literal, meaning) in PAPER_CONSTS {
+            let decl = format!("pub const {name}:");
+            match s.code.iter().position(|l| l.contains(&decl)) {
+                None => out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: 1,
+                    rule: Rule::ConfigInvariants,
+                    message: format!(
+                        "eval_units::consts must define `{name}` ({meaning})"
+                    ),
+                }),
+                Some(i) => {
+                    // The defining statement may wrap; take up to the ';'.
+                    let mut stmt = String::new();
+                    for l in &s.code[i..(i + 3).min(s.code.len())] {
+                        stmt.push_str(l);
+                        if l.contains(';') {
+                            break;
+                        }
+                    }
+                    if !stmt.contains(literal) {
+                        out.push(Diagnostic {
+                            path: path.to_string(),
+                            line: i + 1,
+                            rule: Rule::ConfigInvariants,
+                            message: format!(
+                                "`{name}` must be defined from the paper value \
+                                 {literal} ({meaning}); found `{}`",
+                                stmt.trim()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    } else {
+        for (i, line) in s.code.iter().enumerate() {
+            if s.in_test[i] {
+                continue;
+            }
+            for (name, _, _) in PAPER_CONSTS {
+                let shadow = format!("const {name}:");
+                if line.contains(&shadow) {
+                    push(
+                        out,
+                        s,
+                        path,
+                        i,
+                        Rule::ConfigInvariants,
+                        format!(
+                            "`{name}` is a paper constant; import it from \
+                             eval_units::consts instead of redefining it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Maps a workspace-relative path to its lint context; `None` means the
+/// file is out of scope (shim crates, the linter itself, non-Rust files).
+pub fn context_for(rel: &Path) -> Option<FileContext> {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let crate_name = if parts.first() == Some(&"crates") {
+        let dir = *parts.get(1)?;
+        // The linter itself and the offline stand-ins for crates.io
+        // packages are out of scope.
+        if ["lint", "proptest", "criterion"].contains(&dir) {
+            return None;
+        }
+        format!("eval-{dir}")
+    } else if ["src", "tests", "examples", "benches"].contains(parts.first()?) {
+        "eval".to_string()
+    } else {
+        return None;
+    };
+    let is_test_code = parts
+        .iter()
+        .any(|p| ["tests", "examples", "benches", "bin"].contains(p));
+    Some(FileContext {
+        crate_name,
+        is_test_code,
+    })
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope `.rs` file under the workspace root. Paths in the
+/// returned diagnostics are workspace-relative; the list is sorted by
+/// path then line so output is stable.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let Some(ctx) = context_for(rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(
+            &rel.display().to_string(),
+            &source,
+            &ctx,
+        ));
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(name: &str) -> FileContext {
+        FileContext {
+            crate_name: name.to_string(),
+            is_test_code: false,
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let s = scan("let x = \"HashMap\"; // HashMap in a comment\n");
+        assert!(!s.code[0].contains("HashMap"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_and_next_line() {
+        let src = "// lint:allow(determinism): justified\nuse std::collections::HashMap;\n";
+        let d = lint_source("x.rs", src, &ctx("eval-core"));
+        assert!(d.iter().all(|d| d.rule != Rule::Determinism), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_panic_safety() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { None::<u8>.unwrap(); }\n}\n";
+        let d = lint_source("x.rs", src, &ctx("eval-core"));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unit_hint_parameter_is_flagged_only_in_unit_crates() {
+        let src = "pub fn set(vdd: f64) {}\n";
+        assert_eq!(lint_source("x.rs", src, &ctx("eval-power")).len(), 1);
+        assert!(lint_source("x.rs", src, &ctx("eval-uarch")).is_empty());
+    }
+
+    #[test]
+    fn shadowed_paper_constant_is_flagged() {
+        let src = "const P_MAX: f64 = 25.0;\n";
+        let d = lint_source("x.rs", src, &ctx("eval-adapt"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::ConfigInvariants);
+    }
+
+    #[test]
+    fn context_maps_paths() {
+        assert_eq!(
+            context_for(Path::new("crates/power/src/solve.rs"))
+                .unwrap()
+                .crate_name,
+            "eval-power"
+        );
+        assert!(context_for(Path::new("crates/lint/src/lib.rs")).is_none());
+        assert!(context_for(Path::new("crates/proptest/src/lib.rs")).is_none());
+        let t = context_for(Path::new("tests/determinism.rs")).unwrap();
+        assert!(t.is_test_code);
+    }
+}

@@ -1,0 +1,43 @@
+//! `eval-lint`: run the workspace static-analysis pass and exit non-zero
+//! on any finding. Intended to run from the workspace root (or pass the
+//! root as the first argument):
+//!
+//! ```text
+//! cargo run -p eval-lint --release [-- <workspace-root>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eval_lint::{lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("eval-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &diags {
+        println!("error: {d}");
+    }
+    let families: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+    println!(
+        "eval-lint: {} finding(s); rule families checked: {}",
+        diags.len(),
+        families.join(", ")
+    );
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

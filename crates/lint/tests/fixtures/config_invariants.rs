@@ -1,0 +1,16 @@
+//! Fixture: config-invariant violations and suppressions.
+//! Scanned as if it were a file of `eval-adapt` (not `eval-units`).
+
+/// BAD: shadows the paper constant with a different value.
+pub const P_MAX: f64 = 25.0;
+
+/// BAD: shadows even with the right value — must import from
+/// eval_units::consts so there is a single source of truth.
+pub const PE_MAX: f64 = 1e-4;
+
+// lint:allow(config-invariants): deliberately different sweep ceiling for
+// a what-if experiment, not the paper constraint.
+pub const T_MAX_C: f64 = 100.0;
+
+/// OK: unrelated constant names are not paper constants.
+pub const N_RETRIES: usize = 3;

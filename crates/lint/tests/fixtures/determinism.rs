@@ -1,0 +1,29 @@
+//! Fixture: determinism violations and suppressions.
+//! Scanned as if it were a file of `eval-core` (a simulation crate).
+
+use std::collections::HashMap; // BAD: iteration order is seeded per-process
+
+/// BAD: wall clock in a simulation crate.
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+/// BAD: OS entropy.
+pub fn seed() -> u64 {
+    let rng = thread_rng();
+    let _ = rng;
+    0
+}
+
+// lint:allow(determinism): this map is write-only debug output, never
+// iterated, so ordering cannot leak into results.
+pub fn debug_sink() -> HashMap<u32, f64> {
+    Default::default()
+}
+
+/// OK: BTree collections have stable iteration order.
+pub fn stable() -> std::collections::BTreeMap<u32, f64> {
+    std::collections::BTreeMap::new()
+}

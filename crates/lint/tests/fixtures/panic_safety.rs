@@ -1,0 +1,46 @@
+//! Fixture: panic-safety violations, test exemption, and suppressions.
+//! Scanned as if it were a file of `eval-adapt` (a library crate).
+
+/// BAD: unwrap in library code.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+/// BAD: expect in library code.
+pub fn last(xs: &[f64]) -> f64 {
+    *xs.last().expect("non-empty")
+}
+
+/// BAD: reachable panic macro.
+pub fn clamp(x: f64) -> f64 {
+    if x.is_nan() {
+        panic!("NaN input");
+    }
+    x.clamp(0.0, 1.0)
+}
+
+/// OK: typed error instead of panicking.
+pub fn checked_first(xs: &[f64]) -> Result<f64, &'static str> {
+    xs.first().copied().ok_or("empty slice")
+}
+
+pub fn invariant(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .reduce(f64::max)
+        // lint:allow(panic-safety): callers guarantee a non-empty slice;
+        // this mirrors the documented invariants in the real tree.
+        .expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        // Exempt: inside a #[cfg(test)] region.
+        assert_eq!(*[1.0].first().unwrap(), 1.0);
+        assert_eq!(checked_first(&[2.0]).unwrap(), 2.0);
+    }
+}

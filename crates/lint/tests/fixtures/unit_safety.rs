@@ -1,0 +1,33 @@
+//! Fixture: unit-safety violations and suppressions.
+//! Scanned as if it were a file of `eval-power` (a unit-checked crate).
+
+/// BAD: both parameters name physical units but are raw f64.
+pub fn set_operating_point(vdd: f64, f_ghz: f64) -> bool {
+    vdd > 0.0 && f_ghz > 0.0
+}
+
+/// BAD: unit name behind a reference.
+pub fn log_rail(volts_out: &f64) -> f64 {
+    *volts_out
+}
+
+// lint:allow(unit-safety): validating boundary constructor — raw numbers
+// in, checked newtypes out (mirrors OperatingPoint::new).
+pub fn parse_rail(vdd: f64) -> Result<f64, ()> {
+    if (0.6..=1.2).contains(&vdd) {
+        Ok(vdd)
+    } else {
+        Err(())
+    }
+}
+
+/// OK: no unit hint in the name; plain ratios stay f64.
+pub fn scale(alpha_f: f64, rho: f64) -> f64 {
+    alpha_f * rho
+}
+
+/// OK: mentions vdd only in a string and a comment, not a parameter.
+pub fn describe() -> &'static str {
+    // the vdd: f64 in this comment must not trip the scanner
+    "vdd: f64"
+}

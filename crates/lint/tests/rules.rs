@@ -1,0 +1,153 @@
+//! Integration tests: each rule family fires on its fixture's seeded
+//! violations and stays quiet on the allowlisted / clean parts.
+
+use eval_lint::{lint_source, Diagnostic, FileContext, Rule};
+
+fn ctx(name: &str) -> FileContext {
+    FileContext {
+        crate_name: name.to_string(),
+        is_test_code: false,
+    }
+}
+
+fn lint_fixture(file: &str, crate_name: &str) -> Vec<Diagnostic> {
+    let path = format!(
+        "{}/tests/fixtures/{file}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(&path).expect("fixture exists");
+    lint_source(file, &source, &ctx(crate_name))
+}
+
+fn lines_for(diags: &[Diagnostic], rule: Rule) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn unit_safety_fires_and_allow_suppresses() {
+    let d = lint_fixture("unit_safety.rs", "eval-power");
+    let hits = lines_for(&d, Rule::UnitSafety);
+    // set_operating_point flags both vdd and f_ghz; log_rail flags &f64.
+    assert_eq!(hits.len(), 3, "{d:?}");
+    // parse_rail (allowlisted), scale and describe stay quiet.
+    assert!(d.iter().all(|x| !x.message.contains("alpha_f")), "{d:?}");
+}
+
+#[test]
+fn unit_safety_is_scoped_to_unit_crates() {
+    let d = lint_fixture("unit_safety.rs", "eval-uarch");
+    assert!(lines_for(&d, Rule::UnitSafety).is_empty(), "{d:?}");
+}
+
+#[test]
+fn determinism_fires_and_allow_suppresses() {
+    let d = lint_fixture("determinism.rs", "eval-core");
+    let hits = lines_for(&d, Rule::Determinism);
+    // `use HashMap`, SystemTime, thread_rng fire; the HashMap return type
+    // and body under the allow comment are suppressed. The BAD `use` line
+    // carries a trailing comment but the token is in code.
+    assert_eq!(hits.len(), 3, "{d:?}");
+}
+
+#[test]
+fn determinism_only_applies_to_sim_crates() {
+    let d = lint_fixture("determinism.rs", "eval-bench");
+    assert!(lines_for(&d, Rule::Determinism).is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_safety_fires_with_test_exemption_and_allow() {
+    let d = lint_fixture("panic_safety.rs", "eval-adapt");
+    let hits = lines_for(&d, Rule::PanicSafety);
+    // unwrap, expect, panic! in library code fire; the allowlisted expect
+    // and everything in #[cfg(test)] do not.
+    assert_eq!(hits.len(), 3, "{d:?}");
+}
+
+#[test]
+fn panic_safety_skips_test_code_files() {
+    let path = format!(
+        "{}/tests/fixtures/panic_safety.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("fixture exists");
+    let test_ctx = FileContext {
+        crate_name: "eval-adapt".to_string(),
+        is_test_code: true,
+    };
+    let d = lint_source("panic_safety.rs", &source, &test_ctx);
+    assert!(lines_for(&d, Rule::PanicSafety).is_empty(), "{d:?}");
+}
+
+#[test]
+fn config_invariants_fire_and_allow_suppresses() {
+    let d = lint_fixture("config_invariants.rs", "eval-adapt");
+    let hits = lines_for(&d, Rule::ConfigInvariants);
+    // P_MAX and PE_MAX shadows fire (even with the correct value); the
+    // allowlisted T_MAX_C and unrelated N_RETRIES do not.
+    assert_eq!(hits.len(), 2, "{d:?}");
+}
+
+#[test]
+fn config_invariants_accept_the_real_units_crate() {
+    // The actual eval-units source must satisfy the paper-value checks.
+    let path = format!(
+        "{}/../units/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("units crate exists");
+    let d = lint_source("crates/units/src/lib.rs", &source, &ctx("eval-units"));
+    assert!(
+        lines_for(&d, Rule::ConfigInvariants).is_empty(),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn config_invariants_catch_a_drifted_paper_value() {
+    // Mutate the real units source: PMAX 30 W -> 45 W.
+    let path = format!(
+        "{}/../units/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("units crate exists");
+    let drifted = source.replace("Watts::raw(30.0)", "Watts::raw(45.0)");
+    assert_ne!(source, drifted, "replacement must hit");
+    let d = lint_source("crates/units/src/lib.rs", &drifted, &ctx("eval-units"));
+    let hits = lines_for(&d, Rule::ConfigInvariants);
+    assert_eq!(hits.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("P_MAX"), "{d:?}");
+}
+
+#[test]
+fn every_rule_family_is_exercised() {
+    // The acceptance criterion: the tool reports >= 4 rule families.
+    assert!(Rule::ALL.len() >= 4);
+    let fired = [
+        !lines_for(
+            &lint_fixture("unit_safety.rs", "eval-power"),
+            Rule::UnitSafety,
+        )
+        .is_empty(),
+        !lines_for(
+            &lint_fixture("determinism.rs", "eval-core"),
+            Rule::Determinism,
+        )
+        .is_empty(),
+        !lines_for(
+            &lint_fixture("panic_safety.rs", "eval-adapt"),
+            Rule::PanicSafety,
+        )
+        .is_empty(),
+        !lines_for(
+            &lint_fixture("config_invariants.rs", "eval-adapt"),
+            Rule::ConfigInvariants,
+        )
+        .is_empty(),
+    ];
+    assert_eq!(fired, [true; 4]);
+}

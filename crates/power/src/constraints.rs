@@ -1,5 +1,7 @@
 //! The constraint set of the optimization problem (§4.1).
 
+use eval_units::consts;
+
 /// Operating constraints: "no point can be at T higher than TMAX, the
 /// processor power cannot be higher than PMAX, and the total processor PE
 /// cannot be higher than PEMAX" (§4.1), with the heat-sink limit TH_MAX
@@ -28,13 +30,14 @@ pub struct Constraints {
 
 impl Constraints {
     /// Figure 7(a): `PMAX = 30 W/proc`, `TMAX = 85 C`, `TH_MAX = 70 C`,
-    /// `PEMAX = 1e-4 err/inst`.
+    /// `PEMAX = 1e-4 err/inst`. The values live in [`eval_units::consts`],
+    /// the single source of truth for the paper's constants.
     pub fn micro08() -> Self {
         Self {
-            t_max_c: 85.0,
-            th_max_c: 70.0,
-            p_max_w: 30.0,
-            pe_max: 1e-4,
+            t_max_c: consts::T_MAX_C,
+            th_max_c: consts::TH_MAX_C,
+            p_max_w: consts::P_MAX.get(),
+            pe_max: consts::PE_MAX.get(),
         }
     }
 

@@ -33,10 +33,10 @@
 //!     vt0: 0.150,
 //! };
 //! let env = ThermalEnvironment { th_c: 55.0, alpha_f: 0.8 };
-//! let op = eval_power::OperatingPoint { f_ghz: 4.0, vdd: 1.0, vbb: 0.0 };
+//! let op = eval_power::OperatingPoint::new(4.0, 1.0, 0.0)?;
 //! let sol = solve_thermal(&params, &env, &op, &DeviceParams::micro08())?;
 //! assert!(sol.t_c > env.th_c); // self-heating
-//! # Ok::<(), eval_power::ThermalRunaway>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,23 +1,49 @@
 //! Operating points: the knobs the adaptation outputs.
 
+use eval_units::{GHz, UnitRangeError, Volts};
+
 /// One candidate setting of the per-subsystem actuators plus the core clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
-    /// Core frequency in GHz.
-    pub f_ghz: f64,
-    /// Subsystem supply voltage in volts (ASV knob).
-    pub vdd: f64,
-    /// Subsystem body-bias voltage in volts (ABB knob; positive = forward).
-    pub vbb: f64,
+    /// Core frequency.
+    pub f: GHz,
+    /// Subsystem supply voltage (ASV knob).
+    pub vdd: Volts,
+    /// Subsystem body-bias voltage (ABB knob; positive = forward).
+    pub vbb: Volts,
 }
 
 impl OperatingPoint {
     /// The nominal design point: 4 GHz, 1 V, no body bias.
     pub fn nominal() -> Self {
         Self {
-            f_ghz: 4.0,
-            vdd: 1.0,
-            vbb: 0.0,
+            f: eval_units::consts::F_NOMINAL,
+            vdd: eval_units::consts::VDD_NOMINAL,
+            vbb: Volts::raw(0.0),
+        }
+    }
+
+    /// Range-validated constructor from raw knob values: the frequency must
+    /// be positive and the voltages within the ASV/ABB actuator ranges.
+    // lint:allow(unit-safety): this is the validating boundary that turns
+    // raw numbers into newtypes; it cannot itself take newtypes.
+    pub fn new(f_ghz: f64, vdd: f64, vbb: f64) -> Result<Self, UnitRangeError> {
+        Ok(Self {
+            f: GHz::new(f_ghz)?,
+            vdd: Volts::vdd(vdd)?,
+            vbb: Volts::vbb(vbb)?,
+        })
+    }
+
+    /// Unchecked constructor for values already produced by a validated
+    /// source (e.g. the actuator ladders).
+    // lint:allow(unit-safety): const escape hatch for ladder-validated
+    // values (the discrete actuator ladders only emit in-range settings).
+    pub const fn raw(f_ghz: f64, vdd: f64, vbb: f64) -> Self {
+        Self {
+            f: GHz::raw(f_ghz),
+            vdd: Volts::raw(vdd),
+            vbb: Volts::raw(vbb),
         }
     }
 }
@@ -33,9 +59,9 @@ impl std::fmt::Display for OperatingPoint {
         write!(
             f,
             "{:.1} GHz / {:.0} mV / {:+.0} mV",
-            self.f_ghz,
-            self.vdd * 1e3,
-            self.vbb * 1e3
+            self.f.get(),
+            self.vdd.millivolts(),
+            self.vbb.millivolts()
         )
     }
 }
@@ -46,16 +72,23 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let op = OperatingPoint {
-            f_ghz: 4.3,
-            vdd: 1.05,
-            vbb: -0.1,
-        };
+        let op = OperatingPoint::raw(4.3, 1.05, -0.1);
         assert_eq!(op.to_string(), "4.3 GHz / 1050 mV / -100 mV");
     }
 
     #[test]
     fn default_is_nominal() {
         assert_eq!(OperatingPoint::default(), OperatingPoint::nominal());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range_knobs() {
+        assert!(OperatingPoint::new(4.0, 1.0, 0.0).is_ok());
+        assert!(OperatingPoint::new(-4.0, 1.0, 0.0).is_err());
+        assert!(OperatingPoint::new(4.0, 0.3, 0.0).is_err());
+        assert!(OperatingPoint::new(4.0, 1.0, 0.9).is_err());
+        // A swapped (vdd, vbb) pair is caught at construction: the legal
+        // supply and body-bias ranges are disjoint.
+        assert!(OperatingPoint::new(4.0, 0.0, 1.0).is_err());
     }
 }

@@ -1,5 +1,7 @@
 //! Per-subsystem power/thermal constants and the sensed environment.
 
+use eval_units::{GHz, Volts};
+
 /// Per-subsystem constants measured or computed by the manufacturer and
 /// stored on chip (§4.1: "Rth, Kdyn, Ksta, and Vt0 are per-subsystem
 /// constants").
@@ -19,18 +21,18 @@ pub struct SubsystemPowerParams {
 }
 
 impl SubsystemPowerParams {
-    /// Dynamic power (W) at activity `alpha_f`, supply `vdd` (V) and
-    /// frequency `f_ghz` — Equation 7.
+    /// Dynamic power (W) at activity `alpha_f`, supply `vdd` and
+    /// frequency `f` — Equation 7.
     ///
     /// # Panics
     ///
     /// Panics if any argument is negative.
-    pub fn pdyn_w(&self, alpha_f: f64, vdd: f64, f_ghz: f64) -> f64 {
+    pub fn pdyn_w(&self, alpha_f: f64, vdd: Volts, f: GHz) -> f64 {
         assert!(
-            alpha_f >= 0.0 && vdd >= 0.0 && f_ghz >= 0.0,
+            alpha_f >= 0.0 && vdd.get() >= 0.0 && f.get() >= 0.0,
             "power inputs must be non-negative"
         );
-        self.kdyn_w * alpha_f * vdd * vdd * f_ghz
+        self.kdyn_w * alpha_f * vdd.get() * vdd.get() * f.get()
     }
 }
 
@@ -67,8 +69,8 @@ mod tests {
             rth_c_per_w: 1.0,
             vt0: 0.15,
         };
-        let base = p.pdyn_w(1.0, 1.0, 4.0);
-        let boosted = p.pdyn_w(1.0, 1.2, 4.0);
+        let base = p.pdyn_w(1.0, Volts::raw(1.0), GHz::raw(4.0));
+        let boosted = p.pdyn_w(1.0, Volts::raw(1.2), GHz::raw(4.0));
         assert!((boosted / base - 1.44).abs() < 1e-12);
     }
 
@@ -80,7 +82,8 @@ mod tests {
             rth_c_per_w: 1.0,
             vt0: 0.15,
         };
-        assert!((p.pdyn_w(0.5, 1.0, 4.0) * 2.0 - p.pdyn_w(1.0, 1.0, 4.0)).abs() < 1e-12);
-        assert!((p.pdyn_w(1.0, 1.0, 2.0) * 2.0 - p.pdyn_w(1.0, 1.0, 4.0)).abs() < 1e-12);
+        let v = Volts::raw(1.0);
+        assert!((p.pdyn_w(0.5, v, GHz::raw(4.0)) * 2.0 - p.pdyn_w(1.0, v, GHz::raw(4.0))).abs() < 1e-12);
+        assert!((p.pdyn_w(1.0, v, GHz::raw(2.0)) * 2.0 - p.pdyn_w(1.0, v, GHz::raw(4.0))).abs() < 1e-12);
     }
 }

@@ -66,19 +66,19 @@ pub fn solve_thermal(
     op: &OperatingPoint,
     device: &DeviceParams,
 ) -> Result<ThermalSolution, ThermalRunaway> {
-    let pdyn = params.pdyn_w(env.alpha_f, op.vdd, op.f_ghz);
+    let pdyn = params.pdyn_w(env.alpha_f, op.vdd, op.f);
     let mut t_c = env.th_c.max(device.t_ref_c * 0.5);
     for _ in 0..200 {
-        let vt = device.vt_at(params.vt0, t_c, op.vdd, op.vbb);
-        let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_c);
+        let vt = device.vt_at(params.vt0, t_c, op.vdd.get(), op.vbb.get());
+        let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd.get(), t_c);
         let t_next = env.th_c + params.rth_c_per_w * (pdyn + psta);
         if t_next > T_RUNAWAY_C || !t_next.is_finite() {
             return Err(ThermalRunaway { t_c: t_next.min(1e6) });
         }
         let t_new = 0.5 * t_c + 0.5 * t_next;
         if (t_new - t_c).abs() < 1e-6 {
-            let vt = device.vt_at(params.vt0, t_new, op.vdd, op.vbb);
-            let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_new);
+            let vt = device.vt_at(params.vt0, t_new, op.vdd.get(), op.vbb.get());
+            let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd.get(), t_new);
             return Ok(ThermalSolution {
                 t_c: t_new,
                 vt,
@@ -89,8 +89,8 @@ pub fn solve_thermal(
         t_c = t_new;
     }
     // Slow but bounded convergence: accept the last iterate.
-    let vt = device.vt_at(params.vt0, t_c, op.vdd, op.vbb);
-    let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd, t_c);
+    let vt = device.vt_at(params.vt0, t_c, op.vdd.get(), op.vbb.get());
+    let psta = params.ksta_nom_w * leakage_factor(device, vt, op.vdd.get(), t_c);
     Ok(ThermalSolution {
         t_c,
         vt,
@@ -123,7 +123,7 @@ mod tests {
     fn solution_satisfies_equation_6() {
         let device = DeviceParams::micro08();
         let op = OperatingPoint::nominal();
-        let sol = solve_thermal(&params(), &env(), &op, &device).unwrap();
+        let sol = solve_thermal(&params(), &env(), &op, &device).expect("solver converges");
         let rhs = env().th_c + params().rth_c_per_w * sol.total_w();
         assert!(
             (sol.t_c - rhs).abs() < 1e-4,
@@ -136,17 +136,17 @@ mod tests {
     #[test]
     fn higher_vdd_runs_hotter_and_leaks_more() {
         let device = DeviceParams::micro08();
-        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).expect("solver converges");
         let boosted = solve_thermal(
             &params(),
             &env(),
             &OperatingPoint {
-                vdd: 1.2,
+                vdd: eval_units::Volts::raw(1.2),
                 ..OperatingPoint::nominal()
             },
             &device,
         )
-        .unwrap();
+        .expect("solver converges");
         assert!(boosted.t_c > base.t_c);
         assert!(boosted.psta_w > base.psta_w);
         assert!(boosted.pdyn_w > base.pdyn_w);
@@ -155,17 +155,17 @@ mod tests {
     #[test]
     fn forward_bias_increases_leakage() {
         let device = DeviceParams::micro08();
-        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).expect("solver converges");
         let fbb = solve_thermal(
             &params(),
             &env(),
             &OperatingPoint {
-                vbb: 0.5,
+                vbb: eval_units::Volts::raw(0.5),
                 ..OperatingPoint::nominal()
             },
             &device,
         )
-        .unwrap();
+        .expect("solver converges");
         assert!(fbb.psta_w > base.psta_w);
         assert!(fbb.vt < base.vt);
     }
@@ -173,17 +173,17 @@ mod tests {
     #[test]
     fn reverse_bias_cuts_leakage() {
         let device = DeviceParams::micro08();
-        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let base = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).expect("solver converges");
         let rbb = solve_thermal(
             &params(),
             &env(),
             &OperatingPoint {
-                vbb: -0.5,
+                vbb: eval_units::Volts::raw(-0.5),
                 ..OperatingPoint::nominal()
             },
             &device,
         )
-        .unwrap();
+        .expect("solver converges");
         assert!(rbb.psta_w < base.psta_w);
     }
 
@@ -200,7 +200,7 @@ mod tests {
             rth_c_per_w: 2.0,
             vt0: 0.150,
         };
-        let sol = solve_thermal(&tiny, &quiet, &OperatingPoint::nominal(), &device).unwrap();
+        let sol = solve_thermal(&tiny, &quiet, &OperatingPoint::nominal(), &device).expect("solver converges");
         assert!(sol.pdyn_w == 0.0);
         assert!(sol.t_c - quiet.th_c < 0.5);
     }
@@ -221,11 +221,7 @@ mod tests {
                 th_c: 70.0,
                 alpha_f: 1.0,
             },
-            &OperatingPoint {
-                f_ghz: 5.0,
-                vdd: 1.2,
-                vbb: 0.5,
-            },
+            &OperatingPoint::raw(5.0, 1.2, 0.5),
             &device,
         );
         assert!(res.is_err());
@@ -235,8 +231,8 @@ mod tests {
     fn fixed_point_is_stable_across_restarts() {
         // Solving twice gives the same answer (deterministic).
         let device = DeviceParams::micro08();
-        let a = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
-        let b = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).unwrap();
+        let a = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).expect("solver converges");
+        let b = solve_thermal(&params(), &env(), &OperatingPoint::nominal(), &device).expect("solver converges");
         assert_eq!(a, b);
     }
 }
@@ -264,7 +260,7 @@ mod proptests {
             let device = eval_variation::DeviceParams::micro08();
             let params = SubsystemPowerParams { kdyn_w: kdyn, ksta_nom_w: ksta, rth_c_per_w: rth, vt0 };
             let env = ThermalEnvironment { th_c: th, alpha_f: alpha };
-            let op = OperatingPoint { f_ghz: f, vdd, vbb };
+            let op = OperatingPoint::raw(f, vdd, vbb);
             if let Ok(sol) = solve_thermal(&params, &env, &op, &device) {
                 let rhs = th + rth * sol.total_w();
                 prop_assert!((sol.t_c - rhs).abs() < 1e-3,
@@ -285,7 +281,7 @@ mod proptests {
             let params = SubsystemPowerParams {
                 kdyn_w: 0.6, ksta_nom_w: 0.3, rth_c_per_w: 6.0, vt0: device.vt_nominal,
             };
-            let op = OperatingPoint { f_ghz: 4.0, vdd, vbb: 0.0 };
+            let op = OperatingPoint::raw(4.0, vdd, 0.0);
             let lo = solve_thermal(&params,
                 &ThermalEnvironment { th_c: 60.0, alpha_f: alpha_lo }, &op, &device);
             let hi = solve_thermal(&params,

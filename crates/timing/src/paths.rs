@@ -1,5 +1,6 @@
 //! Dynamic path-delay distributions and their error probabilities.
 
+use eval_units::GHz;
 use eval_variation::normal_tail;
 
 /// A Gaussian dynamic path-delay distribution for one pipeline stage
@@ -111,14 +112,9 @@ impl PathDistribution {
         -(self.paths * (-q).ln_1p()).exp_m1()
     }
 
-    /// Error probability per access at frequency `f_ghz`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `f_ghz <= 0`.
-    pub fn pe_at_frequency(&self, f_ghz: f64) -> f64 {
-        assert!(f_ghz > 0.0, "frequency must be positive");
-        self.pe_at_period(1.0 / f_ghz)
+    /// Error probability per access at frequency `f`.
+    pub fn pe_at_frequency(&self, f: GHz) -> f64 {
+        self.pe_at_period(f.period_ns())
     }
 
     /// Maximum error-free frequency in GHz: the largest `f` whose per-access
@@ -152,7 +148,7 @@ mod tests {
         let mut prev = 0.0;
         for k in 0..100 {
             let f = 3.0 + k as f64 * 0.05;
-            let pe = d.pe_at_frequency(f);
+            let pe = d.pe_at_frequency(GHz::raw(f));
             assert!(pe >= prev - 1e-18, "PE decreased at f={f}");
             prev = pe;
         }
@@ -186,8 +182,8 @@ mod tests {
     fn max_error_free_frequency_is_consistent() {
         let d = PathDistribution::new(0.20, 0.01, 256.0);
         let f = d.max_error_free_frequency(1e-12);
-        let pe_at = d.pe_at_frequency(f);
-        let pe_above = d.pe_at_frequency(f * 1.02);
+        let pe_at = d.pe_at_frequency(GHz::raw(f));
+        let pe_above = d.pe_at_frequency(GHz::raw(f * 1.02));
         assert!(pe_at <= 1e-11, "PE at threshold frequency = {pe_at}");
         assert!(pe_above > pe_at);
     }

@@ -1,5 +1,7 @@
 //! Series-failure composition of an n-stage pipeline (Equation 4).
 
+use eval_units::GHz;
+
 use crate::stage::{OperatingConditions, StageTiming};
 
 /// An `n`-stage pipeline viewed as a series failure system: each stage `i`
@@ -42,22 +44,22 @@ impl PipelineErrorModel {
         &self.stages
     }
 
-    /// Errors **per instruction** at `f_ghz` with every stage under the same
+    /// Errors **per instruction** at `f` with every stage under the same
     /// conditions.
-    pub fn pe_uniform(&self, f_ghz: f64, cond: &OperatingConditions) -> f64 {
+    pub fn pe_uniform(&self, f: GHz, cond: &OperatingConditions) -> f64 {
         self.stages
             .iter()
-            .map(|(rho, s)| rho * s.pe_access(f_ghz, cond))
+            .map(|(rho, s)| rho * s.pe_access(f, cond))
             .sum()
     }
 
-    /// Errors **per instruction** at `f_ghz` with per-stage conditions
+    /// Errors **per instruction** at `f` with per-stage conditions
     /// (fine-grain ASV/ABB: each subsystem has its own `Vdd`, `Vbb`, `T`).
     ///
     /// # Panics
     ///
     /// Panics if `conds.len() != self.len()`.
-    pub fn pe_per_stage(&self, f_ghz: f64, conds: &[OperatingConditions]) -> f64 {
+    pub fn pe_per_stage(&self, f: GHz, conds: &[OperatingConditions]) -> f64 {
         assert_eq!(
             conds.len(),
             self.stages.len(),
@@ -66,7 +68,7 @@ impl PipelineErrorModel {
         self.stages
             .iter()
             .zip(conds)
-            .map(|((rho, s), c)| rho * s.pe_access(f_ghz, c))
+            .map(|((rho, s), c)| rho * s.pe_access(f, c))
             .sum()
     }
 
@@ -78,24 +80,24 @@ impl PipelineErrorModel {
     /// # Panics
     ///
     /// Panics unless `0 < pe_threshold < 1`.
-    pub fn fvar_uniform(&self, cond: &OperatingConditions, pe_threshold: f64) -> f64 {
+    pub fn fvar_uniform(&self, cond: &OperatingConditions, pe_threshold: f64) -> GHz {
         assert!(
             pe_threshold > 0.0 && pe_threshold < 1.0,
             "threshold must be a probability in (0, 1)"
         );
         let (mut lo, mut hi) = (0.25f64, 40.0f64);
-        if self.pe_uniform(lo, cond) > pe_threshold {
-            return lo;
+        if self.pe_uniform(GHz::raw(lo), cond) > pe_threshold {
+            return GHz::raw(lo);
         }
         for _ in 0..70 {
             let mid = 0.5 * (lo + hi);
-            if self.pe_uniform(mid, cond) <= pe_threshold {
+            if self.pe_uniform(GHz::raw(mid), cond) <= pe_threshold {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        lo
+        GHz::raw(lo)
     }
 }
 
@@ -130,7 +132,7 @@ mod tests {
     fn pipeline_pe_is_sum_of_weighted_stage_pes() {
         let p = pipeline(1);
         let cond = OperatingConditions::nominal();
-        let f = 4.4;
+        let f = GHz::raw(4.4);
         let direct: f64 = p
             .stages()
             .iter()
@@ -146,19 +148,19 @@ mod tests {
         let fvar = p.fvar_uniform(&cond, 1e-12);
         // At fvar the pipeline meets the threshold; 3% above it does not.
         assert!(p.pe_uniform(fvar, &cond) <= 1e-12 * 1.01);
-        assert!(p.pe_uniform(fvar * 1.03, &cond) > 1e-12);
+        assert!(p.pe_uniform(GHz::raw(fvar.get() * 1.03), &cond) > 1e-12);
     }
 
     #[test]
     fn per_stage_conditions_allow_reshaping() {
         let p = pipeline(3);
-        let f = p.fvar_uniform(&OperatingConditions::nominal(), 1e-12) * 1.05;
+        let f = GHz::raw(p.fvar_uniform(&OperatingConditions::nominal(), 1e-12).get() * 1.05);
         let nominal = vec![OperatingConditions::nominal(); p.len()];
         let pe_before = p.pe_per_stage(f, &nominal);
         // Boost every stage's supply: errors must not increase.
         let boosted = vec![
             OperatingConditions {
-                vdd: 1.15,
+                vdd: eval_units::Volts::raw(1.15),
                 ..OperatingConditions::nominal()
             };
             p.len()
@@ -181,6 +183,6 @@ mod tests {
             12,
         );
         let p = PipelineErrorModel::new(vec![(0.0, stage)]);
-        assert_eq!(p.pe_uniform(6.0, &OperatingConditions::nominal()), 0.0);
+        assert_eq!(p.pe_uniform(GHz::raw(6.0), &OperatingConditions::nominal()), 0.0);
     }
 }

@@ -1,5 +1,6 @@
 //! Per-subsystem timing under variation and operating conditions.
 
+use eval_units::{GHz, UnitRangeError, Volts};
 use eval_variation::{delay_factor, ChipMap, DeviceParams};
 
 use crate::paths::PathDistribution;
@@ -8,10 +9,10 @@ use crate::kind::PathClass;
 /// Voltage and temperature conditions applied to one subsystem.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingConditions {
-    /// Supply voltage in volts (ASV knob).
-    pub vdd: f64,
-    /// Body-bias voltage in volts (ABB knob; positive = forward bias).
-    pub vbb: f64,
+    /// Supply voltage (ASV knob).
+    pub vdd: Volts,
+    /// Body-bias voltage (ABB knob; positive = forward bias).
+    pub vbb: Volts,
     /// Subsystem temperature in Celsius.
     pub t_c: f64,
 }
@@ -20,10 +21,22 @@ impl OperatingConditions {
     /// Nominal conditions: 1 V supply, zero body bias, the reference 100 C.
     pub fn nominal() -> Self {
         Self {
-            vdd: 1.0,
-            vbb: 0.0,
+            vdd: Volts::raw(1.0),
+            vbb: Volts::raw(0.0),
             t_c: 100.0,
         }
+    }
+
+    /// Range-validated constructor: `vdd` must be a legal supply voltage
+    /// and `vbb` a legal body bias (see [`eval_units::Volts`]).
+    // lint:allow(unit-safety): validating boundary constructor — raw
+    // numbers in, range-checked newtypes out.
+    pub fn new(vdd: f64, vbb: f64, t_c: f64) -> Result<Self, UnitRangeError> {
+        Ok(Self {
+            vdd: Volts::vdd(vdd)?,
+            vbb: Volts::vbb(vbb)?,
+            t_c,
+        })
     }
 }
 
@@ -167,8 +180,8 @@ impl StageTiming {
     fn cell_factor(&self, cell: &CellDevice, cond: &OperatingConditions) -> f64 {
         let vt = self
             .device
-            .vt_at(cell.vt0, cond.t_c, cond.vdd, cond.vbb);
-        delay_factor(&self.device, vt, cell.leff, cond.vdd, cond.t_c)
+            .vt_at(cell.vt0, cond.t_c, cond.vdd.get(), cond.vbb.get());
+        delay_factor(&self.device, vt, cell.leff, cond.vdd.get(), cond.t_c)
     }
 
     /// The largest per-cell delay factor at `cond` (the slowest spot).
@@ -179,15 +192,15 @@ impl StageTiming {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Error probability **per access** at frequency `f_ghz` under `cond`.
+    /// Error probability **per access** at frequency `f` under `cond`.
     ///
     /// # Panics
     ///
-    /// Panics if `f_ghz <= 0` or if `cond.vdd` does not exceed the local
+    /// Panics if `f <= 0` or if `cond.vdd` does not exceed the local
     /// threshold voltage (an invalid operating point).
-    pub fn pe_access(&self, f_ghz: f64, cond: &OperatingConditions) -> f64 {
-        assert!(f_ghz > 0.0, "frequency must be positive");
-        let t = 1.0 / f_ghz;
+    pub fn pe_access(&self, f: GHz, cond: &OperatingConditions) -> f64 {
+        assert!(f.get() > 0.0, "frequency must be positive");
+        let t = f.period_ns();
         let per_cell_paths = self.dist.paths() / self.cells.len() as f64;
         let mut log_ok = 0.0f64;
         for cell in &self.cells {
@@ -201,32 +214,32 @@ impl StageTiming {
         -log_ok.exp_m1()
     }
 
-    /// Maximum frequency (GHz) at which the per-access error probability
-    /// stays at or below `pe_threshold`, under `cond`. Solved by bisection;
-    /// `PE` is monotone in `f`.
+    /// Maximum frequency at which the per-access error probability stays at
+    /// or below `pe_threshold`, under `cond`. Solved by bisection; `PE` is
+    /// monotone in `f`.
     ///
     /// # Panics
     ///
     /// Panics unless `0 < pe_threshold < 1`.
-    pub fn max_frequency(&self, cond: &OperatingConditions, pe_threshold: f64) -> f64 {
+    pub fn max_frequency(&self, cond: &OperatingConditions, pe_threshold: f64) -> GHz {
         assert!(
             pe_threshold > 0.0 && pe_threshold < 1.0,
             "threshold must be a probability in (0, 1)"
         );
         let (mut lo, mut hi) = (0.25f64, 40.0f64);
         // Ensure bracketing: at `lo` we expect no errors.
-        if self.pe_access(lo, cond) > pe_threshold {
-            return lo;
+        if self.pe_access(GHz::raw(lo), cond) > pe_threshold {
+            return GHz::raw(lo);
         }
         for _ in 0..70 {
             let mid = 0.5 * (lo + hi);
-            if self.pe_access(mid, cond) <= pe_threshold {
+            if self.pe_access(GHz::raw(mid), cond) <= pe_threshold {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        lo
+        GHz::raw(lo)
     }
 }
 
@@ -257,7 +270,7 @@ mod tests {
         for seed in 0..n {
             let stage = test_stage(SubsystemKind::Memory, seed);
             let f = stage.max_frequency(&OperatingConditions::nominal(), 1e-12);
-            if f < 4.0 {
+            if f.get() < 4.0 {
                 below += 1;
             }
         }
@@ -273,7 +286,7 @@ mod tests {
         let cond = OperatingConditions::nominal();
         let mut prev = 0.0;
         for k in 0..60 {
-            let f = 3.0 + 0.05 * k as f64;
+            let f = GHz::raw(3.0 + 0.05 * k as f64);
             let pe = stage.pe_access(f, &cond);
             assert!(pe >= prev - 1e-18);
             prev = pe;
@@ -286,12 +299,12 @@ mod tests {
         let base = stage.max_frequency(&OperatingConditions::nominal(), 1e-12);
         let boosted = stage.max_frequency(
             &OperatingConditions {
-                vdd: 1.2,
+                vdd: Volts::raw(1.2),
                 ..OperatingConditions::nominal()
             },
             1e-12,
         );
-        assert!(boosted > base, "boosted={boosted} base={base}");
+        assert!(boosted.get() > base.get(), "boosted={boosted} base={base}");
     }
 
     #[test]
@@ -300,12 +313,12 @@ mod tests {
         let base = stage.max_frequency(&OperatingConditions::nominal(), 1e-12);
         let fbb = stage.max_frequency(
             &OperatingConditions {
-                vbb: 0.5,
+                vbb: Volts::raw(0.5),
                 ..OperatingConditions::nominal()
             },
             1e-12,
         );
-        assert!(fbb > base);
+        assert!(fbb.get() > base.get());
     }
 
     #[test]
@@ -325,7 +338,7 @@ mod tests {
             },
             1e-12,
         );
-        assert!(cool > hot);
+        assert!(cool.get() > hot.get());
     }
 
     #[test]
@@ -334,8 +347,8 @@ mod tests {
         // access; memory should cross it in a narrower relative band.
         let cond = OperatingConditions::nominal();
         let span = |stage: &StageTiming| {
-            let f_lo = stage.max_frequency(&cond, 1e-8);
-            let f_hi = stage.max_frequency(&cond, 1e-2);
+            let f_lo = stage.max_frequency(&cond, 1e-8).get();
+            let f_hi = stage.max_frequency(&cond, 1e-2).get();
             (f_hi - f_lo) / f_lo
         };
         let mem = span(&test_stage(SubsystemKind::Memory, 11));

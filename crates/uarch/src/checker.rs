@@ -7,8 +7,7 @@
 //! the instruction that follows the faulty one" — so the recovery penalty
 //! `rp` equals the branch-misprediction penalty.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::core::CoreConfig;
 

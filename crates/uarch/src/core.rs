@@ -258,16 +258,17 @@ impl OooCore {
             // --- commit ---
             let mut committed = 0;
             while committed < self.config.width && stats.instructions < budget {
-                match self.rob.front() {
-                    Some(e) if e.issued && e.finish <= self.cycle => {
-                        let e = self.rob.pop_front().expect("front exists");
-                        self.front_seq += 1;
-                        committed += 1;
-                        stats.instructions += 1;
-                        stats.kind_counts[kind_index(e.kind)] += 1;
-                    }
-                    _ => break,
-                }
+                let ready = matches!(
+                    self.rob.front(),
+                    Some(e) if e.issued && e.finish <= self.cycle
+                );
+                let Some(e) = (if ready { self.rob.pop_front() } else { None }) else {
+                    break;
+                };
+                self.front_seq += 1;
+                committed += 1;
+                stats.instructions += 1;
+                stats.kind_counts[kind_index(e.kind)] += 1;
             }
             if committed == 0 {
                 if let Some(e) = self.rob.front() {

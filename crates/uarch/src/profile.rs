@@ -73,9 +73,14 @@ impl WorkloadProfile {
     /// The conservative worst-case activity vector across phases, which a
     /// static configuration must provision for.
     pub fn worst_case_activity(&self) -> ActivityVector {
-        let mut iter = self.phases.iter();
-        let first = iter.next().expect("profiles have phases").activity;
-        iter.fold(first, |acc, p| acc.max_with(&p.activity))
+        let (first, rest) = self
+            .phases
+            .split_first()
+            // lint:allow(panic-safety): profile_workload always records at
+            // least one phase; an empty profile has no worst case at all.
+            .expect("profiles have at least one phase");
+        rest.iter()
+            .fold(first.activity, |acc, p| acc.max_with(&p.activity))
     }
 }
 

@@ -48,9 +48,26 @@ impl SubsystemId {
         SubsystemId::Decode,
     ];
 
-    /// Canonical index in `[0, N_SUBSYSTEMS)`.
-    pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|s| s == self).expect("in ALL")
+    /// Canonical index in `[0, N_SUBSYSTEMS)`; the inverse of
+    /// [`SubsystemId::from_index`] (checked by a test against `ALL`).
+    pub const fn index(&self) -> usize {
+        match self {
+            SubsystemId::Dcache => 0,
+            SubsystemId::Dtlb => 1,
+            SubsystemId::FpQueue => 2,
+            SubsystemId::FpReg => 3,
+            SubsystemId::LdStQueue => 4,
+            SubsystemId::FpUnit => 5,
+            SubsystemId::FpMap => 6,
+            SubsystemId::IntAlu => 7,
+            SubsystemId::IntReg => 8,
+            SubsystemId::IntQueue => 9,
+            SubsystemId::IntMap => 10,
+            SubsystemId::Itlb => 11,
+            SubsystemId::Icache => 12,
+            SubsystemId::BranchPred => 13,
+            SubsystemId::Decode => 14,
+        }
     }
 
     /// Subsystem from its canonical index.

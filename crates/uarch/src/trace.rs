@@ -1,7 +1,6 @@
 //! Deterministic synthetic instruction traces from workload specs.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::insn::{Instruction, Kind};
 use crate::workload::{PhaseSpec, Workload};
@@ -116,7 +115,7 @@ impl TraceGenerator {
         let p = *self.phase();
         if self.bb_remaining == 0 {
             self.current_bb = p.bb_base + self.rng.gen_range(0..p.bb_count.max(1));
-            self.bb_remaining = self.rng.gen_range(4..16);
+            self.bb_remaining = self.rng.gen_range(4u32..16);
         } else {
             self.bb_remaining -= 1;
         }

@@ -1,0 +1,352 @@
+//! # eval-units
+//!
+//! Unit-safe newtypes for the physical quantities the EVAL reproduction
+//! passes across crate boundaries, plus the canonical constants of the
+//! paper's evaluation setup (Figure 7(a) / Table 1).
+//!
+//! The motivating failure mode is silent: a `Vdd` in volts fed where a
+//! `Vbb` body bias was expected, or a frequency in GHz used as a period in
+//! ns, corrupts every `PE(f)` curve downstream without any test failing.
+//! The newtypes make such mix-ups type errors, and their *validated*
+//! constructors reject values outside the actuator ranges of Figure 7(a)
+//! (e.g. `Vdd ∈ [0.6, 1.2] V`, `ErrorRate ∈ [0, 1]`).
+//!
+//! Two construction paths exist on purpose:
+//!
+//! * `Volts::vdd(x)` / `GHz::new(x)` / … — validated, `Result`-returning;
+//!   use these at API boundaries and when ingesting external data.
+//! * `Volts::raw(x)` / `GHz::raw(x)` / … — `const`, unchecked; use these
+//!   for compile-time constants and inner loops that stay on the discrete
+//!   actuator ladders (which are validated once at construction).
+//!
+//! The [`consts`] module is the **single source of truth** for the paper's
+//! numbers (`PMAX` = 30 W, `TMAX` = 85 °C, `PEMAX` = 1e-4, σ/μ = 0.09,
+//! φ = 0.5). `eval-lint`'s `config-invariants` rule flags any other crate
+//! that re-literalises them.
+//!
+//! ## Example
+//!
+//! ```
+//! use eval_units::{GHz, Volts};
+//!
+//! let vdd = Volts::vdd(1.05).expect("in the ASV range");
+//! assert!(Volts::vdd(1.5).is_err()); // outside [0.6, 1.2] V
+//! let f = GHz::new(4.2).expect("positive and finite");
+//! assert!((f.get() * 2.0 - 8.4).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// A value rejected by a unit's validated constructor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitRangeError {
+    /// Which unit/constructor rejected the value.
+    pub unit: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// Inclusive lower bound of the accepted range.
+    pub min: f64,
+    /// Inclusive upper bound of the accepted range.
+    pub max: f64,
+}
+
+impl fmt::Display for UnitRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {} outside [{}, {}]",
+            self.unit, self.value, self.min, self.max
+        )
+    }
+}
+
+impl Error for UnitRangeError {}
+
+fn checked(
+    unit: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, UnitRangeError> {
+    if value.is_finite() && value >= min && value <= max {
+        Ok(value)
+    } else {
+        Err(UnitRangeError {
+            unit,
+            value,
+            min,
+            max,
+        })
+    }
+}
+
+macro_rules! unit_newtype {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $symbol:literal
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a value without validation (`const`; for compile-time
+            /// constants and ladder-quantized inner loops).
+            pub const fn raw(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The underlying `f64`.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{} ", $symbol), self.0)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// An electric potential in volts. Use [`Volts::vdd`] / [`Volts::vbb`]
+    /// for the supply/body-bias actuator ranges of Figure 7(a).
+    Volts,
+    "V"
+);
+
+unit_newtype!(
+    /// A clock frequency in gigahertz.
+    GHz,
+    "GHz"
+);
+
+unit_newtype!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+
+unit_newtype!(
+    /// An absolute temperature in kelvin. Chip-level code senses and
+    /// reports Celsius; convert at the boundary with
+    /// [`Kelvin::from_celsius`] / [`Kelvin::celsius`].
+    Kelvin,
+    "K"
+);
+
+unit_newtype!(
+    /// An error rate in errors per instruction (or per access), a
+    /// probability-like quantity in `[0, 1]`.
+    ErrorRate,
+    "err/inst"
+);
+
+impl Volts {
+    /// ASV supply range of Figure 7(a): 800 mV – 1.2 V in 50 mV steps,
+    /// widened to 0.6 V at the bottom for the degraded operating points
+    /// §2's Table 1 sweeps.
+    pub const VDD_MIN: f64 = 0.6;
+    /// Upper end of the ASV supply range.
+    pub const VDD_MAX: f64 = 1.2;
+    /// ABB range of Figure 7(a): ±500 mV of body bias.
+    pub const VBB_MIN: f64 = -0.5;
+    /// Upper end of the ABB range (forward bias).
+    pub const VBB_MAX: f64 = 0.5;
+
+    /// A validated supply voltage in `[0.6, 1.2]` V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `v` is outside the range or not finite.
+    pub fn vdd(v: f64) -> Result<Self, UnitRangeError> {
+        checked("Vdd", v, Self::VDD_MIN, Self::VDD_MAX).map(Self)
+    }
+
+    /// A validated body-bias voltage in `[-0.5, 0.5]` V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `v` is outside the range or not finite.
+    pub fn vbb(v: f64) -> Result<Self, UnitRangeError> {
+        checked("Vbb", v, Self::VBB_MIN, Self::VBB_MAX).map(Self)
+    }
+
+    /// The value in millivolts (display convenience).
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl GHz {
+    /// A validated frequency: positive, finite, and below 100 GHz (far
+    /// above any plausible operating point of the modeled 45 nm parts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `f` is not in `(0, 100]`.
+    pub fn new(f: f64) -> Result<Self, UnitRangeError> {
+        checked("frequency", f, f64::MIN_POSITIVE, 100.0).map(Self)
+    }
+
+    /// The corresponding clock period in nanoseconds.
+    pub fn period_ns(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl Watts {
+    /// A validated power: non-negative and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `w` is negative or not finite.
+    pub fn new(w: f64) -> Result<Self, UnitRangeError> {
+        checked("power", w, 0.0, f64::MAX).map(Self)
+    }
+}
+
+impl Kelvin {
+    /// Offset between the Celsius and Kelvin scales.
+    pub const CELSIUS_OFFSET: f64 = 273.15;
+
+    /// A validated absolute temperature: non-negative and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `k` is negative or not finite.
+    pub fn new(k: f64) -> Result<Self, UnitRangeError> {
+        checked("temperature", k, 0.0, f64::MAX).map(Self)
+    }
+
+    /// Converts a Celsius temperature (validated against absolute zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `c` is below −273.15 °C or not finite.
+    pub fn from_celsius(c: f64) -> Result<Self, UnitRangeError> {
+        checked("temperature (C)", c, -Self::CELSIUS_OFFSET, f64::MAX)
+            .map(|c| Self(c + Self::CELSIUS_OFFSET))
+    }
+
+    /// The value on the Celsius scale.
+    pub fn celsius(self) -> f64 {
+        self.0 - Self::CELSIUS_OFFSET
+    }
+}
+
+impl ErrorRate {
+    /// A validated error rate in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `p` is outside `[0, 1]` or not finite.
+    pub fn new(p: f64) -> Result<Self, UnitRangeError> {
+        checked("error rate", p, 0.0, 1.0).map(Self)
+    }
+}
+
+/// The paper's canonical constants — defined here **once** and imported
+/// everywhere else (`eval-lint` rule `config-invariants` enforces this).
+pub mod consts {
+    use super::{ErrorRate, GHz, Volts, Watts};
+
+    /// `PMAX`: maximum per-processor power (Figure 7(a)).
+    pub const P_MAX: Watts = Watts::raw(30.0);
+    /// `TMAX`: maximum junction temperature, Celsius (Figure 7(a)).
+    pub const T_MAX_C: f64 = 85.0;
+    /// `TH_MAX`: maximum heat-sink temperature, Celsius (Figure 7(a)).
+    pub const TH_MAX_C: f64 = 70.0;
+    /// `PEMAX`: maximum tolerated error rate, errors/instruction (§4.1).
+    pub const PE_MAX: ErrorRate = ErrorRate::raw(1e-4);
+    /// Total σ/μ of the within-die Vt variation (VARIUS setup, Table 1).
+    pub const SIGMA_OVER_MU: f64 = 0.09;
+    /// Spatial-correlation range φ as a fraction of the die width (Table 1).
+    pub const PHI: f64 = 0.5;
+    /// Nominal core frequency of the modeled part.
+    pub const F_NOMINAL: GHz = GHz::raw(4.0);
+    /// Nominal supply voltage of the modeled part.
+    pub const VDD_NOMINAL: Volts = Volts::raw(1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdd_accepts_the_asv_ladder_and_rejects_outside() {
+        assert!(Volts::vdd(0.6).is_ok());
+        assert!(Volts::vdd(1.2).is_ok());
+        assert!(Volts::vdd(0.55).is_err());
+        assert!(Volts::vdd(1.25).is_err());
+        assert!(Volts::vdd(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn vbb_is_symmetric_about_zero() {
+        assert!(Volts::vbb(-0.5).is_ok());
+        assert!(Volts::vbb(0.5).is_ok());
+        assert!(Volts::vbb(0.51).is_err());
+        assert!(Volts::vbb(-0.51).is_err());
+    }
+
+    #[test]
+    fn error_rate_is_a_probability() {
+        assert!(ErrorRate::new(0.0).is_ok());
+        assert!(ErrorRate::new(1.0).is_ok());
+        assert!(ErrorRate::new(-1e-9).is_err());
+        assert!(ErrorRate::new(1.0 + 1e-9).is_err());
+    }
+
+    #[test]
+    fn frequency_must_be_positive_and_finite() {
+        assert!(GHz::new(4.0).is_ok());
+        assert!(GHz::new(0.0).is_err());
+        assert!(GHz::new(-1.0).is_err());
+        assert!(GHz::new(f64::INFINITY).is_err());
+        assert!((GHz::raw(4.0).period_ns() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kelvin_round_trips_celsius() {
+        let t = Kelvin::from_celsius(85.0).expect("valid");
+        assert!((t.celsius() - 85.0).abs() < 1e-12);
+        assert!((t.get() - 358.15).abs() < 1e-12);
+        assert!(Kelvin::from_celsius(-300.0).is_err());
+    }
+
+    #[test]
+    fn paper_constants_match_figure_7a() {
+        assert_eq!(consts::P_MAX.get(), 30.0);
+        assert_eq!(consts::T_MAX_C, 85.0);
+        assert_eq!(consts::PE_MAX.get(), 1e-4);
+        assert_eq!(consts::SIGMA_OVER_MU, 0.09);
+        assert_eq!(consts::PHI, 0.5);
+    }
+
+    #[test]
+    fn errors_render_with_unit_and_range() {
+        let e = Volts::vdd(2.0).expect_err("out of range");
+        let msg = e.to_string();
+        assert!(msg.contains("Vdd") && msg.contains("0.6") && msg.contains("1.2"), "{msg}");
+    }
+
+    #[test]
+    fn display_includes_unit_symbols() {
+        assert_eq!(Volts::raw(1.0).to_string(), "1 V");
+        assert_eq!(GHz::raw(4.0).to_string(), "4 GHz");
+        assert_eq!(Watts::raw(30.0).to_string(), "30 W");
+    }
+}

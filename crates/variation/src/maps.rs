@@ -1,8 +1,7 @@
 //! Per-chip variation maps: systematic (spatially correlated) plus random
 //! components for `Vt` and `Leff`.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use eval_rng::ChaCha12Rng;
 
 use crate::correlation::correlation_matrix;
 use crate::grid::ChipGrid;
@@ -182,6 +181,8 @@ impl VariationModel {
     pub fn new(grid: ChipGrid, params: VariationParams) -> Self {
         let corr = correlation_matrix(&grid, params.phi);
         let factor = LowerTriangular::cholesky(&corr)
+            // lint:allow(panic-safety): documented above — the spherical
+            // variogram with diagonal jitter is always factorable.
             .expect("spherical correlation matrix is positive semi-definite");
         Self {
             grid,
@@ -237,7 +238,7 @@ impl VariationModel {
 }
 
 /// Box–Muller standard-normal sample.
-fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+fn standard_normal(rng: &mut ChaCha12Rng) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
         if u1 > 0.0 {
@@ -381,7 +382,7 @@ mod render_tests {
         let g = ChipGrid::square(3);
         let field = ScalarField::new(g, vec![5.0; 9]);
         let art = field.render_ascii();
-        let chars: std::collections::HashSet<char> =
+        let chars: std::collections::BTreeSet<char> =
             art.chars().filter(|c| *c != '\n').collect();
         assert_eq!(chars.len(), 1);
     }

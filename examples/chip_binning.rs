@@ -25,7 +25,7 @@ fn main() {
     let mut eval_bins: Vec<f64> = Vec::new();
     for chip in factory.population(99, chips) {
         let core = chip.core(0);
-        baseline_bins.push(core.fvar_nominal(&config));
+        baseline_bins.push(core.fvar_nominal(&config).get());
         // EVAL-adapted shipping frequency: the slowest phase's adapted f
         // (the bin must hold across the workload).
         let f_ship = profile

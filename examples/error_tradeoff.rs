@@ -25,7 +25,7 @@ fn main() {
         profile.rp_cycles,
     );
 
-    let fvar = core.fvar_nominal(&config);
+    let fvar = core.fvar_nominal(&config).get();
     println!("# {}: fvar = {:.2} GHz; sweeping past it with a checker", workload.name, fvar);
     println!("{:>7} {:>12} {:>10} {:>10}", "f_GHz", "PE/inst", "BIPS", "P_W");
 
@@ -36,7 +36,7 @@ fn main() {
         let Ok(eval_res) = core.evaluate(
             &config,
             config.th_c,
-            f,
+            eval::units::GHz::raw(f),
             &settings,
             &ph.activity.alpha_f,
             &ph.activity.rho,

@@ -15,7 +15,7 @@ fn main() {
     let core = chip.core(0);
 
     // 2. What does variation cost a conventionally clocked design?
-    let fvar = core.fvar_nominal(&config);
+    let fvar = core.fvar_nominal(&config).get();
     println!(
         "baseline (worst-case clocked): {:.2} GHz = {:.0}% of the {:.0} GHz nominal",
         fvar,

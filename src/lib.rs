@@ -25,7 +25,7 @@
 //! let config = EvalConfig::micro08();
 //! let factory = ChipFactory::new(config.clone());
 //! let chip = factory.chip(1);
-//! let fvar = chip.core(0).fvar_nominal(&config);
+//! let fvar = chip.core(0).fvar_nominal(&config).get();
 //! assert!(fvar < config.f_nominal_ghz); // variation costs frequency...
 //!
 //! // ...which high-dimensional dynamic adaptation wins back.
@@ -53,6 +53,7 @@ pub use eval_fuzzy as fuzzy;
 pub use eval_power as power;
 pub use eval_timing as timing;
 pub use eval_uarch as uarch;
+pub use eval_units as units;
 pub use eval_variation as variation;
 
 /// The most commonly used items, in one import.

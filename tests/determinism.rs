@@ -11,7 +11,7 @@ fn campaign_is_identical_across_thread_counts() {
         c.profile_budget = 3_000;
         c.workloads = vec![Workload::by_name("gzip").expect("exists")];
         c.threads = threads;
-        c.run(&[Environment::TS], &[Scheme::ExhDyn])
+        c.run(&[Environment::TS], &[Scheme::ExhDyn]).expect("campaign runs")
     };
     let serial = run(1);
     let chunked = run(3);
@@ -24,7 +24,7 @@ fn campaign_is_identical_across_invocations() {
         let mut c = Campaign::new(2);
         c.profile_budget = 3_000;
         c.workloads = vec![Workload::by_name("mesa").expect("exists")];
-        c.run(&[Environment::TS_ASV], &[Scheme::Static])
+        c.run(&[Environment::TS_ASV], &[Scheme::Static]).expect("campaign runs")
     };
     assert_eq!(run(), run());
 }
@@ -72,4 +72,48 @@ fn different_seeds_give_different_chips_same_seed_same_chip() {
     let factory = ChipFactory::new(cfg);
     assert_eq!(factory.chip(100), factory.chip(100));
     assert_ne!(factory.chip(100), factory.chip(101));
+}
+
+#[test]
+fn four_chip_population_is_bit_identical_across_runs() {
+    // Stronger than `==`: compare the IEEE-754 bit patterns of every
+    // reported number, so even a sign-of-zero or NaN-payload difference
+    // between two identical runs would fail.
+    let run = || {
+        let mut c = Campaign::new(4);
+        c.profile_budget = 3_000;
+        c.workloads = vec![Workload::by_name("gzip").expect("exists")];
+        c.training = TrainingBudget {
+            examples: 60,
+            ..TrainingBudget::default()
+        };
+        c.run(&[Environment::TS_ASV], &[Scheme::FuzzyDyn, Scheme::ExhDyn])
+            .expect("campaign runs")
+    };
+    let bits = |r: &CampaignResult| -> Vec<u64> {
+        let mut v = vec![
+            r.baseline.freq_rel.to_bits(),
+            r.baseline.perf_rel.to_bits(),
+            r.baseline.power_w.to_bits(),
+            r.novar.freq_rel.to_bits(),
+            r.novar.perf_rel.to_bits(),
+            r.novar.power_w.to_bits(),
+        ];
+        for s in [Scheme::FuzzyDyn, Scheme::ExhDyn] {
+            let cell = r.cell(Environment::TS_ASV, s).expect("cell exists");
+            v.extend([
+                cell.freq_rel.to_bits(),
+                cell.perf_rel.to_bits(),
+                cell.power_w.to_bits(),
+            ]);
+        }
+        v
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        bits(&a),
+        bits(&b),
+        "two runs over a 4-chip population must be bit-identical"
+    );
 }

@@ -13,7 +13,7 @@ fn novar_chip_is_rated_at_nominal_frequency() {
     let cfg = config();
     let chip = ChipModel::no_variation(&cfg);
     for core_idx in 0..4 {
-        let fvar = chip.core(core_idx).fvar_nominal(&cfg);
+        let fvar = chip.core(core_idx).fvar_nominal(&cfg).get();
         assert!(
             (fvar - cfg.f_nominal_ghz).abs() / cfg.f_nominal_ghz < 0.02,
             "core {core_idx}: NoVar fvar = {fvar}"
@@ -27,7 +27,7 @@ fn variation_costs_frequency_and_adaptation_wins_it_back() {
     let factory = ChipFactory::new(cfg.clone());
     let chip = factory.chip(3);
     let core = chip.core(0);
-    let fvar = core.fvar_nominal(&cfg);
+    let fvar = core.fvar_nominal(&cfg).get();
     assert!(fvar < cfg.f_nominal_ghz, "variation must cost frequency");
 
     let w = Workload::by_name("gzip").expect("exists");
@@ -116,7 +116,8 @@ fn guardbanded_signoff_is_consistent_across_crates() {
     for s in core.subsystems() {
         let f_phys = s
             .timing(&VariantSelection::default())
-            .max_frequency(&cond, s.design_pe());
+            .max_frequency(&cond, s.design_pe())
+            .get();
         let expect = cfg.f_nominal_ghz * (1.0 + eval::timing::DESIGN_GUARDBAND);
         assert!(
             (f_phys - expect).abs() / expect < 0.02,

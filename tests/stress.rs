@@ -79,11 +79,11 @@ fn worst_chip_of_a_population_still_gains_from_adaptation() {
         .population(7, 12)
         .min_by(|a, b| {
             a.core(0)
-                .fvar_nominal(&cfg)
-                .total_cmp(&b.core(0).fvar_nominal(&cfg))
+                .fvar_nominal(&cfg).get()
+                .total_cmp(&b.core(0).fvar_nominal(&cfg).get())
         })
         .expect("population non-empty");
-    let fvar = worst.core(0).fvar_nominal(&cfg);
+    let fvar = worst.core(0).fvar_nominal(&cfg).get();
     let w = Workload::by_name("crafty").expect("exists");
     let profile = profile_workload(&w, 4_000, 7);
     let d = decide_phase(
