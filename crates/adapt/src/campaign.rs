@@ -1,6 +1,7 @@
 //! The experiment harness behind Figures 10–13: environments x adaptation
 //! schemes over a chip population and the 16-workload suite.
 
+use eval_trace::{BufferSink, Event, Tracer};
 use eval_units::GHz;
 
 use eval_core::{
@@ -10,7 +11,7 @@ use eval_core::{
 use eval_uarch::profile::{PhaseProfile, WorkloadProfile};
 use eval_uarch::{profile_workload, ActivityVector, QueueSize, Workload};
 
-use crate::controller::{decide_phase, AdaptationTimeline};
+use crate::controller::{decide_phase_traced, AdaptationTimeline, DecisionContext};
 use crate::exhaustive::ExhaustiveOptimizer;
 use crate::fuzzy_ctl::{FuzzyOptimizer, TrainingBudget};
 use crate::optimizer::Optimizer;
@@ -39,6 +40,15 @@ impl Scheme {
             Scheme::Static => "Static",
             Scheme::FuzzyDyn => "Fuzzy-Dyn",
             Scheme::ExhDyn => "Exh-Dyn",
+        }
+    }
+
+    /// Trace label (matches the per-scheme decision counter names).
+    pub fn trace_label(&self) -> &'static str {
+        match self {
+            Scheme::Static => "static",
+            Scheme::FuzzyDyn => "fuzzy",
+            Scheme::ExhDyn => "exhaustive",
         }
     }
 }
@@ -202,10 +212,36 @@ impl Campaign {
         envs: &[Environment],
         schemes: &[Scheme],
     ) -> Result<CampaignResult, CampaignError> {
+        self.run_traced(envs, schemes, Tracer::noop())
+    }
+
+    /// [`Campaign::run`] with tracing: emits a `campaign-start` event,
+    /// per-chip tester/training/decision events, and span timings into
+    /// `tracer`.
+    ///
+    /// Workers record into per-chip buffers that are replayed into the
+    /// caller's sink in chip-index order after the parallel sweep joins,
+    /// so the event stream is identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if a reference or statically provisioned
+    /// operating point turns out to be thermally infeasible on some chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips`, `workloads` or `cores_per_chip` is empty/zero.
+    pub fn run_traced(
+        &self,
+        envs: &[Environment],
+        schemes: &[Scheme],
+        tracer: Tracer<'_>,
+    ) -> Result<CampaignResult, CampaignError> {
         assert!(self.chips > 0, "need at least one chip");
         assert!(!self.workloads.is_empty(), "need at least one workload");
         assert!(self.cores_per_chip >= 1, "need at least one core");
 
+        let _campaign_span = tracer.span("campaign");
         let factory = ChipFactory::new(self.config.clone());
         let profiles: Vec<WorkloadProfile> = self
             .workloads
@@ -224,6 +260,7 @@ impl Campaign {
             GHz::raw(self.config.f_nominal_ghz),
             &profiles,
             &novar_perf,
+            tracer,
         )?;
 
         // --- population cells ---
@@ -234,6 +271,11 @@ impl Campaign {
             .iter()
             .flat_map(|e| schemes.iter().map(move |s| (*e, *s)))
             .collect();
+        tracer.event(|| Event::CampaignStart {
+            chips: self.chips as u64,
+            workloads: self.workloads.len() as u64,
+            cells: pairs.len() as u64,
+        });
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -244,6 +286,9 @@ impl Campaign {
         };
         type ChipSlot = Option<Result<(CellResult, Vec<CellResult>), CampaignError>>;
         let mut per_chip: Vec<ChipSlot> = vec![None; self.chips];
+        // Workers trace into per-chip buffers so the merged stream does not
+        // depend on thread interleaving; replayed in chip order below.
+        let buffers: Vec<BufferSink> = (0..self.chips).map(|_| BufferSink::new()).collect();
         std::thread::scope(|scope| {
             let chunks = per_chip.chunks_mut(self.chips.div_ceil(threads));
             for (worker, chunk) in chunks.enumerate() {
@@ -251,17 +296,26 @@ impl Campaign {
                 let profiles = &profiles;
                 let novar_perf = &novar_perf;
                 let pairs = &pairs;
+                let buffers = &buffers;
                 let first_chip = worker * self.chips.div_ceil(threads);
                 scope.spawn(move || {
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         let chip_idx = first_chip + offset;
+                        let chip_tracer = if tracer.enabled() {
+                            Tracer::new(&buffers[chip_idx])
+                        } else {
+                            Tracer::noop()
+                        };
                         *slot = Some(self.run_one_chip(
-                            factory, chip_idx, pairs, profiles, novar_perf,
+                            factory, chip_idx, pairs, profiles, novar_perf, chip_tracer,
                         ));
                     }
                 });
             }
         });
+        for buffer in buffers {
+            tracer.replay(buffer.into_records());
+        }
 
         let mut baseline = CellResult::default();
         let mut cells: Vec<(Environment, Scheme, CellResult)> = pairs
@@ -297,8 +351,13 @@ impl Campaign {
         pairs: &[(Environment, Scheme)],
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
+        tracer: Tracer<'_>,
     ) -> Result<(CellResult, Vec<CellResult>), CampaignError> {
-        let chip = factory.chip(self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37));
+        let _chip_span = tracer.span("chip");
+        let chip = factory.chip_traced(
+            self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37),
+            tracer,
+        );
         let mut baseline = CellResult::default();
         let mut cells = vec![CellResult::default(); pairs.len()];
         for core_idx in 0..self.cores_per_chip {
@@ -308,7 +367,7 @@ impl Campaign {
             let fvar = core.fvar_nominal(&self.config);
             accumulate(
                 &mut baseline,
-                &self.reference_cell(core, fvar, profiles, novar_perf)?,
+                &self.reference_cell(core, fvar, profiles, novar_perf, tracer)?,
             );
 
             // Adapted environments.
@@ -320,12 +379,13 @@ impl Campaign {
                         let pos = match fuzzy_cache.iter().position(|(e, _)| e == env) {
                             Some(pos) => pos,
                             None => {
-                                let trained = FuzzyOptimizer::train(
+                                let trained = FuzzyOptimizer::train_traced(
                                     &self.config,
                                     &chip,
                                     core_idx,
                                     *env,
                                     &self.training,
+                                    tracer,
                                 );
                                 fuzzy_cache.push((*env, trained));
                                 fuzzy_cache.len() - 1
@@ -336,8 +396,12 @@ impl Campaign {
                     _ => &exhaustive,
                 };
                 let cell = match scheme {
-                    Scheme::Static => self.run_static(core, *env, profiles, novar_perf)?,
-                    _ => self.run_dynamic(core, *env, optimizer, profiles, novar_perf),
+                    Scheme::Static => {
+                        self.run_static(core, *env, profiles, novar_perf, tracer)?
+                    }
+                    _ => self.run_dynamic(
+                        core, *env, optimizer, *scheme, profiles, novar_perf, tracer,
+                    ),
                 };
                 accumulate(acc, &cell);
             }
@@ -383,11 +447,15 @@ impl Campaign {
                     let single = std::slice::from_ref(profile);
                     let ref_perf = [self.novar_perf(profile)];
                     let cell = match (scheme, fuzzy.as_ref()) {
-                        (Scheme::Static, _) => self.run_static(core, env, single, &ref_perf)?,
-                        (Scheme::FuzzyDyn, Some(fuzzy)) => {
-                            self.run_dynamic(core, env, fuzzy, single, &ref_perf)
+                        (Scheme::Static, _) => {
+                            self.run_static(core, env, single, &ref_perf, Tracer::noop())?
                         }
-                        _ => self.run_dynamic(core, env, &exhaustive, single, &ref_perf),
+                        (Scheme::FuzzyDyn, Some(fuzzy)) => self.run_dynamic(
+                            core, env, fuzzy, scheme, single, &ref_perf, Tracer::noop(),
+                        ),
+                        _ => self.run_dynamic(
+                            core, env, &exhaustive, scheme, single, &ref_perf, Tracer::noop(),
+                        ),
                     };
                     accumulate(acc, &cell);
                 }
@@ -422,6 +490,7 @@ impl Campaign {
         f: GHz,
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
+        tracer: Tracer<'_>,
     ) -> Result<CellResult, CampaignError> {
         let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
         let mut cell = CellResult::default();
@@ -438,9 +507,13 @@ impl Campaign {
                         &ph.activity.rho,
                         &VariantSelection::default(),
                     )
-                    .map_err(|source| CampaignError::Infeasible {
-                        context: "reference machine at nominal voltages",
-                        source,
+                    .map_err(|source| {
+                        let context = "reference machine at nominal voltages";
+                        tracer.event(|| Event::Infeasible {
+                            context,
+                            subsystem: source.subsystem.to_string(),
+                        });
+                        CampaignError::Infeasible { context, source }
                     })?;
                 let perf = PerfModel::new(
                     ph.cpi_comp(QueueSize::Full),
@@ -464,8 +537,10 @@ impl Campaign {
         core: &CoreModel,
         env: Environment,
         optimizer: &dyn Optimizer,
+        scheme: Scheme,
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
+        tracer: Tracer<'_>,
     ) -> CellResult {
         let timeline = AdaptationTimeline::micro08();
         let mut cell = CellResult::default();
@@ -473,7 +548,12 @@ impl Campaign {
             let class = profile.class;
             for ph in &profile.phases {
                 let weight = ph.weight / profiles.len() as f64;
-                let d = decide_phase(
+                let ctx = DecisionContext {
+                    scheme: scheme.trace_label(),
+                    workload: profile.name,
+                    phase: ph.index as u64,
+                };
+                let d = decide_phase_traced(
                     &self.config,
                     core,
                     optimizer,
@@ -482,6 +562,8 @@ impl Campaign {
                     class,
                     profile.rp_cycles,
                     self.config.th_c,
+                    &ctx,
+                    tracer,
                 );
                 let overhead = timeline.overhead_fraction(d.retune_steps);
                 cell.freq_rel += weight * d.f_ghz / self.config.f_nominal_ghz;
@@ -501,15 +583,21 @@ impl Campaign {
         env: Environment,
         profiles: &[WorkloadProfile],
         novar_perf: &[f64],
+        tracer: Tracer<'_>,
     ) -> Result<CellResult, CampaignError> {
         let exhaustive = ExhaustiveOptimizer::new();
         let mut cell = CellResult::default();
         for (profile, &ref_perf) in profiles.iter().zip(novar_perf) {
             let worst = synthetic_worst_phase(profile);
+            let ctx = DecisionContext {
+                scheme: Scheme::Static.trace_label(),
+                workload: profile.name,
+                phase: worst.index as u64,
+            };
             // A static configuration cannot react to conditions, so it is
             // provisioned for the hottest heat sink the spec allows
             // (TH_MAX), not the currently sensed one.
-            let d = decide_phase(
+            let d = decide_phase_traced(
                 &self.config,
                 core,
                 &exhaustive,
@@ -518,6 +606,8 @@ impl Campaign {
                 profile.class,
                 profile.rp_cycles,
                 self.config.constraints.th_max_c,
+                &ctx,
+                tracer,
             );
             // Hold (f, settings, variants) fixed; per-phase consequences.
             for ph in &profile.phases {
@@ -532,9 +622,13 @@ impl Campaign {
                         &ph.activity.rho,
                         &d.variants,
                     )
-                    .map_err(|source| CampaignError::Infeasible {
-                        context: "worst-case-provisioned static configuration",
-                        source,
+                    .map_err(|source| {
+                        let context = "worst-case-provisioned static configuration";
+                        tracer.event(|| Event::Infeasible {
+                            context,
+                            subsystem: source.subsystem.to_string(),
+                        });
+                        CampaignError::Infeasible { context, source }
                     })?;
                 let queue = static_queue_size(profile, &d);
                 let perf = PerfModel::new(
@@ -665,6 +759,50 @@ mod tests {
             dy.freq_rel,
             st.freq_rel
         );
+    }
+
+    #[test]
+    fn traced_campaign_matches_untraced_and_buffers_deterministically() {
+        use eval_trace::Collector;
+        let c = tiny_campaign();
+        let envs = [Environment::TS];
+        let schemes = [Scheme::Static, Scheme::ExhDyn];
+        let plain = c.run(&envs, &schemes).expect("campaign runs");
+
+        let sink_a = Collector::new();
+        let traced = c
+            .run_traced(&envs, &schemes, Tracer::new(&sink_a))
+            .expect("traced campaign runs");
+        assert_eq!(plain, traced, "tracing must not perturb results");
+
+        // Start event, per-chip tester events, and one decision per
+        // (chip, scheme, workload[, phase]) cell all present.
+        let events = sink_a.events();
+        assert!(matches!(events[0], Event::CampaignStart { chips: 2, .. }));
+        let decisions = events
+            .iter()
+            .filter(|e| matches!(e, Event::Decision(_)))
+            .count();
+        // Static: 1 decision/workload/chip; ExhDyn: 1/phase/workload/chip.
+        assert!(decisions >= 2 * (2 + 2), "decisions {decisions}");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::TesterMeasurement { .. })));
+
+        // Same campaign on one thread: byte-identical event payloads.
+        let mut serial = c.clone();
+        serial.threads = 1;
+        let sink_b = Collector::new();
+        serial
+            .run_traced(&envs, &schemes, Tracer::new(&sink_b))
+            .expect("serial traced campaign runs");
+        assert_eq!(sink_a.event_lines(), sink_b.event_lines());
+
+        // Buffered replay preserves span records too.
+        assert!(sink_a
+            .spans()
+            .keys()
+            .any(|path| path.starts_with("chip")));
     }
 
     #[test]

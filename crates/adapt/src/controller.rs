@@ -9,9 +9,11 @@ use eval_core::{
 use eval_uarch::profile::PhaseProfile;
 use eval_uarch::{QueueSize, WorkloadClass};
 
+use eval_trace::{DecisionEvent, Event, RejectedCandidate, Tracer};
+
 use crate::choice::{choose_fu, choose_queue};
 use crate::optimizer::{Optimizer, SubsystemScene};
-use crate::retune::{retune, Outcome};
+use crate::retune::{retune_traced, Outcome, RetuneProbe};
 
 /// The chosen configuration for one phase and its measured consequences.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,66 @@ pub struct PhaseDecision {
     pub perf_model: PerfModel,
     /// Performance in billions of instructions per second.
     pub perf_bips: f64,
+}
+
+/// Identifying context for a traced decision: which scheme is deciding,
+/// for which workload, at which phase index. Purely observational — the
+/// decision itself never reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionContext {
+    /// Scheme label (`static`, `fuzzy`, `exhaustive`, `global-dvfs`).
+    pub scheme: &'static str,
+    /// Workload name, or `runtime` for the deployed adaptation loop.
+    pub workload: &'static str,
+    /// Phase index within the workload (detector id at run time).
+    pub phase: u64,
+}
+
+impl DecisionContext {
+    /// A placeholder context for untraced calls.
+    pub const UNTRACED: DecisionContext = DecisionContext {
+        scheme: "untraced",
+        workload: "untraced",
+        phase: 0,
+    };
+}
+
+/// Full static counter names per scheme (the registry keys are
+/// `&'static str`, so names cannot be concatenated at runtime).
+fn scheme_counter(scheme: &str) -> &'static str {
+    match scheme {
+        "static" => "decision.count.static",
+        "fuzzy" => "decision.count.fuzzy",
+        "exhaustive" => "decision.count.exhaustive",
+        "global-dvfs" => "decision.count.global-dvfs",
+        _ => "decision.count.other",
+    }
+}
+
+/// Which constraint bound the final frequency, derived from the retune
+/// probe history: the last rejected probe names the binding constraint;
+/// no rejection means retuning ran out of ladder.
+fn binding_constraint(probes: &[RetuneProbe]) -> &'static str {
+    match probes.iter().rev().find_map(|p| p.violation) {
+        Some(Outcome::Error) => "error-rate",
+        Some(Outcome::Temp) => "temperature",
+        Some(Outcome::Power) => "power",
+        _ => "ladder-top",
+    }
+}
+
+fn fu_label(choice: FuChoice) -> &'static str {
+    match choice {
+        FuChoice::Normal => "normal",
+        FuChoice::LowSlope => "low-slope",
+    }
+}
+
+fn queue_label(choice: QueueChoice) -> &'static str {
+    match choice {
+        QueueChoice::Full => "full",
+        QueueChoice::Small => "small",
+    }
 }
 
 /// Runs the full §4.2 decision procedure for one phase.
@@ -57,6 +119,42 @@ pub fn decide_phase(
     rp_cycles: f64,
     th_c: f64,
 ) -> PhaseDecision {
+    decide_phase_traced(
+        config,
+        core,
+        optimizer,
+        env,
+        phase,
+        class,
+        rp_cycles,
+        th_c,
+        &DecisionContext::UNTRACED,
+        Tracer::noop(),
+    )
+}
+
+/// [`decide_phase`] with full observability: a `decide` span, a
+/// `decision.latency_us` timer, per-scheme decision counters,
+/// frequency/error-rate histogram observations, and one
+/// [`Decision`](Event::Decision) event carrying the chosen operating
+/// point, the binding constraint, the rejected retune candidates, and
+/// the Equation-5 CPI breakdown. The untraced path is bit-identical to
+/// [`decide_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn decide_phase_traced(
+    config: &EvalConfig,
+    core: &CoreModel,
+    optimizer: &dyn Optimizer,
+    env: Environment,
+    phase: &PhaseProfile,
+    class: WorkloadClass,
+    rp_cycles: f64,
+    th_c: f64,
+    ctx: &DecisionContext,
+    tracer: Tracer<'_>,
+) -> PhaseDecision {
+    let _span = tracer.span("decide");
+    let _latency = tracer.timer("decision.latency_us");
     let alpha = phase.activity.alpha_f;
     let rho = phase.activity.rho;
     let pe_budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
@@ -171,8 +269,8 @@ pub fn decide_phase(
         .collect();
 
     // --- retuning cycles ---
-    let result = retune(
-        config, core, th_c, f_core, &settings, &alpha, &rho, &variants,
+    let result = retune_traced(
+        config, core, th_c, f_core, &settings, &alpha, &rho, &variants, tracer,
     );
 
     let queue_size = match (class, variants.int_queue, variants.fp_queue) {
@@ -183,6 +281,46 @@ pub fn decide_phase(
     let perf_model = PerfModel::new(phase.cpi_comp(queue_size), phase.mr, phase.mp_ns, rp_cycles);
     let pe = result.evaluation.pe_per_instruction.clamp(0.0, 1.0);
     let perf_bips = perf_model.perf(result.f_ghz, pe);
+
+    tracer.count("decision.count");
+    tracer.count(scheme_counter(ctx.scheme));
+    tracer.observe("decision.f_ghz", result.f_ghz);
+    tracer.observe("decision.pe_per_instruction", pe);
+    tracer.event(|| {
+        let breakdown = perf_model.breakdown(result.f_ghz, pe);
+        Event::Decision(Box::new(DecisionEvent {
+            scheme: ctx.scheme,
+            env: env.name,
+            workload: ctx.workload,
+            phase: ctx.phase,
+            f_ghz: result.f_ghz,
+            settings: settings.clone(),
+            int_fu: fu_label(variants.int_fu),
+            fp_fu: fu_label(variants.fp_fu),
+            int_queue: queue_label(variants.int_queue),
+            fp_queue: queue_label(variants.fp_queue),
+            outcome: result.outcome.label(),
+            binding: binding_constraint(&result.probes),
+            retune_steps: result.steps,
+            rejected: result
+                .probes
+                .iter()
+                .filter_map(|p| {
+                    p.violation.map(|v| RejectedCandidate {
+                        f_ghz: p.f_ghz,
+                        violation: v.label(),
+                    })
+                })
+                .collect(),
+            pe_per_instruction: result.evaluation.pe_per_instruction,
+            power_w: result.evaluation.total_power_w,
+            max_t_c: result.evaluation.max_t_c,
+            perf_bips,
+            cpi_comp: breakdown.comp,
+            cpi_mem: breakdown.mem,
+            cpi_recovery: breakdown.recovery,
+        }))
+    });
 
     PhaseDecision {
         f_ghz: result.f_ghz,
@@ -310,6 +448,75 @@ mod tests {
         // Integer-side variants stay at their defaults for an FP app.
         assert_eq!(d.variants.int_fu, FuChoice::Normal);
         assert_eq!(d.variants.int_queue, QueueChoice::Full);
+    }
+
+    #[test]
+    fn traced_decision_matches_untraced_and_emits_full_event() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(8);
+        let w = Workload::by_name("swim").unwrap();
+        let profile = profile_workload(&w, 6_000, 5);
+        let plain = decide_phase(
+            &cfg,
+            chip.core(0),
+            &ExhaustiveOptimizer::new(),
+            Environment::TS_ASV,
+            &profile.phases[0],
+            w.class,
+            profile.rp_cycles,
+            cfg.th_c,
+        );
+        let collector = eval_trace::Collector::new();
+        let ctx = DecisionContext {
+            scheme: "exhaustive",
+            workload: "swim",
+            phase: 0,
+        };
+        let traced = decide_phase_traced(
+            &cfg,
+            chip.core(0),
+            &ExhaustiveOptimizer::new(),
+            Environment::TS_ASV,
+            &profile.phases[0],
+            w.class,
+            profile.rp_cycles,
+            cfg.th_c,
+            &ctx,
+            eval_trace::Tracer::new(&collector),
+        );
+        // Tracing must not perturb the decision.
+        assert_eq!(plain, traced);
+
+        let reg = collector.registry();
+        assert_eq!(reg.counter("decision.count"), 1);
+        assert_eq!(reg.counter("decision.count.exhaustive"), 1);
+        let decisions: Vec<_> = collector
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.scheme, "exhaustive");
+        assert_eq!(d.env, "TS+ASV");
+        assert_eq!(d.workload, "swim");
+        assert_eq!(d.f_ghz, traced.f_ghz);
+        assert_eq!(d.settings.len(), N_SUBSYSTEMS);
+        assert!(
+            ["error-rate", "temperature", "power", "ladder-top"].contains(&d.binding),
+            "binding = {}",
+            d.binding
+        );
+        // CPI breakdown is consistent with the decision's perf model.
+        let total = d.cpi_comp + d.cpi_mem + d.cpi_recovery;
+        let pe = traced.evaluation.pe_per_instruction.clamp(0.0, 1.0);
+        assert!((total - traced.perf_model.cpi(traced.f_ghz, pe)).abs() < 1e-12);
+        // Span and latency records landed too.
+        assert!(collector.spans().keys().any(|k| k.contains("decide")));
+        assert!(reg.histogram("decision.latency_us").is_some_and(|h| h.count() == 1));
     }
 
     #[test]

@@ -54,6 +54,10 @@ impl ExhaustiveOptimizer {
 }
 
 impl Optimizer for ExhaustiveOptimizer {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
     fn freq_max(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
         let mut best: Option<usize> = None;
         for vdd in scene.vdd_options() {

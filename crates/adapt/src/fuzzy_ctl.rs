@@ -118,6 +118,22 @@ impl FuzzyOptimizer {
         env: Environment,
         budget: &TrainingBudget,
     ) -> Self {
+        Self::train_traced(config, chip, core_index, env, budget, eval_trace::Tracer::noop())
+    }
+
+    /// [`FuzzyOptimizer::train`] under a `train` span, emitting one
+    /// [`ControllerTrained`](eval_trace::Event::ControllerTrained) event
+    /// per (subsystem, variant) bank with the `Freq` controller's RMS
+    /// error on its normalized training set.
+    pub fn train_traced(
+        config: &EvalConfig,
+        chip: &ChipModel,
+        core_index: usize,
+        env: Environment,
+        budget: &TrainingBudget,
+        tracer: eval_trace::Tracer<'_>,
+    ) -> Self {
+        let _span = tracer.span("train");
         let oracle = ExhaustiveOptimizer::new();
         let core = chip.core(core_index);
         let pe_budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
@@ -157,7 +173,7 @@ impl FuzzyOptimizer {
                     vdd_ex.push((vec![th, alpha, rho, f_core], vdd));
                     vbb_ex.push((vec![th, alpha, rho, f_core], vbb));
                 }
-                let train_one = |examples: &[(Vec<f64>, f64)], salt: u64| -> Trained {
+                let train_one = |examples: &[(Vec<f64>, f64)], salt: u64| -> (Trained, f64) {
                     let norm = Normalizer::fit(examples);
                     let normalized = norm.apply(examples);
                     let fc = FuzzyController::train(
@@ -169,13 +185,24 @@ impl FuzzyOptimizer {
                     // sizes the example set well above the rule count, and
                     // train() only fails when it is smaller.
                     .expect("training set is larger than the rule count");
-                    Trained { norm, fc }
+                    let rms = if tracer.enabled() {
+                        fc.rms_error(&normalized)
+                    } else {
+                        0.0
+                    };
+                    (Trained { norm, fc }, rms)
                 };
-                slot[alt as usize] = Some(SubsystemControllers {
-                    freq: train_one(&freq_ex, 0x11),
-                    vdd: train_one(&vdd_ex, 0x22),
-                    vbb: train_one(&vbb_ex, 0x33),
+                let (freq, freq_rms) = train_one(&freq_ex, 0x11);
+                let (vdd, _) = train_one(&vdd_ex, 0x22);
+                let (vbb, _) = train_one(&vbb_ex, 0x33);
+                tracer.count("fuzzy.controllers_trained");
+                tracer.event(|| eval_trace::Event::ControllerTrained {
+                    subsystem: id.to_string(),
+                    variant: if alt { "alt" } else { "normal" },
+                    examples: budget.examples as u64,
+                    freq_rms,
                 });
+                slot[alt as usize] = Some(SubsystemControllers { freq, vdd, vbb });
             }
             controllers.push(slot);
         }
@@ -206,6 +233,10 @@ impl FuzzyOptimizer {
 }
 
 impl Optimizer for FuzzyOptimizer {
+    fn name(&self) -> &'static str {
+        "fuzzy"
+    }
+
     fn freq_max(&self, _config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
         let t = self.lookup(scene);
         let raw = t.freq.infer(&[scene.th_c, scene.alpha_f, scene.rho]);

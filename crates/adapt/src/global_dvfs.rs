@@ -73,6 +73,10 @@ impl GlobalDvfsOptimizer {
 }
 
 impl Optimizer for GlobalDvfsOptimizer {
+    fn name(&self) -> &'static str {
+        "global-dvfs"
+    }
+
     fn freq_max(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
         // Per-subsystem view at the currently shared voltage.
         let mut fmax = FREQ_LADDER.min;

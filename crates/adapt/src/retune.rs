@@ -1,6 +1,7 @@
 //! Retuning cycles (§4.3.3): sensor-driven frequency correction after the
 //! controller picks a configuration, and the five outcomes of Figure 13.
 
+use eval_trace::{Event, Tracer};
 use eval_units::GHz;
 
 use eval_core::{
@@ -57,6 +58,19 @@ impl Outcome {
     }
 }
 
+/// One frequency the retuning loop probed, with its direction and (if
+/// rejected) the violated constraint. Recorded only when tracing is
+/// enabled — [`RetuneResult::probes`] stays empty on the untraced path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetuneProbe {
+    /// `initial`, `down`, or `up`.
+    pub direction: &'static str,
+    /// The probed frequency.
+    pub f_ghz: f64,
+    /// The violated constraint, when the probe was rejected.
+    pub violation: Option<Outcome>,
+}
+
 /// The result of the retuning cycles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetuneResult {
@@ -68,6 +82,8 @@ pub struct RetuneResult {
     pub steps: u32,
     /// Evaluation of the final configuration.
     pub evaluation: CoreEvaluation,
+    /// The probe history (empty unless tracing is enabled).
+    pub probes: Vec<RetuneProbe>,
 }
 
 /// Which constraint (if any) an evaluation violates, in the order sensors
@@ -132,18 +148,68 @@ pub fn retune(
     rho: &[f64; N_SUBSYSTEMS],
     variants: &VariantSelection,
 ) -> RetuneResult {
-    let check = |f: f64| -> Checked {
-        match evaluate(config, core, th_c, f, settings, alpha, rho, variants) {
+    retune_traced(
+        config,
+        core,
+        th_c,
+        f0_ghz,
+        settings,
+        alpha,
+        rho,
+        variants,
+        Tracer::noop(),
+    )
+}
+
+/// [`retune`] with per-probe observability: when the tracer is enabled,
+/// every frequency the loop checks is recorded in
+/// [`RetuneResult::probes`] and emitted as a
+/// [`RetuneStep`](Event::RetuneStep) event. The untraced path is
+/// bit-identical to [`retune`] and allocates nothing extra.
+#[allow(clippy::too_many_arguments)]
+pub fn retune_traced(
+    config: &EvalConfig,
+    core: &CoreModel,
+    th_c: f64,
+    f0_ghz: f64,
+    settings: &[(f64, f64)],
+    alpha: &[f64; N_SUBSYSTEMS],
+    rho: &[f64; N_SUBSYSTEMS],
+    variants: &VariantSelection,
+    tracer: Tracer<'_>,
+) -> RetuneResult {
+    let mut probes: Vec<RetuneProbe> = Vec::new();
+    let check = |f: f64, direction: &'static str, probes: &mut Vec<RetuneProbe>| -> Checked {
+        let state = match evaluate(config, core, th_c, f, settings, alpha, rho, variants) {
             Some(e) => match violation(config, &e) {
                 None => Checked::Clean(e),
                 Some(v) => Checked::Violating(v, e),
             },
             None => Checked::Runaway,
+        };
+        if tracer.enabled() {
+            let probe_violation = match &state {
+                Checked::Clean(_) => None,
+                Checked::Violating(v, _) => Some(*v),
+                Checked::Runaway => Some(Outcome::Temp),
+            };
+            probes.push(RetuneProbe {
+                direction,
+                f_ghz: f,
+                violation: probe_violation,
+            });
+            tracer.count("retune.probes");
+            tracer.event(|| Event::RetuneStep {
+                direction,
+                f_ghz: f,
+                violation: probe_violation.map(|v| v.label()),
+            });
         }
+        state
     };
 
     let mut steps = 0u32;
-    match check(f0_ghz) {
+    match check(f0_ghz, "initial", &mut probes) {
         Checked::Clean(mut eval) => {
             // Clean: probe upward.
             let mut f = f0_ghz;
@@ -153,7 +219,7 @@ pub fn retune(
                 if next <= f {
                     break; // already at the top of the ladder
                 }
-                match check(next) {
+                match check(next, "up", &mut probes) {
                     Checked::Clean(e) => {
                         f = next;
                         eval = e;
@@ -172,6 +238,7 @@ pub fn retune(
                 },
                 steps,
                 evaluation: eval,
+                probes,
             }
         }
         first => {
@@ -186,7 +253,7 @@ pub fn retune(
                 let next = FREQ_LADDER.step_by(f, -back);
                 steps += back.unsigned_abs() as u32;
                 f = next;
-                match check(f) {
+                match check(f, "down", &mut probes) {
                     Checked::Clean(e) => break e,
                     state if f <= FREQ_LADDER.min + 1e-9 => {
                         // Even the ladder floor violates with these settings;
@@ -199,6 +266,7 @@ pub fn retune(
                             evaluation: floor_evaluation(
                                 state, config, core, th_c, settings, alpha, rho, variants,
                             ),
+                            probes,
                         };
                     }
                     _ => {}
@@ -212,7 +280,7 @@ pub fn retune(
                 if next <= f || next >= f0_ghz {
                     break;
                 }
-                match check(next) {
+                match check(next, "up", &mut probes) {
                     Checked::Clean(e) => {
                         f = next;
                         best = e;
@@ -226,6 +294,7 @@ pub fn retune(
                 outcome: initial_violation,
                 steps,
                 evaluation: best,
+                probes,
             }
         }
     }
@@ -329,6 +398,51 @@ mod tests {
         let r2 = run(r1.f_ghz, 1.0);
         assert_eq!(r2.outcome, Outcome::NoChange);
         assert!((r2.f_ghz - r1.f_ghz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untraced_probes_are_empty_traced_probes_match_events() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(6);
+        let settings = vec![(1.0, 0.0); N_SUBSYSTEMS];
+        let plain = retune(
+            &cfg,
+            chip.core(0),
+            cfg.th_c,
+            5.6,
+            &settings,
+            &[0.5; N_SUBSYSTEMS],
+            &[0.5; N_SUBSYSTEMS],
+            &VariantSelection::default(),
+        );
+        assert!(plain.probes.is_empty());
+
+        let collector = eval_trace::Collector::new();
+        let traced = retune_traced(
+            &cfg,
+            chip.core(0),
+            cfg.th_c,
+            5.6,
+            &settings,
+            &[0.5; N_SUBSYSTEMS],
+            &[0.5; N_SUBSYSTEMS],
+            &VariantSelection::default(),
+            eval_trace::Tracer::new(&collector),
+        );
+        // Same numeric result either way.
+        assert_eq!(plain.f_ghz, traced.f_ghz);
+        assert_eq!(plain.outcome, traced.outcome);
+        assert_eq!(plain.steps, traced.steps);
+        // Probe history starts with the rejected initial point and has one
+        // RetuneStep event per probe.
+        assert!(!traced.probes.is_empty());
+        assert_eq!(traced.probes[0].direction, "initial");
+        assert_eq!(traced.probes[0].violation, Some(Outcome::Error));
+        assert_eq!(collector.events().len(), traced.probes.len());
+        assert_eq!(
+            collector.registry().counter("retune.probes"),
+            traced.probes.len() as u64
+        );
     }
 
     #[test]

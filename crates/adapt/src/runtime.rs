@@ -7,14 +7,16 @@
 use std::collections::BTreeMap;
 
 use eval_core::{CoreModel, Environment, EvalConfig};
+use eval_trace::{Event, Tracer};
 use eval_uarch::profile::PhaseProfile;
 use eval_uarch::{PhaseDetector, WorkloadClass};
 
-use crate::controller::{decide_phase, AdaptationTimeline, PhaseDecision};
+use crate::controller::{decide_phase_traced, AdaptationTimeline, DecisionContext, PhaseDecision};
 use crate::optimizer::Optimizer;
+use crate::retune::Outcome;
 
 /// Bookkeeping of a running adaptive system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RuntimeStats {
     /// Controller invocations (new phases).
     pub controller_runs: u64,
@@ -22,6 +24,30 @@ pub struct RuntimeStats {
     pub config_reuses: u64,
     /// Instructions observed.
     pub instructions: u64,
+    /// Controller decisions by retuning outcome, indexed by
+    /// [`Outcome::index`] (Figure 13's five outcomes).
+    pub decisions_by_outcome: [u64; 5],
+    /// Controller decisions by optimizer scheme label
+    /// ([`Optimizer::name`]).
+    pub decisions_by_scheme: BTreeMap<&'static str, u64>,
+}
+
+impl RuntimeStats {
+    /// Fraction of completed detection intervals served from the
+    /// configuration cache (0 when no interval has completed).
+    pub fn config_cache_hit_rate(&self) -> f64 {
+        let total = self.controller_runs + self.config_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.config_reuses as f64 / total as f64
+        }
+    }
+
+    /// Decisions whose retuning ended in `outcome`.
+    pub fn decisions_with_outcome(&self, outcome: Outcome) -> u64 {
+        self.decisions_by_outcome[outcome.index()]
+    }
 }
 
 /// What the system did in response to one observed instruction.
@@ -51,6 +77,7 @@ pub struct AdaptiveSystem<'a> {
     active: Option<PhaseDecision>,
     stats: RuntimeStats,
     overhead_us: f64,
+    tracer: Tracer<'a>,
 }
 
 impl<'a> AdaptiveSystem<'a> {
@@ -76,12 +103,20 @@ impl<'a> AdaptiveSystem<'a> {
             active: None,
             stats: RuntimeStats::default(),
             overhead_us: 0.0,
+            tracer: Tracer::noop(),
         }
     }
 
     /// Replaces the phase detector (e.g. shorter intervals for tests).
     pub fn with_detector(mut self, detector: PhaseDetector) -> Self {
         self.detector = detector;
+        self
+    }
+
+    /// Attaches a tracer: phase detections, cache hit/miss counters and
+    /// full controller-decision events flow into it.
+    pub fn with_tracer(mut self, tracer: Tracer<'a>) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -99,14 +134,29 @@ impl<'a> AdaptiveSystem<'a> {
         if let Some(saved) = self.saved.get(&event.id.0) {
             // Known phase: reactivate at transition cost only.
             self.stats.config_reuses += 1;
+            self.tracer.count("cache.hit");
+            self.tracer.event(|| Event::PhaseDetected {
+                phase_id: event.id.0,
+                recurring: true,
+            });
             self.overhead_us +=
                 self.timeline.overhead_fraction_reuse() * self.timeline.phase_length_us;
             self.active = Some(saved.clone());
             return Some(RuntimeEvent::Reused(saved.clone()));
         }
         // New phase: measure, run the controller routines, save.
+        self.tracer.count("cache.miss");
+        self.tracer.event(|| Event::PhaseDetected {
+            phase_id: event.id.0,
+            recurring: false,
+        });
         let profile = measure();
-        let decision = decide_phase(
+        let ctx = DecisionContext {
+            scheme: self.optimizer.name(),
+            workload: "runtime",
+            phase: u64::from(event.id.0),
+        };
+        let decision = decide_phase_traced(
             self.config,
             self.core,
             self.optimizer,
@@ -115,8 +165,16 @@ impl<'a> AdaptiveSystem<'a> {
             self.class,
             self.rp_cycles,
             self.config.th_c,
+            &ctx,
+            self.tracer,
         );
         self.stats.controller_runs += 1;
+        self.stats.decisions_by_outcome[decision.outcome.index()] += 1;
+        *self
+            .stats
+            .decisions_by_scheme
+            .entry(self.optimizer.name())
+            .or_insert(0) += 1;
         self.overhead_us +=
             self.timeline.overhead_fraction(decision.retune_steps) * self.timeline.phase_length_us;
         self.saved.insert(event.id.0, decision.clone());
@@ -132,7 +190,7 @@ impl<'a> AdaptiveSystem<'a> {
 
     /// Counters.
     pub fn stats(&self) -> RuntimeStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Total microseconds of application time spent on adaptation.
@@ -217,6 +275,72 @@ mod tests {
         assert!(system.active().is_some());
         // Overhead is microscopic relative to execution (Figure 6's point).
         assert!(system.overhead_us() < 1_000.0);
+    }
+
+    #[test]
+    fn stats_track_cache_hit_rate_scheme_counts_and_trace_counters() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(9);
+        let w = Workload::by_name("gzip").expect("exists");
+        let profile = profile_workload(&w, 4_000, 9);
+        let oracle = ExhaustiveOptimizer::new();
+        let collector = eval_trace::Collector::new();
+        let mut system = AdaptiveSystem::new(
+            &cfg,
+            chip.core(0),
+            &oracle,
+            Environment::TS_ASV,
+            w.class,
+            profile.rp_cycles,
+        )
+        .with_detector(PhaseDetector::new(5_000, 150))
+        .with_tracer(eval_trace::Tracer::new(&collector));
+
+        let ph = profile.phases[0].clone();
+        for i in 0..30_000u32 {
+            let ph2 = ph.clone();
+            system.observe(100 + i % 8, move || ph2);
+        }
+        let stats = system.stats();
+        assert!(stats.controller_runs >= 1);
+        assert!(stats.config_reuses >= 1);
+        // Hit rate is reuses / completed intervals, and matches the
+        // cache.hit / cache.miss trace counters exactly.
+        let expected =
+            stats.config_reuses as f64 / (stats.controller_runs + stats.config_reuses) as f64;
+        assert!((stats.config_cache_hit_rate() - expected).abs() < 1e-12);
+        assert!(stats.config_cache_hit_rate() > 0.5, "stable phase should mostly hit");
+        let reg = collector.registry();
+        assert_eq!(reg.counter("cache.hit"), stats.config_reuses);
+        assert_eq!(reg.counter("cache.miss"), stats.controller_runs);
+        // Per-scheme decision counts attribute every controller run.
+        assert_eq!(
+            stats.decisions_by_scheme.get("exhaustive").copied(),
+            Some(stats.controller_runs)
+        );
+        // Outcome counts cover every controller run.
+        assert_eq!(
+            stats.decisions_by_outcome.iter().sum::<u64>(),
+            stats.controller_runs
+        );
+        assert_eq!(
+            stats.decisions_with_outcome(Outcome::NoChange),
+            stats.decisions_by_outcome[0]
+        );
+        // One phase-detected event per completed interval.
+        let detections = collector
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::PhaseDetected { .. }))
+            .count() as u64;
+        assert_eq!(detections, stats.controller_runs + stats.config_reuses);
+    }
+
+    #[test]
+    fn empty_stats_report_zero_hit_rate() {
+        let stats = RuntimeStats::default();
+        assert_eq!(stats.config_cache_hit_rate(), 0.0);
+        assert!(stats.decisions_by_scheme.is_empty());
     }
 
     #[test]

@@ -2,12 +2,17 @@
 //! `NoVar` (Static / Fuzzy-Dyn / Exh-Dyn bars per environment).
 //!
 //! Protocol knobs: `EVAL_CHIPS` (default 10; the paper uses 100) and
-//! `EVAL_WORKLOADS` (default: all 16).
+//! `EVAL_WORKLOADS` (default: all 16). `--trace <path>` / `EVAL_TRACE`
+//! dumps the structured JSONL event/metric stream.
 
-use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+use eval_bench::{
+    print_environment_csv, print_environment_matrix, run_figure10_campaign, session_tracer,
+    TraceSession,
+};
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
-    let result = run_figure10_campaign(10)?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
+    let result = run_figure10_campaign(10, session_tracer(&trace))?;
     print_environment_matrix(
         "Figure 10: relative frequency (NoVar = 1.0)",
         "x NoVar",
@@ -21,5 +26,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
         "# paper shape: Baseline 0.78; TS ~0.87; TS+ASV static 0.97, dynamic ~1.05;"
     );
     println!("# adding Q+FU with dynamic adaptation reaches 1.21 (their best).");
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

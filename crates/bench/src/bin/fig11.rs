@@ -1,11 +1,16 @@
 //! Figure 11: performance of each environment relative to `NoVar`.
 //!
-//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`;
+//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream.
 
-use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+use eval_bench::{
+    print_environment_csv, print_environment_matrix, run_figure10_campaign, session_tracer,
+    TraceSession,
+};
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
-    let result = run_figure10_campaign(10)?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
+    let result = run_figure10_campaign(10, session_tracer(&trace))?;
     print_environment_matrix(
         "Figure 11: relative performance (NoVar = 1.0)",
         "x NoVar",
@@ -17,5 +22,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
     println!();
     println!("# paper shape: same ordering as Figure 10 with smaller magnitudes;");
     println!("# their preferred scheme (TS+ASV+Q+FU, Fuzzy-Dyn) gains 14% over NoVar.");
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

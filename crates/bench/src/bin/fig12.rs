@@ -1,12 +1,17 @@
 //! Figure 12: power per processor (core + L1 + L2, plus checker where one
 //! exists) for each environment.
 //!
-//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`;
+//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream.
 
-use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+use eval_bench::{
+    print_environment_csv, print_environment_matrix, run_figure10_campaign, session_tracer,
+    TraceSession,
+};
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
-    let result = run_figure10_campaign(10)?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
+    let result = run_figure10_campaign(10, session_tracer(&trace))?;
     print_environment_matrix(
         "Figure 12: processor power (watts)",
         "W",
@@ -18,5 +23,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
     println!();
     println!("# paper shape: NoVar ~25 W, Baseline ~17 W (it runs slower); power grows");
     println!("# as techniques are added; the best dynamic scheme rides PMAX = 30 W.");
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

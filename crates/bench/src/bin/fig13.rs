@@ -4,13 +4,16 @@
 //! FU+Queue opt), the fraction of controller invocations ending in
 //! NoChange, LowFreq, Error, Temp or Power.
 //!
-//! Protocol knobs: `EVAL_CHIPS` (default 8) and `EVAL_WORKLOADS`.
+//! Protocol knobs: `EVAL_CHIPS` (default 8) and `EVAL_WORKLOADS`;
+//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream (all 16
+//! variant campaigns trace into one file).
 
 use eval_adapt::{Campaign, Outcome, Scheme};
-use eval_bench::{chips_from_env, workloads_from_env};
+use eval_bench::{chips_from_env, session_tracer, workloads_from_env, TraceSession};
 use eval_core::Environment;
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
     let mut campaign = Campaign::new(chips_from_env(8));
     campaign.workloads = workloads_from_env();
     eprintln!(
@@ -39,7 +42,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
                 queue,
                 ..base
             };
-            let result = campaign.run(&[env], &[Scheme::FuzzyDyn])?;
+            let result =
+                campaign.run_traced(&[env], &[Scheme::FuzzyDyn], session_tracer(&trace))?;
             let cell = result.cell(env, Scheme::FuzzyDyn).expect("cell exists");
             let frac = |o: Outcome| 100.0 * cell.outcomes.fraction(o);
             println!(
@@ -66,5 +70,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
     println!();
     println!("# paper shape: NoChange dominates for TS; NoChange+LowFreq cover ~50%+");
     println!("# of invocations everywhere; Temp cases are infrequent.");
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

@@ -2,12 +2,17 @@
 //! views (relative frequency, relative performance, power) — cheaper than
 //! invoking `fig10`, `fig11` and `fig12` separately, which each rerun it.
 //!
-//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`.
+//! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`;
+//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream.
 
-use eval_bench::{print_environment_csv, print_environment_matrix, run_figure10_campaign};
+use eval_bench::{
+    print_environment_csv, print_environment_matrix, run_figure10_campaign, session_tracer,
+    TraceSession,
+};
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
-    let result = run_figure10_campaign(10)?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
+    let result = run_figure10_campaign(10, session_tracer(&trace))?;
     print_environment_matrix(
         "Figure 10: relative frequency (NoVar = 1.0)",
         "x NoVar",
@@ -32,5 +37,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
     print_environment_csv("freq_rel", &result, |c| c.freq_rel);
     print_environment_csv("perf_rel", &result, |c| c.perf_rel);
     print_environment_csv("power_w", &result, |c| c.power_w);
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

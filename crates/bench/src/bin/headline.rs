@@ -6,13 +6,15 @@
 //! * power rides the 30 W budget; area overhead is 10.6%.
 //!
 //! Protocol knobs: `EVAL_CHIPS` (default 15; paper protocol is 100) and
-//! `EVAL_WORKLOADS`.
+//! `EVAL_WORKLOADS`. Pass `--trace <path>` (or set `EVAL_TRACE`) to dump
+//! the structured JSONL event/metric stream and an end-of-run summary.
 
 use eval_adapt::{Campaign, Scheme};
-use eval_bench::{chips_from_env, workloads_from_env};
+use eval_bench::{chips_from_env, session_tracer, workloads_from_env, TraceSession};
 use eval_core::{AreaBreakdown, Environment};
 
-fn main() -> Result<(), eval_adapt::CampaignError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceSession::from_env();
     let mut campaign = Campaign::new(chips_from_env(15));
     campaign.workloads = workloads_from_env();
     eprintln!(
@@ -20,9 +22,10 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
         campaign.chips,
         campaign.workloads.len()
     );
-    let result = campaign.run(
+    let result = campaign.run_traced(
         &[Environment::TS_ASV_Q_FU],
         &[Scheme::FuzzyDyn, Scheme::ExhDyn],
+        session_tracer(&trace),
     )?;
     let best = result
         .cell(Environment::TS_ASV_Q_FU, Scheme::FuzzyDyn)
@@ -82,5 +85,8 @@ fn main() -> Result<(), eval_adapt::CampaignError> {
         "fuzzy control must track the exhaustive oracle"
     );
     println!("# all ordering assertions passed");
+    if let Some(session) = trace {
+        session.finish()?;
+    }
     Ok(())
 }

@@ -30,6 +30,66 @@
 
 use eval_adapt::{Campaign, CampaignResult, Scheme};
 use eval_core::Environment;
+use eval_trace::{Collector, Tracer};
+
+/// An optional JSONL trace session for the experiment binaries, enabled by
+/// `--trace <path>` (or `--trace=<path>`) on the command line or the
+/// `EVAL_TRACE` environment variable; the flag wins when both are set.
+///
+/// Events/metrics accumulate in memory and are flushed by
+/// [`TraceSession::finish`], which writes the JSONL stream and prints the
+/// span/metric summary. The `"kind":"event"` lines are bit-deterministic
+/// across runs and thread counts; span lines and `*_us` metrics carry
+/// wall-clock timings and are excluded from that contract.
+pub struct TraceSession {
+    path: std::path::PathBuf,
+    collector: Collector,
+}
+
+impl TraceSession {
+    /// Builds a session from `std::env::args` / `EVAL_TRACE`, or `None`
+    /// when tracing was not requested.
+    pub fn from_env() -> Option<TraceSession> {
+        let mut args = std::env::args();
+        let mut path: Option<std::path::PathBuf> = None;
+        while let Some(arg) = args.next() {
+            if arg == "--trace" {
+                path = args.next().map(Into::into);
+            } else if let Some(p) = arg.strip_prefix("--trace=") {
+                path = Some(p.into());
+            }
+        }
+        let path = path.or_else(|| std::env::var_os("EVAL_TRACE").map(Into::into))?;
+        Some(TraceSession {
+            path,
+            collector: Collector::new(),
+        })
+    }
+
+    /// A tracer recording into this session.
+    pub fn tracer(&self) -> Tracer<'_> {
+        Tracer::new(&self.collector)
+    }
+
+    /// Writes the JSONL stream to the session path and prints the
+    /// end-of-run span/metric summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the trace file cannot be written.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.collector.write_jsonl(&self.path)?;
+        println!();
+        println!("{}", self.collector.summary());
+        eprintln!("# trace written to {}", self.path.display());
+        Ok(())
+    }
+}
+
+/// The tracer of an optional session ([`Tracer::noop`] when absent).
+pub fn session_tracer(session: &Option<TraceSession>) -> Tracer<'_> {
+    session.as_ref().map_or(Tracer::noop(), TraceSession::tracer)
+}
 
 /// Number of chips for campaign binaries: `EVAL_CHIPS` env var, else
 /// `default`. The paper's protocol is 100.
@@ -71,6 +131,7 @@ pub fn standard_campaign(default_chips: usize) -> Campaign {
 /// returns the result. This is the expensive shared computation.
 pub fn run_figure10_campaign(
     default_chips: usize,
+    tracer: Tracer<'_>,
 ) -> Result<CampaignResult, eval_adapt::CampaignError> {
     let campaign = standard_campaign(default_chips);
     eprintln!(
@@ -78,7 +139,7 @@ pub fn run_figure10_campaign(
         campaign.chips,
         campaign.workloads.len()
     );
-    campaign.run(&Environment::FIGURE10, &Scheme::ALL)
+    campaign.run_traced(&Environment::FIGURE10, &Scheme::ALL, tracer)
 }
 
 /// Prints a row-per-environment matrix with `Static`, `Fuzzy-Dyn` and

@@ -355,6 +355,28 @@ impl ChipFactory {
         ChipModel::from_map(&self.config, &self.model.sample_chip(seed))
     }
 
+    /// [`ChipFactory::chip`] under a `fab` span, emitting one
+    /// tester-measurement event per subsystem (the §4.1 tester flow that
+    /// calibrates the per-subsystem power constants).
+    pub fn chip_traced(&self, seed: u64, tracer: eval_trace::Tracer<'_>) -> ChipModel {
+        let _span = tracer.span("fab");
+        let chip = self.chip(seed);
+        if tracer.enabled() {
+            let variants = VariantSelection::default();
+            for (core_idx, core) in chip.cores().iter().enumerate() {
+                for sub in core.subsystems() {
+                    tracer.count("tester.measurements");
+                    tracer.event(|| eval_trace::Event::TesterMeasurement {
+                        subsystem: format!("core{core_idx}/{}", sub.id()),
+                        vt0_eff: sub.vt0(),
+                        vt0_mean: sub.timing(&variants).measured_vt0(),
+                    });
+                }
+            }
+        }
+        chip
+    }
+
     /// The no-variation reference chip.
     pub fn no_variation(&self) -> ChipModel {
         ChipModel::no_variation(&self.config)

@@ -49,10 +49,10 @@ pub use chip::{
 pub use config::EvalConfig;
 pub use env::Environment;
 pub use layout::Floorplan;
-pub use perf::PerfModel;
+pub use perf::{CpiBreakdown, PerfModel};
 pub use retiming::{retime_core, RetimingResult};
 pub use subsystem::SubsystemDescriptor;
-pub use tester::measure_vt0;
+pub use tester::{measure_vt0, measure_vt0_traced};
 
 // Re-export the vocabulary types users need alongside this crate.
 pub use eval_power::{Constraints, Ladder, OperatingPoint, FREQ_LADDER, VBB_LADDER, VDD_LADDER};

@@ -73,6 +73,36 @@ impl PerfModel {
         assert!((0.0..=1.0).contains(&pe), "PE must be a probability");
         f_ghz / self.cpi(f_ghz, pe)
     }
+
+    /// The additive CPI components at `f_ghz` with error rate `pe` —
+    /// observability companion to [`PerfModel::cpi`], emitted with each
+    /// controller decision.
+    // lint:allow(unit-safety): mirrors `cpi`, same ladder-validated floats.
+    pub fn breakdown(&self, f_ghz: f64, pe: f64) -> CpiBreakdown {
+        CpiBreakdown {
+            comp: self.cpi_comp,
+            mem: self.mr * self.mp_ns * f_ghz,
+            recovery: pe * self.rp_cycles,
+        }
+    }
+}
+
+/// The three additive CPI components of Equation 5 at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiBreakdown {
+    /// Computation CPI (frequency-independent).
+    pub comp: f64,
+    /// Memory CPI: `mr * mp(f)` grows with frequency.
+    pub mem: f64,
+    /// Error-recovery CPI: `PE * rp`.
+    pub recovery: f64,
+}
+
+impl CpiBreakdown {
+    /// Sum of the components — equals [`PerfModel::cpi`].
+    pub fn total(&self) -> f64 {
+        self.comp + self.mem + self.recovery
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +149,16 @@ mod tests {
         let pe = 1e-3;
         let total = m.cpi(f, pe);
         assert!((total - (1.0 + 0.005 * 52.0 * f + pe * 21.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_cpi() {
+        let m = model();
+        let b = m.breakdown(4.4, 1e-3);
+        assert!((b.total() - m.cpi(4.4, 1e-3)).abs() < 1e-12);
+        assert!((b.comp - 1.0).abs() < 1e-12);
+        assert!((b.mem - 0.005 * 52.0 * 4.4).abs() < 1e-12);
+        assert!((b.recovery - 1e-3 * 21.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # eval-lint
 //!
 //! A std-only, token/line-level static-analysis pass over the EVAL
-//! workspace. It enforces four rule families that the type system alone
+//! workspace. It enforces five rule families that the type system alone
 //! cannot (or that we chose to enforce by convention):
 //!
 //! * **unit-safety** — public functions of the physics crates
@@ -21,6 +21,11 @@
 //!   TMAX = 85 °C, PEMAX = 1e-4 err/inst, σ/μ = 0.09, φ = 0.5) are defined
 //!   exactly once, in `eval_units::consts`, with the paper's values;
 //!   shadow definitions elsewhere are flagged.
+//! * **no-println** — library crates must not write to stdout/stderr
+//!   (`println!`, `eprintln!`, `print!`, `eprint!`, `dbg!`); observability
+//!   goes through the `eval-trace` sinks so output stays structured and
+//!   machine-parseable. The figure binaries (`eval-bench` bins) and the
+//!   lint CLI are the printing layer and are exempt.
 //!
 //! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
 //! the offending line or in the contiguous comment block directly above
@@ -38,7 +43,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The four rule families.
+/// The five rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// Raw `f64` where a unit newtype is required.
@@ -49,15 +54,18 @@ pub enum Rule {
     PanicSafety,
     /// Paper constants redefined outside `eval_units::consts`.
     ConfigInvariants,
+    /// stdout/stderr macros in library code (use eval-trace sinks).
+    NoPrintln,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::UnitSafety,
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::ConfigInvariants,
+        Rule::NoPrintln,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(...)`.
@@ -67,6 +75,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicSafety => "panic-safety",
             Rule::ConfigInvariants => "config-invariants",
+            Rule::NoPrintln => "no-println",
         }
     }
 }
@@ -156,6 +165,23 @@ const PANIC_TOKENS: [&str; 5] = [
     "todo!(",
     "unimplemented!(",
 ];
+
+/// Tokens forbidden by the no-println rule. `eprintln!(` contains
+/// `println!(` as a substring, so matches require a non-identifier
+/// character before the token (see [`has_macro_token`]).
+const PRINT_TOKENS: [&str; 5] = [
+    "println!(",
+    "print!(",
+    "eprintln!(",
+    "eprint!(",
+    "dbg!(",
+];
+
+/// Crates subject to no-println: the library pipeline plus `eval-trace`
+/// itself (its reports are returned as `String`s for the caller to print).
+fn is_println_free_crate(name: &str) -> bool {
+    is_library_crate(name) || name == "eval-trace"
+}
 
 /// Paper constants: name, expected defining literal, paper meaning.
 const PAPER_CONSTS: [(&str, &str, &str); 7] = [
@@ -436,6 +462,9 @@ pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     if is_library_crate(&ctx.crate_name) && !ctx.is_test_code {
         panic_safety(&s, path, &mut out);
     }
+    if is_println_free_crate(&ctx.crate_name) && !ctx.is_test_code {
+        no_println(&s, path, &mut out);
+    }
     config_invariants(&s, path, ctx, &mut out);
     out
 }
@@ -568,6 +597,48 @@ fn panic_safety(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
                     format!(
                         "`{shown}` can panic in library code; return a typed \
                          error or justify with lint:allow(panic-safety)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True when `line` invokes the macro `tok` (which includes the trailing
+/// `!(`): the match must not be the tail of a longer identifier, so
+/// `eprintln!(` does not also count as `println!(`.
+fn has_macro_token(line: &str, tok: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(tok) {
+        let abs = start + pos;
+        let prev = line[..abs].chars().next_back();
+        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+/// Flags stdout/stderr macros outside test regions.
+fn no_println(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in s.code.iter().enumerate() {
+        if s.in_test[i] {
+            continue;
+        }
+        for tok in PRINT_TOKENS {
+            if has_macro_token(line, tok) {
+                let shown = tok.trim_end_matches('(');
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::NoPrintln,
+                    format!(
+                        "`{shown}` writes to stdout/stderr from library code; \
+                         emit an eval-trace event/metric (or return the text) \
+                         or justify with lint:allow(no-println)"
                     ),
                 );
             }
@@ -756,6 +827,14 @@ mod tests {
         let src = "pub fn set(vdd: f64) {}\n";
         assert_eq!(lint_source("x.rs", src, &ctx("eval-power")).len(), 1);
         assert!(lint_source("x.rs", src, &ctx("eval-uarch")).is_empty());
+    }
+
+    #[test]
+    fn println_is_flagged_in_library_crates_and_eval_trace_only() {
+        let src = "pub fn f() { println!(\"x\"); }\n";
+        assert_eq!(lint_source("x.rs", src, &ctx("eval-core")).len(), 1);
+        assert_eq!(lint_source("x.rs", src, &ctx("eval-trace")).len(), 1);
+        assert!(lint_source("x.rs", src, &ctx("eval-bench")).is_empty());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Fixture: no-println violations, test exemption, and suppressions.
+//! Scanned as if it were a file of `eval-core` (a library crate).
+
+/// BAD: stdout from library code.
+pub fn report(f_ghz: f64) {
+    println!("f = {f_ghz}");
+}
+
+/// BAD: stderr from library code.
+pub fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+/// BAD: leftover debugging macro.
+pub fn probe(x: f64) -> f64 {
+    dbg!(x * 2.0)
+}
+
+/// OK: the text is returned for the caller (a bin crate) to print.
+pub fn render(f_ghz: f64) -> String {
+    format!("f = {f_ghz}")
+}
+
+/// OK: a comment or string mentioning println!(...) is not a call.
+pub fn doc() -> &'static str {
+    "use println!(..) only in bin crates"
+}
+
+pub fn progress(done: usize, total: usize) {
+    // lint:allow(no-println): operator-facing progress line, mirrors the
+    // justified uses in the real tree.
+    eprintln!("{done}/{total}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_is_fine_in_tests() {
+        // Exempt: inside a #[cfg(test)] region.
+        println!("rendered: {}", render(4.0));
+    }
+}

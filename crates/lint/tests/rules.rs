@@ -84,6 +84,26 @@ fn panic_safety_skips_test_code_files() {
 }
 
 #[test]
+fn no_println_fires_with_test_exemption_and_allow() {
+    let d = lint_fixture("no_println.rs", "eval-core");
+    let hits = lines_for(&d, Rule::NoPrintln);
+    // println!, eprintln! and dbg! in library code fire; the returned
+    // String, the string literal, the allowlisted eprintln! and the
+    // #[cfg(test)] region do not.
+    assert_eq!(hits.len(), 3, "{d:?}");
+}
+
+#[test]
+fn no_println_covers_eval_trace_but_not_bin_crates() {
+    let d = lint_fixture("no_println.rs", "eval-trace");
+    assert_eq!(lines_for(&d, Rule::NoPrintln).len(), 3, "{d:?}");
+    let d = lint_fixture("no_println.rs", "eval-bench");
+    assert!(lines_for(&d, Rule::NoPrintln).is_empty(), "{d:?}");
+    let d = lint_fixture("no_println.rs", "eval-lint");
+    assert!(lines_for(&d, Rule::NoPrintln).is_empty(), "{d:?}");
+}
+
+#[test]
 fn config_invariants_fire_and_allow_suppresses() {
     let d = lint_fixture("config_invariants.rs", "eval-adapt");
     let hits = lines_for(&d, Rule::ConfigInvariants);
@@ -148,6 +168,11 @@ fn every_rule_family_is_exercised() {
             Rule::ConfigInvariants,
         )
         .is_empty(),
+        !lines_for(
+            &lint_fixture("no_println.rs", "eval-core"),
+            Rule::NoPrintln,
+        )
+        .is_empty(),
     ];
-    assert_eq!(fired, [true; 4]);
+    assert_eq!(fired, [true; 5]);
 }

@@ -1,0 +1,73 @@
+//! Smoke example for the tier-1 gate: exercises the full collect →
+//! JSONL → summary path on a synthetic event stream and verifies the
+//! determinism contract on the event lines.
+//!
+//! Run with `cargo run -p eval-trace --example summary`.
+
+use eval_trace::{Collector, DecisionEvent, Event, RejectedCandidate, Tracer};
+
+fn emit(tracer: Tracer<'_>) {
+    let _campaign = tracer.span("campaign");
+    tracer.event(|| Event::CampaignStart {
+        chips: 2,
+        workloads: 1,
+        cells: 2,
+    });
+    for chip in 0..2u64 {
+        let _chip = tracer.span("chip");
+        tracer.event(|| Event::PhaseDetected {
+            phase_id: chip as u32,
+            recurring: chip == 1,
+        });
+        tracer.count(if chip == 1 { "cache.hit" } else { "cache.miss" });
+        let _timer = tracer.timer("decision.latency_us");
+        tracer.observe("decision.f_ghz", 4.0 + 0.25 * chip as f64);
+        tracer.event(|| {
+            Event::Decision(Box::new(DecisionEvent {
+                scheme: "exhaustive",
+                env: "TS+ASV",
+                workload: "swim",
+                phase: chip,
+                f_ghz: 4.0 + 0.25 * chip as f64,
+                settings: vec![(1.0, 0.0), (0.95, -0.1)],
+                int_fu: "normal",
+                fp_fu: "normal",
+                int_queue: "full",
+                fp_queue: "full",
+                outcome: "NoChange",
+                binding: "error-rate",
+                retune_steps: 1,
+                rejected: vec![RejectedCandidate {
+                    f_ghz: 4.5,
+                    violation: "Error",
+                }],
+                pe_per_instruction: 1e-5,
+                power_w: 27.5,
+                max_t_c: 80.0,
+                perf_bips: 3.0,
+                cpi_comp: 1.0,
+                cpi_mem: 0.4,
+                cpi_recovery: 0.01,
+            }))
+        });
+    }
+}
+
+fn main() {
+    // Two independent collectors fed the same synthetic stream must agree
+    // byte-for-byte on the event lines (the golden contract).
+    let a = Collector::new();
+    let b = Collector::new();
+    emit(Tracer::new(&a));
+    emit(Tracer::new(&b));
+    assert_eq!(a.event_lines(), b.event_lines(), "event lines must be deterministic");
+
+    let jsonl = a.jsonl();
+    assert!(jsonl.lines().count() >= 5, "expected a non-trivial stream");
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+    }
+
+    println!("{}", a.summary());
+    println!("eval-trace smoke: {} JSONL lines OK", jsonl.lines().count());
+}

@@ -1,0 +1,199 @@
+//! Minimal deterministic JSON emission.
+//!
+//! The observability layer must produce *bit-identical* payloads across
+//! runs and across thread counts, so nothing here consults locale, hash
+//! order, or allocator state:
+//!
+//! * floats render through Rust's shortest-roundtrip `{:?}` formatter
+//!   (stable for a given value on every platform we build on);
+//! * non-finite floats render as `null` (JSON has no NaN/Inf);
+//! * object fields appear exactly in the order the builder receives them.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a float deterministically; non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An order-preserving JSON object builder.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_str_literal(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        push_str_literal(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a u128 field (span timings).
+    pub fn u128(mut self, k: &str, v: u128) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (nested objects/arrays).
+    pub fn raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the rendered text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders an array of items via a per-item renderer.
+pub fn array<T>(items: &[T], mut render: impl FnMut(&T) -> String) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render(item));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a `f64` slice as a JSON array.
+pub fn f64_array(items: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(&mut out, *v);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a `u64` slice as a JSON array.
+pub fn u64_array(items: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_preserves_field_order_and_escapes() {
+        let s = JsonObject::new()
+            .str("a", "x\"y\n")
+            .u64("b", 7)
+            .f64("c", 0.25)
+            .bool("d", true)
+            .raw("e", "[1,2]")
+            .finish();
+        assert_eq!(s, "{\"a\":\"x\\\"y\\n\",\"b\":7,\"c\":0.25,\"d\":true,\"e\":[1,2]}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = JsonObject::new().f64("x", f64::NAN).f64("y", f64::INFINITY).finish();
+        assert_eq!(s, "{\"x\":null,\"y\":null}");
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_roundtrip() {
+        let mut out = String::new();
+        push_f64(&mut out, 4.0);
+        assert_eq!(out, "4.0");
+        let mut out = String::new();
+        push_f64(&mut out, 1e-4);
+        assert_eq!(out, "0.0001");
+    }
+
+    #[test]
+    fn arrays_render() {
+        assert_eq!(f64_array(&[1.0, 2.5]), "[1.0,2.5]");
+        assert_eq!(u64_array(&[3, 4]), "[3,4]");
+        assert_eq!(array(&[1u64, 2], |v| format!("{v}")), "[1,2]");
+    }
+}

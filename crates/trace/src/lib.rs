@@ -1,0 +1,41 @@
+//! # eval-trace — structured tracing, metrics, and profiling
+//!
+//! Observability layer for the EVAL reproduction: typed events for
+//! controller decisions, retuning probes, phase detection, tester
+//! measurements, and training; a deterministic metric registry
+//! (counters, gauges, fixed-bucket histograms); and hierarchical
+//! wall-clock spans for profiling the campaign hot path.
+//!
+//! ## Design
+//!
+//! Instrumented crates accept a [`Tracer`], a `Copy` handle over an
+//! optional [`TraceSink`]. The default [`Tracer::noop`] makes every
+//! instrumentation site a branch on `None` — callers that do not opt in
+//! pay nothing, and existing APIs keep their signatures via `*_traced`
+//! wrappers.
+//!
+//! ## Determinism contract
+//!
+//! Every `"kind":"event"` line in the JSONL stream is **bit-identical**
+//! across runs and thread counts for the same seeds and configuration:
+//! payloads carry only model-derived values, floats render via the
+//! shortest-roundtrip formatter, objects preserve field order, and
+//! parallel sections buffer per-worker records ([`BufferSink`]) and
+//! replay them in a fixed order. Wall-clock data is confined to
+//! `"kind":"span"` lines and metrics suffixed `_us`/`_ns`/`_ms`
+//! ([`metrics::is_timing_metric`]), which are excluded from the
+//! contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{DecisionEvent, Event, RejectedCandidate};
+pub use metrics::{Histogram, MetricUpdate, Registry};
+pub use sink::{BufferSink, Collector, Record, TraceSink, Tracer};
+pub use span::{span_report, SpanGuard, SpanStat, TimerGuard};

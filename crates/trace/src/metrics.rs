@@ -1,0 +1,360 @@
+//! Counters, gauges, and fixed-bucket histograms with a deterministic
+//! in-memory registry.
+//!
+//! The registry is keyed by `BTreeMap`, so snapshot order is the sorted
+//! metric name — never hasher state. Histograms use *fixed* bucket
+//! boundaries supplied at registration: bucket membership of a value is a
+//! pure function of the value, so two runs that observe the same values
+//! produce the same counts (the latency histograms observe wall-clock
+//! durations and are excluded from the golden contract by name, see
+//! [`is_timing_metric`]).
+
+use std::collections::BTreeMap;
+
+use crate::json::{f64_array, u64_array, JsonObject};
+
+/// One metric mutation, as carried by [`crate::sink::Record::Metric`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricUpdate {
+    /// Add `1`.. to a monotonic counter.
+    CounterAdd(&'static str, u64),
+    /// Set a gauge to the latest value.
+    GaugeSet(&'static str, f64),
+    /// Record one observation into a histogram.
+    Observe(&'static str, f64),
+}
+
+impl MetricUpdate {
+    /// The metric name this update targets.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricUpdate::CounterAdd(n, _)
+            | MetricUpdate::GaugeSet(n, _)
+            | MetricUpdate::Observe(n, _) => n,
+        }
+    }
+}
+
+/// Metrics whose values derive from the wall clock (and therefore vary
+/// across runs): anything named `*_us`, `*_ns`, or `*_ms`. These are
+/// excluded from the golden-stream determinism contract.
+pub fn is_timing_metric(name: &str) -> bool {
+    name.ends_with("_us") || name.ends_with("_ns") || name.ends_with("_ms")
+}
+
+/// A fixed-bucket histogram.
+///
+/// `bounds = [b0, b1, .., bk]` defines `k + 1` buckets: bucket `0` holds
+/// `v < b0`, bucket `i` holds `b(i-1) <= v < b(i)`, and the final bucket
+/// holds `v >= bk`. A value exactly on a boundary lands in the *higher*
+/// bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram boundaries must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The bucket index `v` falls into (see the type docs for the
+    /// boundary convention).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.partition_point(|&b| b <= v)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// The boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, underflow first).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Default boundaries for histograms observed without prior registration:
+/// decades from 1e-7 to 1e6.
+const DEFAULT_BOUNDS: [f64; 14] = [
+    1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
+];
+
+/// The deterministic metric registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-registers a histogram with explicit boundaries (otherwise the
+    /// first observation creates it with decade [`DEFAULT_BOUNDS`]).
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
+        self.histograms.insert(name, Histogram::new(bounds));
+    }
+
+    /// Applies one update.
+    pub fn apply(&mut self, update: &MetricUpdate) {
+        match update {
+            MetricUpdate::CounterAdd(name, n) => {
+                *self.counters.entry(name).or_insert(0) += n;
+            }
+            MetricUpdate::GaugeSet(name, v) => {
+                self.gauges.insert(name, *v);
+            }
+            MetricUpdate::Observe(name, v) => {
+                self.histograms
+                    .entry(name)
+                    .or_insert_with(|| Histogram::new(&DEFAULT_BOUNDS))
+                    .observe(*v);
+            }
+        }
+    }
+
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if observed or registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.values().all(|h| h.count() == 0)
+    }
+
+    /// JSONL lines for the snapshot, in sorted-name order: one line per
+    /// counter, gauge, and histogram.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, value) in &self.counters {
+            out.push(
+                JsonObject::new()
+                    .str("kind", "counter")
+                    .str("name", name)
+                    .u64("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, value) in &self.gauges {
+            out.push(
+                JsonObject::new()
+                    .str("kind", "gauge")
+                    .str("name", name)
+                    .f64("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, h) in &self.histograms {
+            out.push(
+                JsonObject::new()
+                    .str("kind", "histogram")
+                    .str("name", name)
+                    .bool("timing", is_timing_metric(name))
+                    .raw("bounds", &f64_array(h.bounds()))
+                    .raw("counts", &u64_array(h.counts()))
+                    .u64("count", h.count())
+                    .f64("sum", h.sum())
+                    .finish(),
+            );
+        }
+        out
+    }
+
+    /// A human-readable summary block (counters, gauges, histograms).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>12}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {value:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>12}", "gauge", "value");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {value:>12.4}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "histogram {name}: n={} mean={:.4}",
+                h.count(),
+                h.mean()
+            );
+            let labels = bucket_labels(h.bounds());
+            for (label, count) in labels.iter().zip(h.counts()) {
+                if *count > 0 {
+                    let _ = writeln!(out, "  {label:<42} {count:>12}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Human-readable bucket interval labels for a bound list.
+fn bucket_labels(bounds: &[f64]) -> Vec<String> {
+    let mut labels = Vec::with_capacity(bounds.len() + 1);
+    labels.push(format!("< {}", bounds[0]));
+    for w in bounds.windows(2) {
+        labels.push(format!("[{}, {})", w[0], w[1]));
+    }
+    labels.push(format!(">= {}", bounds[bounds.len() - 1]));
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_lower_inclusive_upper_exclusive() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Below the first bound.
+        assert_eq!(h.bucket_index(0.0), 0);
+        assert_eq!(h.bucket_index(0.999_999), 0);
+        // Exactly on a boundary lands in the higher bucket.
+        assert_eq!(h.bucket_index(1.0), 1);
+        assert_eq!(h.bucket_index(1.5), 1);
+        assert_eq!(h.bucket_index(2.0), 2);
+        assert_eq!(h.bucket_index(3.999), 2);
+        // On and above the last bound: overflow bucket.
+        assert_eq!(h.bucket_index(4.0), 3);
+        assert_eq!(h.bucket_index(1e9), 3);
+    }
+
+    #[test]
+    fn observe_updates_counts_sum_and_mean() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        for v in [0.5, 1.0, 1.5, 2.5] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5.5).abs() < 1e-12);
+        assert!((h.mean() - 1.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_applies_updates_and_snapshots_in_name_order() {
+        let mut r = Registry::new();
+        r.register_histogram("z.hist", &[1.0]);
+        r.apply(&MetricUpdate::CounterAdd("b.count", 2));
+        r.apply(&MetricUpdate::CounterAdd("a.count", 1));
+        r.apply(&MetricUpdate::CounterAdd("b.count", 3));
+        r.apply(&MetricUpdate::GaugeSet("g", 0.5));
+        r.apply(&MetricUpdate::Observe("z.hist", 3.0));
+        assert_eq!(r.counter("b.count"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(0.5));
+        assert_eq!(r.histogram("z.hist").unwrap().counts(), &[0, 1]);
+        let lines = r.jsonl_lines();
+        // Counters sorted, then gauges, then histograms.
+        assert!(lines[0].contains("a.count"), "{lines:?}");
+        assert!(lines[1].contains("b.count"), "{lines:?}");
+        assert!(lines[2].contains("\"gauge\""), "{lines:?}");
+        assert!(lines[3].contains("z.hist"), "{lines:?}");
+    }
+
+    #[test]
+    fn unregistered_observation_gets_default_decade_buckets() {
+        let mut r = Registry::new();
+        r.apply(&MetricUpdate::Observe("x", 50.0));
+        let h = r.histogram("x").unwrap();
+        assert_eq!(h.bounds().len(), 14);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn timing_metrics_are_identified_by_suffix() {
+        assert!(is_timing_metric("decision.latency_us"));
+        assert!(is_timing_metric("span.total_ns"));
+        assert!(!is_timing_metric("decision.f_ghz"));
+        assert!(!is_timing_metric("cache.hit"));
+    }
+
+    #[test]
+    fn summary_renders_nonempty_sections() {
+        let mut r = Registry::new();
+        r.apply(&MetricUpdate::CounterAdd("c", 1));
+        r.apply(&MetricUpdate::Observe("h", 2.0));
+        let s = r.summary();
+        assert!(s.contains("counter"));
+        assert!(s.contains("histogram h"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Sinks and the zero-cost [`Tracer`] handle.
+//!
+//! Instrumented code holds a [`Tracer`], a `Copy` wrapper over
+//! `Option<&dyn TraceSink>`. With the default [`Tracer::noop`], every
+//! call site reduces to a branch on `None` — no event is constructed,
+//! no clock is read, no lock is taken. Event payloads are built inside
+//! closures so the disabled path never allocates.
+//!
+//! Two sinks ship with the crate:
+//!
+//! * [`Collector`] — the terminal sink: aggregates events, metrics, and
+//!   span statistics, and renders JSONL plus the end-of-run summary.
+//! * [`BufferSink`] — a per-worker buffer for parallel sections. Each
+//!   worker records into its own buffer; after joining, the caller
+//!   replays the buffers in a fixed order (chip index) into the main
+//!   sink, making the merged stream independent of thread count and
+//!   schedule.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::json::JsonObject;
+use crate::metrics::{MetricUpdate, Registry};
+use crate::span::{span_report, SpanGuard, SpanStat, TimerGuard};
+
+/// One trace record, as delivered to a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A structured event — fully deterministic payload.
+    Event(Event),
+    /// A metric mutation.
+    Metric(MetricUpdate),
+    /// A completed span (wall-clock; excluded from the golden contract).
+    Span {
+        /// `/`-joined span path.
+        path: String,
+        /// Elapsed nanoseconds.
+        nanos: u128,
+    },
+}
+
+/// Receives trace records. Implementations must be `Sync`: the campaign
+/// fans chips out across scoped threads and each worker holds the same
+/// sink reference (or its own [`BufferSink`]).
+pub trait TraceSink: Sync {
+    /// Accepts one record.
+    fn record(&self, rec: Record);
+}
+
+/// A cheap, copyable handle to an optional sink.
+#[derive(Clone, Copy)]
+pub struct Tracer<'a> {
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// The disabled tracer — every operation is a no-op.
+    pub const NOOP: Tracer<'static> = Tracer { sink: None };
+
+    /// The disabled tracer (const-free convenience for any lifetime).
+    pub fn noop() -> Self {
+        Self { sink: None }
+    }
+
+    /// A tracer forwarding to `sink`.
+    pub fn new(sink: &'a dyn TraceSink) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether records are being collected. Use to skip expensive
+    /// evidence-gathering (e.g. retune probe lists) when disabled.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an event; `build` runs only when enabled.
+    pub fn event(&self, build: impl FnOnce() -> Event) {
+        if let Some(sink) = self.sink {
+            sink.record(Record::Event(build()));
+        }
+    }
+
+    /// Increments a counter by 1.
+    pub fn count(&self, name: &'static str) {
+        self.count_n(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn count_n(&self, name: &'static str, n: u64) {
+        if let Some(sink) = self.sink {
+            sink.record(Record::Metric(MetricUpdate::CounterAdd(name, n)));
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&self, name: &'static str, v: f64) {
+        if let Some(sink) = self.sink {
+            sink.record(Record::Metric(MetricUpdate::GaugeSet(name, v)));
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, name: &'static str, v: f64) {
+        if let Some(sink) = self.sink {
+            sink.record(Record::Metric(MetricUpdate::Observe(name, v)));
+        }
+    }
+
+    /// Opens a hierarchical span; its wall time is recorded on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'a> {
+        match self.sink {
+            Some(sink) => SpanGuard::enter(sink, name),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Starts a latency timer that observes its elapsed microseconds
+    /// into the `name` histogram on drop. Name it `*_us` so it is
+    /// excluded from the golden determinism contract.
+    pub fn timer(&self, name: &'static str) -> TimerGuard<'a> {
+        match self.sink {
+            Some(sink) => TimerGuard::start(sink, name),
+            None => TimerGuard::noop(),
+        }
+    }
+
+    /// Forwards pre-recorded records (from a [`BufferSink`]) in order.
+    pub fn replay(&self, records: Vec<Record>) {
+        if let Some(sink) = self.sink {
+            for rec in records {
+                sink.record(rec);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    events: Vec<Event>,
+    registry: Registry,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// The terminal sink: aggregates everything in memory, then renders
+/// JSONL and a human-readable summary.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<CollectorInner>,
+}
+
+/// Bucket boundaries for the chosen-frequency histogram: the f ladder
+/// the retuning loop walks, in 250 MHz steps over the plausible range.
+const F_GHZ_BOUNDS: [f64; 13] = [
+    2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0, 4.25, 4.5, 4.75, 5.0,
+];
+
+/// Bucket boundaries for error rates at the chosen point (decades around
+/// the PEMAX=1e-4 constraint).
+const PE_BOUNDS: [f64; 8] = [1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+
+impl Collector {
+    /// A collector with the EVAL-specific histograms pre-registered.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        registry.register_histogram("decision.f_ghz", &F_GHZ_BOUNDS);
+        registry.register_histogram("decision.pe_per_instruction", &PE_BOUNDS);
+        Self {
+            inner: Mutex::new(CollectorInner {
+                events: Vec::new(),
+                registry,
+                spans: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CollectorInner> {
+        // A poisoned lock only means another thread panicked mid-record;
+        // the aggregate state is still usable for reporting.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A clone of the collected events, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// A snapshot of the metric registry.
+    pub fn registry(&self) -> Registry {
+        self.lock().registry.clone()
+    }
+
+    /// A snapshot of the per-path span statistics.
+    pub fn spans(&self) -> BTreeMap<String, SpanStat> {
+        self.lock().spans.clone()
+    }
+
+    /// The event lines of the JSONL stream — exactly the lines covered
+    /// by the golden determinism contract (`"kind":"event"`).
+    pub fn event_lines(&self) -> Vec<String> {
+        let inner = self.lock();
+        inner
+            .events
+            .iter()
+            .map(|e| {
+                JsonObject::new()
+                    .str("kind", "event")
+                    .str("event", e.kind())
+                    .raw("payload", &e.payload_json())
+                    .finish()
+            })
+            .collect()
+    }
+
+    /// The full JSONL stream: event lines (deterministic, in emission
+    /// order), then metric snapshot lines (sorted by name), then span
+    /// lines (sorted by path; wall-clock, non-deterministic).
+    pub fn jsonl(&self) -> String {
+        let mut lines = self.event_lines();
+        let inner = self.lock();
+        lines.extend(inner.registry.jsonl_lines());
+        for (path, stat) in &inner.spans {
+            lines.push(
+                JsonObject::new()
+                    .str("kind", "span")
+                    .str("path", path)
+                    .u64("count", stat.count)
+                    .u128("total_ns", stat.total_ns)
+                    .finish(),
+            );
+        }
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL stream to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.jsonl().as_bytes())?;
+        file.flush()
+    }
+
+    /// The end-of-run summary: event counts by kind, span self/total
+    /// table, and the metric summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.lock();
+        let mut out = String::new();
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in &inner.events {
+            *by_kind.entry(e.kind()).or_insert(0) += 1;
+        }
+        if !by_kind.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>12}", "event", "count");
+            for (kind, n) in &by_kind {
+                let _ = writeln!(out, "{kind:<44} {n:>12}");
+            }
+        }
+        let spans = span_report(&inner.spans);
+        if !spans.is_empty() {
+            out.push('\n');
+            out.push_str(&spans);
+        }
+        let metrics = inner.registry.summary();
+        if !metrics.is_empty() {
+            out.push('\n');
+            out.push_str(&metrics);
+        }
+        out
+    }
+}
+
+impl TraceSink for Collector {
+    fn record(&self, rec: Record) {
+        let mut inner = self.lock();
+        match rec {
+            Record::Event(e) => inner.events.push(e),
+            Record::Metric(u) => inner.registry.apply(&u),
+            Record::Span { path, nanos } => {
+                inner.spans.entry(path).or_default().add(nanos);
+            }
+        }
+    }
+}
+
+/// A buffering sink for one parallel worker. Records are kept verbatim;
+/// the owner extracts them after `join` and replays them into the main
+/// sink in a deterministic order.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the buffer, returning records in recording order.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&self, rec: Record) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_skips_payload_construction() {
+        let t = Tracer::noop();
+        assert!(!t.enabled());
+        t.event(|| panic!("must not run")); // lint:allow panic-safety (asserting the disabled path)
+        t.count("x");
+        let _span = t.span("root");
+        let _timer = t.timer("lat_us");
+    }
+
+    #[test]
+    fn collector_aggregates_events_metrics_and_spans() {
+        let c = Collector::new();
+        let t = Tracer::new(&c);
+        assert!(t.enabled());
+        t.event(|| Event::PhaseDetected {
+            phase_id: 1,
+            recurring: false,
+        });
+        t.count("cache.miss");
+        t.count("cache.miss");
+        t.gauge("g", 2.5);
+        t.observe("decision.f_ghz", 4.0);
+        {
+            let _outer = t.span("campaign");
+            let _inner = t.span("chip");
+        }
+        assert_eq!(c.events().len(), 1);
+        let reg = c.registry();
+        assert_eq!(reg.counter("cache.miss"), 2);
+        assert_eq!(reg.gauge("g"), Some(2.5));
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.contains_key("campaign/chip"));
+        let summary = c.summary();
+        assert!(summary.contains("phase-detected"));
+        assert!(summary.contains("campaign/chip"));
+    }
+
+    #[test]
+    fn jsonl_orders_events_then_metrics_then_spans() {
+        let c = Collector::new();
+        let t = Tracer::new(&c);
+        t.event(|| Event::CampaignStart {
+            chips: 1,
+            workloads: 1,
+            cells: 1,
+        });
+        t.count("a");
+        {
+            let _s = t.span("root");
+        }
+        let jsonl = c.jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"kind\":\"event\""), "{lines:?}");
+        assert!(lines[1].contains("\"kind\":\"counter\""), "{lines:?}");
+        assert!(lines.last().is_some_and(|l| l.contains("\"kind\":\"span\"")));
+    }
+
+    #[test]
+    fn buffered_replay_preserves_record_order() {
+        let collector = Collector::new();
+        let main = Tracer::new(&collector);
+        let buf = BufferSink::new();
+        {
+            let t = Tracer::new(&buf);
+            t.event(|| Event::PhaseDetected {
+                phase_id: 7,
+                recurring: true,
+            });
+            t.count("cache.hit");
+        }
+        main.replay(buf.into_records());
+        assert_eq!(collector.events().len(), 1);
+        assert_eq!(collector.registry().counter("cache.hit"), 1);
+    }
+
+    #[test]
+    fn timer_observes_into_histogram() {
+        let c = Collector::new();
+        let t = Tracer::new(&c);
+        {
+            let _timer = t.timer("decision.latency_us");
+        }
+        let reg = c.registry();
+        let h = reg.histogram("decision.latency_us");
+        assert!(h.is_some_and(|h| h.count() == 1));
+    }
+}

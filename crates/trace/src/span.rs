@@ -1,0 +1,216 @@
+//! Hierarchical spans with monotonic timing, for profiling campaign hot
+//! paths (chip → workload → phase → optimizer).
+//!
+//! A span's *path* is the `/`-joined chain of active span names on the
+//! current thread, so nesting needs no plumbing: `campaign` opened on the
+//! main thread, `chip` opened inside it, and `decide` inside that report
+//! as `campaign/chip/decide`. Worker threads start their own chains with
+//! whatever root name the code opens there.
+//!
+//! Span durations come from [`std::time::Instant`] — deliberately
+//! wall-clock, never part of the deterministic payload contract. When the
+//! tracer is disabled, opening a span touches neither the clock nor the
+//! thread-local stack.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::sink::{Record, TraceSink};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one active span. Created by
+/// [`crate::sink::Tracer::span`]; records its path and elapsed time on
+/// drop.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+struct ActiveSpan<'a> {
+    sink: &'a dyn TraceSink,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// A disabled guard (no clock, no stack, no record).
+    pub(crate) fn noop() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn enter(sink: &'a dyn TraceSink, name: &'static str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        Self {
+            active: Some(ActiveSpan {
+                sink,
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The full path of this span (`None` when disabled).
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| a.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let nanos = active.start.elapsed().as_nanos();
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            active.sink.record(Record::Span {
+                path: active.path,
+                nanos,
+            });
+        }
+    }
+}
+
+/// RAII guard that records its elapsed time (in microseconds) into a
+/// latency histogram on drop. Created by [`crate::sink::Tracer::timer`].
+#[must_use = "a timer measures the scope it is bound to; bind it to a variable"]
+pub struct TimerGuard<'a> {
+    active: Option<(&'a dyn TraceSink, &'static str, Instant)>,
+}
+
+impl<'a> TimerGuard<'a> {
+    pub(crate) fn noop() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn start(sink: &'a dyn TraceSink, name: &'static str) -> Self {
+        Self {
+            active: Some((sink, name, Instant::now())),
+        }
+    }
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, name, start)) = self.active.take() {
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            sink.record(Record::Metric(crate::metrics::MetricUpdate::Observe(
+                name, us,
+            )));
+        }
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total nanoseconds across them.
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    /// Merges one completed span.
+    pub fn add(&mut self, nanos: u128) {
+        self.count += 1;
+        self.total_ns += nanos;
+    }
+}
+
+/// The per-span self/total time report.
+///
+/// *Total* is the wall time spent inside spans at that path; *self* is
+/// total minus the total of direct children. With parallel children
+/// (chips fan out across worker threads) the children's sum can exceed
+/// the parent's wall time, in which case self clamps to zero.
+pub fn span_report(spans: &BTreeMap<String, SpanStat>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if spans.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>12} {:>12}",
+        "span", "count", "total(ms)", "self(ms)"
+    );
+    for (path, stat) in spans {
+        let children_ns: u128 = spans
+            .iter()
+            .filter(|(p, _)| is_direct_child(path, p))
+            .map(|(_, s)| s.total_ns)
+            .sum();
+        let self_ns = stat.total_ns.saturating_sub(children_ns);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>12.3} {:>12.3}",
+            path,
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            self_ns as f64 / 1e6,
+        );
+    }
+    out
+}
+
+/// True when `candidate` is exactly one level below `path`.
+fn is_direct_child(path: &str, candidate: &str) -> bool {
+    candidate
+        .strip_prefix(path)
+        .and_then(|rest| rest.strip_prefix('/'))
+        .is_some_and(|tail| !tail.is_empty() && !tail.contains('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_child_detection() {
+        assert!(is_direct_child("a", "a/b"));
+        assert!(!is_direct_child("a", "a/b/c"));
+        assert!(!is_direct_child("a", "ab"));
+        assert!(!is_direct_child("a", "a"));
+    }
+
+    #[test]
+    fn report_computes_self_time_and_clamps_parallel_children() {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "campaign".to_string(),
+            SpanStat {
+                count: 1,
+                total_ns: 10_000_000,
+            },
+        );
+        spans.insert(
+            "campaign/chip".to_string(),
+            SpanStat {
+                count: 4,
+                total_ns: 8_000_000,
+            },
+        );
+        spans.insert(
+            "campaign/chip/decide".to_string(),
+            SpanStat {
+                count: 40,
+                total_ns: 9_000_000, // parallel children exceed the parent
+            },
+        );
+        let report = span_report(&spans);
+        let lines: Vec<&str> = report.lines().collect();
+        assert!(lines[0].contains("self(ms)"));
+        // campaign: self = 10ms - 8ms = 2ms.
+        assert!(lines[1].contains("2.000"), "{report}");
+        // campaign/chip: children exceed total -> clamps to 0.
+        assert!(lines[2].contains("0.000"), "{report}");
+    }
+}
