@@ -289,30 +289,56 @@ impl Campaign {
         // Workers trace into per-chip buffers so the merged stream does not
         // depend on thread interleaving; replayed in chip order below.
         let buffers: Vec<BufferSink> = (0..self.chips).map(|_| BufferSink::new()).collect();
-        std::thread::scope(|scope| {
-            let chunks = per_chip.chunks_mut(self.chips.div_ceil(threads));
-            for (worker, chunk) in chunks.enumerate() {
-                let factory = &factory;
-                let profiles = &profiles;
-                let novar_perf = &novar_perf;
-                let pairs = &pairs;
-                let buffers = &buffers;
-                let first_chip = worker * self.chips.div_ceil(threads);
-                scope.spawn(move || {
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let chip_idx = first_chip + offset;
-                        let chip_tracer = if tracer.enabled() {
-                            Tracer::new(&buffers[chip_idx])
-                        } else {
-                            Tracer::noop()
-                        };
-                        *slot = Some(self.run_one_chip(
-                            factory, chip_idx, pairs, profiles, novar_perf, chip_tracer,
-                        ));
-                    }
-                });
+        // Chips are claimed one at a time off a shared atomic counter, so a
+        // slow chip never idles the other workers (static chunking would).
+        // Claim order affects scheduling only: each result lands in its
+        // chip's slot and traces replay in chip order below, keeping the
+        // output bit-identical to a serial run.
+        let next_chip = std::sync::atomic::AtomicUsize::new(0);
+        type ChipOutcome = Result<(CellResult, Vec<CellResult>), CampaignError>;
+        let worker_results: Vec<std::thread::Result<Vec<(usize, ChipOutcome)>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let factory = &factory;
+                        let profiles = &profiles;
+                        let novar_perf = &novar_perf;
+                        let pairs = &pairs;
+                        let buffers = &buffers;
+                        let next_chip = &next_chip;
+                        scope.spawn(move || {
+                            let mut done: Vec<(usize, ChipOutcome)> = Vec::new();
+                            loop {
+                                let chip_idx =
+                                    next_chip.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if chip_idx >= self.chips {
+                                    break;
+                                }
+                                let chip_tracer = if tracer.enabled() {
+                                    Tracer::new(&buffers[chip_idx])
+                                } else {
+                                    Tracer::noop()
+                                };
+                                done.push((
+                                    chip_idx,
+                                    self.run_one_chip(
+                                        factory, chip_idx, pairs, profiles, novar_perf,
+                                        chip_tracer,
+                                    ),
+                                ));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        for joined in worker_results {
+            let done = joined.map_err(|_| CampaignError::Internal("worker thread panicked"))?;
+            for (chip_idx, outcome) in done {
+                per_chip[chip_idx] = Some(outcome);
             }
-        });
+        }
         for buffer in buffers {
             tracer.replay(buffer.into_records());
         }
@@ -370,29 +396,25 @@ impl Campaign {
                 &self.reference_cell(core, fvar, profiles, novar_perf, tracer)?,
             );
 
-            // Adapted environments.
-            let mut fuzzy_cache: Vec<(Environment, FuzzyOptimizer)> = Vec::new();
+            // Adapted environments. Trained fuzzy controllers are reused
+            // across this core's cells, keyed deterministically by
+            // environment (ordered map: no hash-order dependence, O(log n)
+            // lookup instead of the former linear scan).
+            let mut fuzzy_cache: std::collections::BTreeMap<Environment, FuzzyOptimizer> =
+                std::collections::BTreeMap::new();
             for ((env, scheme), acc) in pairs.iter().zip(cells.iter_mut()) {
                 let exhaustive = ExhaustiveOptimizer::new();
                 let optimizer: &dyn Optimizer = match scheme {
-                    Scheme::FuzzyDyn => {
-                        let pos = match fuzzy_cache.iter().position(|(e, _)| e == env) {
-                            Some(pos) => pos,
-                            None => {
-                                let trained = FuzzyOptimizer::train_traced(
-                                    &self.config,
-                                    &chip,
-                                    core_idx,
-                                    *env,
-                                    &self.training,
-                                    tracer,
-                                );
-                                fuzzy_cache.push((*env, trained));
-                                fuzzy_cache.len() - 1
-                            }
-                        };
-                        &fuzzy_cache[pos].1
-                    }
+                    Scheme::FuzzyDyn => fuzzy_cache.entry(*env).or_insert_with(|| {
+                        FuzzyOptimizer::train_traced(
+                            &self.config,
+                            &chip,
+                            core_idx,
+                            *env,
+                            &self.training,
+                            tracer,
+                        )
+                    }),
                     _ => &exhaustive,
                 };
                 let cell = match scheme {
@@ -572,6 +594,8 @@ impl Campaign {
                 cell.outcomes.add(d.outcome);
             }
         }
+        // Metrics only (never golden event lines): solver cache counters.
+        optimizer.flush_metrics(tracer);
         cell
     }
 
@@ -643,6 +667,8 @@ impl Campaign {
                 cell.power_w += weight * self.billed_power(env, eval.total_power_w);
             }
         }
+        // Metrics only (never golden event lines): solver cache counters.
+        exhaustive.flush_metrics(tracer);
         Ok(cell)
     }
 

@@ -2,54 +2,147 @@
 //! ladders. Too slow to run on-the-fly in a real processor — here it is
 //! both the oracle the fuzzy controllers are trained against and the
 //! `Exh-Dyn` comparison scheme of Figures 10–12.
+//!
+//! The search runs on the operating-point fast path: scene invariants are
+//! hoisted once per query ([`SceneEval`]), thermal solves are memoized and
+//! warm-started through a per-optimizer [`SolveCache`], and the frequency
+//! search verifies the previous `(Vdd, Vbb)` pair's answer as a first
+//! guess before falling back to bisection — adjacent ladder settings
+//! almost always share their feasibility frontier within a step or two.
+//
+// lint:hot-path — this module is on the operating-point fast path; the
+// no-alloc-in-check rule forbids Vec construction outside tests here.
+
+use std::cell::RefCell;
 
 use eval_core::{EvalConfig, FREQ_LADDER};
+use eval_power::SolveCache;
+use eval_trace::Tracer;
 
-use crate::optimizer::{Optimizer, SubsystemScene};
+use crate::optimizer::{Optimizer, SceneEval, SubsystemScene};
 
 /// Exhaustive grid search over `(f, Vdd, Vbb)`.
 ///
 /// For each `(Vdd, Vbb)` pair the feasible frequency set is an interval
 /// (both the error rate and the temperature grow with `f`), so the scan
-/// over the frequency ladder is a binary search rather than a linear one.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExhaustiveOptimizer;
+/// over the frequency ladder is a guess-verify probe seeded by the
+/// previous pair's answer, falling back to binary search.
+///
+/// Each optimizer instance owns a [`SolveCache`]; cached values are pure
+/// functions of the operating point, so sharing or not sharing an
+/// instance cannot change any result — only the hit rate. The `RefCell`
+/// keeps the query methods `&self`; instances are per-thread by
+/// construction (one per campaign cell or training run).
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveOptimizer {
+    cache: RefCell<SolveCache>,
+}
 
 impl ExhaustiveOptimizer {
-    /// Creates the optimizer.
+    /// Creates the optimizer with an empty solve cache.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 
-    /// Largest feasible ladder index at fixed `(vdd, vbb)` that is at least
-    /// `floor_idx`, or `None`. Exploits monotonicity: error rate and
-    /// temperature both grow with `f`, so feasibility is a prefix of the
-    /// ladder and a binary search suffices. Callers prune by passing the
-    /// best index found so far — one infeasibility check then rejects the
-    /// whole `(vdd, vbb)` setting.
-    fn fmax_index_at(
-        config: &EvalConfig,
-        scene: &SubsystemScene<'_>,
+    /// Bisects for the feasibility frontier given the invariant that `lo`
+    /// is feasible and `hi` is infeasible.
+    fn bisect(
+        eval: &SceneEval<'_>,
+        cache: &mut SolveCache,
         vdd: f64,
         vbb: f64,
-        floor_idx: usize,
-    ) -> Option<usize> {
-        let n = FREQ_LADDER.len();
-        scene
-            .check(config, FREQ_LADDER.at(floor_idx), vdd, vbb)?;
-        let (mut lo, mut hi) = (floor_idx, n - 1);
-        if scene.check(config, FREQ_LADDER.at(hi), vdd, vbb).is_some() {
-            return Some(hi);
-        }
+        mut lo: usize,
+        mut hi: usize,
+    ) -> usize {
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            if scene.check(config, FREQ_LADDER.at(mid), vdd, vbb).is_some() {
+            if eval.check_at(cache, mid, vdd, vbb).is_some() {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        Some(lo)
+        lo
+    }
+
+    /// Largest feasible ladder index at fixed `(vdd, vbb)` that is at least
+    /// `floor_idx`, or `None`. Exploits monotonicity: error rate and
+    /// temperature both grow with `f`, so feasibility is a prefix of the
+    /// ladder. `hint` (the previous pair's answer) is probed *before* the
+    /// floor — a feasible hint implies the floor is feasible too, so the
+    /// common case (adjacent pairs share their frontier) costs one
+    /// full-precision feasible probe plus one cheap bounded rejection.
+    /// Callers prune by passing the best index found so far as the floor:
+    /// one infeasibility check then rejects the whole `(vdd, vbb)` setting.
+    fn fmax_index_at(
+        eval: &SceneEval<'_>,
+        cache: &mut SolveCache,
+        vdd: f64,
+        vbb: f64,
+        floor_idx: usize,
+        hint: Option<usize>,
+    ) -> Option<usize> {
+        let last = FREQ_LADDER.len() - 1;
+        if let Some(h) = hint {
+            let h = h.clamp(floor_idx, last);
+            if eval.check_at(cache, h, vdd, vbb).is_some() {
+                // Feasible guess: the frontier is at or above `h`.
+                if h == last || eval.check_at(cache, h + 1, vdd, vbb).is_none() {
+                    return Some(h);
+                }
+                if eval.check_at(cache, last, vdd, vbb).is_some() {
+                    return Some(last);
+                }
+                return Some(Self::bisect(eval, cache, vdd, vbb, h + 1, last));
+            }
+            // Infeasible guess: the frontier (if any) is below `h`.
+            if h == floor_idx {
+                return None;
+            }
+            eval.check_at(cache, floor_idx, vdd, vbb)?;
+            return Some(Self::bisect(eval, cache, vdd, vbb, floor_idx, h));
+        }
+        eval.check_at(cache, floor_idx, vdd, vbb)?;
+        if eval.check_at(cache, last, vdd, vbb).is_some() {
+            return Some(last);
+        }
+        Some(Self::bisect(eval, cache, vdd, vbb, floor_idx, last))
+    }
+
+    /// [`Optimizer::freq_max`] computed with the original uncached,
+    /// cold-start reference check — the "before" implementation, kept for
+    /// the grid equivalence test and the hot-path benchmarks.
+    pub fn freq_max_reference(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
+        let n = FREQ_LADDER.len();
+        let mut best: Option<usize> = None;
+        for &vdd in scene.vdd_options() {
+            for &vbb in scene.vbb_options() {
+                let floor = best.map_or(0, |b| (b + 1).min(n - 1));
+                let feasible =
+                    |i: usize| scene.check_reference(config, FREQ_LADDER.at(i), vdd, vbb).is_some();
+                if !feasible(floor) {
+                    continue;
+                }
+                let (mut lo, mut hi) = (floor, n - 1);
+                let idx = if feasible(hi) {
+                    hi
+                } else {
+                    while hi - lo > 1 {
+                        let mid = (lo + hi) / 2;
+                        if feasible(mid) {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    lo
+                };
+                if best.is_none_or(|b| idx > b) {
+                    best = Some(idx);
+                }
+            }
+        }
+        FREQ_LADDER.at(best.unwrap_or(0))
     }
 }
 
@@ -59,11 +152,21 @@ impl Optimizer for ExhaustiveOptimizer {
     }
 
     fn freq_max(&self, config: &EvalConfig, scene: &SubsystemScene<'_>) -> f64 {
+        let eval = SceneEval::new(config, scene);
+        let cache = &mut *self.cache.borrow_mut();
+        let n = FREQ_LADDER.len();
         let mut best: Option<usize> = None;
-        for vdd in scene.vdd_options() {
-            for vbb in scene.vbb_options() {
-                let floor = best.map_or(0, |b| (b + 1).min(FREQ_LADDER.len() - 1));
-                if let Some(idx) = Self::fmax_index_at(config, scene, vdd, vbb, floor) {
+        let mut hint: Option<usize> = None;
+        // Scan the supply ladder from the top: the highest Vdd usually
+        // holds the highest feasible frequency, so the first pair sets a
+        // `best` that rejects most remaining pairs on a single bounded
+        // floor probe. The result is a max over all pairs either way —
+        // scan order only affects how much work pruning saves.
+        for &vdd in scene.vdd_options().iter().rev() {
+            for &vbb in scene.vbb_options() {
+                let floor = best.map_or(0, |b| (b + 1).min(n - 1));
+                if let Some(idx) = Self::fmax_index_at(&eval, cache, vdd, vbb, floor, hint) {
+                    hint = Some(idx);
                     if best.is_none_or(|b| idx > b) {
                         best = Some(idx);
                     }
@@ -79,10 +182,17 @@ impl Optimizer for ExhaustiveOptimizer {
         scene: &SubsystemScene<'_>,
         f_core: f64,
     ) -> (f64, f64) {
+        let eval = SceneEval::new(config, scene);
+        let cache = &mut *self.cache.borrow_mut();
+        let f_idx = FREQ_LADDER.index_of(f_core);
         let mut best: Option<(f64, f64, f64)> = None; // (power, vdd, vbb)
-        for vdd in scene.vdd_options() {
-            for vbb in scene.vbb_options() {
-                if let Some((p, _t)) = scene.check(config, f_core, vdd, vbb) {
+        for &vdd in scene.vdd_options() {
+            for &vbb in scene.vbb_options() {
+                let checked = match f_idx {
+                    Some(i) => eval.check_at(cache, i, vdd, vbb),
+                    None => eval.check_free(f_core, vdd, vbb),
+                };
+                if let Some((p, _t)) = checked {
                     if best.is_none_or(|(bp, _, _)| p < bp) {
                         best = Some((p, vdd, vbb));
                     }
@@ -96,6 +206,19 @@ impl Optimizer for ExhaustiveOptimizer {
             // frequency down. Aggressive voltages would only deepen the
             // leakage/temperature feedback that made f_core infeasible.
             None => (1.0, 0.0),
+        }
+    }
+
+    fn flush_metrics(&self, tracer: Tracer<'_>) {
+        let stats = self.cache.borrow_mut().take_stats();
+        if stats.hits + stats.misses == 0 {
+            return;
+        }
+        tracer.count_n("solver.cache.hits", stats.hits);
+        tracer.count_n("solver.cache.misses", stats.misses);
+        tracer.count_n("solver.iterations", stats.iterations);
+        if stats.slow_convergence > 0 {
+            tracer.count_n("solver.slow_convergence", stats.slow_convergence);
         }
     }
 }
@@ -137,6 +260,47 @@ mod tests {
         let f_ts = opt.freq_max(&cfg, &scene(state, Environment::TS));
         let f_asv = opt.freq_max(&cfg, &scene(state, Environment::TS_ASV));
         assert!(f_asv > f_ts, "ASV {f_asv} should beat TS {f_ts}");
+    }
+
+    #[test]
+    fn fast_freq_max_matches_reference_search() {
+        let cfg = factory().config().clone();
+        for chip_seed in [1, 2, 3] {
+            let chip = factory().chip(chip_seed);
+            let opt = ExhaustiveOptimizer::new();
+            for id in [SubsystemId::IntAlu, SubsystemId::Dcache, SubsystemId::IntQueue] {
+                let state = chip.core(0).subsystem(id);
+                for env in [Environment::TS, Environment::TS_ASV, Environment::TS_ABB_ASV] {
+                    let sc = scene(state, env);
+                    let fast = opt.freq_max(&cfg, &sc);
+                    let reference = opt.freq_max_reference(&cfg, &sc);
+                    assert_eq!(
+                        fast, reference,
+                        "chip {chip_seed} {id} {}: fast {fast} vs reference {reference}",
+                        env.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let cfg = factory().config().clone();
+        let chip = factory().chip(2);
+        let opt = ExhaustiveOptimizer::new();
+        let state = chip.core(0).subsystem(SubsystemId::IntAlu);
+        let sc = scene(state, Environment::TS_ASV);
+        let f1 = opt.freq_max(&cfg, &sc);
+        let after_first = opt.cache.borrow().stats();
+        let f2 = opt.freq_max(&cfg, &sc);
+        let after_second = opt.cache.borrow().stats();
+        assert_eq!(f1, f2);
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second identical query must not solve anything new"
+        );
+        assert!(after_second.hits > after_first.hits);
     }
 
     #[test]

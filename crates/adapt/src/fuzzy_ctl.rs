@@ -206,6 +206,9 @@ impl FuzzyOptimizer {
             }
             controllers.push(slot);
         }
+        // Metrics only (never golden event lines): oracle cache counters
+        // accumulated across the whole training sweep.
+        oracle.flush_metrics(tracer);
         Self { env, controllers }
     }
 

@@ -43,6 +43,6 @@ pub use exhaustive::ExhaustiveOptimizer;
 pub use fidelity::{fidelity_table, FidelityRow};
 pub use fuzzy_ctl::{FuzzyOptimizer, TrainingBudget};
 pub use global_dvfs::GlobalDvfsOptimizer;
-pub use optimizer::{Optimizer, SubsystemScene};
+pub use optimizer::{Optimizer, SceneEval, SubsystemScene};
 pub use retune::{retune, Outcome, RetuneResult};
 pub use runtime::{AdaptiveSystem, RuntimeEvent, RuntimeStats};

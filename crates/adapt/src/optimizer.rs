@@ -1,11 +1,21 @@
 //! The optimizer interface shared by the exhaustive oracle and the fuzzy
-//! controller.
+//! controller, plus [`SceneEval`] — the hoisted, cache-backed evaluation
+//! of one scene that forms the operating-point fast path.
+//
+// lint:hot-path — this module is on the operating-point fast path; the
+// no-alloc-in-check rule forbids Vec construction outside tests here.
 
 use eval_core::{
     Environment, EvalConfig, OperatingConditions, SubsystemState, VariantSelection,
 };
-use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_power::{
+    solve_thermal, solve_thermal_reference, OperatingPoint, SolveCache, SubsystemPowerParams,
+    ThermalEnvironment, FREQ_LADDER,
+};
+use eval_timing::StageTiming;
+use eval_trace::Tracer;
 use eval_units::{GHz, Volts};
+use eval_variation::DeviceParams;
 
 /// Everything the per-subsystem `Freq`/`Power` algorithms see about one
 /// subsystem in one phase (the paper's `{TH, Rth, Kdyn, alpha_f, Ksta,
@@ -58,22 +68,144 @@ impl<'a> SubsystemScene<'a> {
         Some((sol.total_w(), sol.t_c))
     }
 
+    /// [`check`] evaluated with the original damped reference solver and
+    /// the unbounded error-rate evaluation: the independent "before"
+    /// implementation kept for equivalence tests and benchmarks.
+    ///
+    /// [`check`]: SubsystemScene::check
+    pub fn check_reference(
+        &self,
+        config: &EvalConfig,
+        f_ghz: f64,
+        vdd: f64,
+        vbb: f64,
+    ) -> Option<(f64, f64)> {
+        let op = OperatingPoint::raw(f_ghz, vdd, vbb);
+        let env = ThermalEnvironment {
+            th_c: self.th_c,
+            alpha_f: self.alpha_f,
+        };
+        let params = self.state.power_params(&self.variants);
+        let sol = solve_thermal_reference(&params, &env, &op, &config.device).ok()?;
+        if sol.t_c > config.constraints.t_max_c {
+            return None;
+        }
+        let cond = OperatingConditions {
+            vdd: Volts::raw(vdd),
+            vbb: Volts::raw(vbb),
+            t_c: sol.t_c,
+        };
+        let pe = self.rho * self.state.timing(&self.variants).pe_access(GHz::raw(f_ghz), &cond);
+        if pe > self.pe_budget {
+            return None;
+        }
+        Some((sol.total_w(), sol.t_c))
+    }
+
     /// The supply-voltage settings this environment may use.
-    pub fn vdd_options(&self) -> Vec<f64> {
+    pub fn vdd_options(&self) -> &'static [f64] {
         if self.env.asv {
-            eval_core::VDD_LADDER.iter().collect()
+            eval_power::vdd_steps()
         } else {
-            vec![1.0]
+            &[1.0]
         }
     }
 
     /// The body-bias settings this environment may use.
-    pub fn vbb_options(&self) -> Vec<f64> {
+    pub fn vbb_options(&self) -> &'static [f64] {
         if self.env.abb {
-            eval_core::VBB_LADDER.iter().collect()
+            eval_power::vbb_steps()
         } else {
-            vec![0.0]
+            &[0.0]
         }
+    }
+}
+
+/// One scene with its per-candidate invariants hoisted: the
+/// variant-resolved power parameters, the timing model, the thermal
+/// environment, and the constraint thresholds are all resolved once per
+/// scene instead of once per `(f, Vdd, Vbb)` candidate. Ladder-indexed
+/// candidates additionally route through a [`SolveCache`] for memoized,
+/// warm-started thermal solves.
+#[derive(Debug, Clone)]
+pub struct SceneEval<'a> {
+    params: SubsystemPowerParams,
+    timing: &'a StageTiming,
+    tenv: ThermalEnvironment,
+    device: &'a DeviceParams,
+    t_max_c: f64,
+    rho: f64,
+    pe_budget: f64,
+}
+
+impl<'a> SceneEval<'a> {
+    /// Hoists the scene's invariants out of the candidate loops.
+    pub fn new(config: &'a EvalConfig, scene: &SubsystemScene<'a>) -> Self {
+        SceneEval {
+            params: scene.state.power_params(&scene.variants),
+            timing: scene.state.timing(&scene.variants),
+            tenv: ThermalEnvironment {
+                th_c: scene.th_c,
+                alpha_f: scene.alpha_f,
+            },
+            device: &config.device,
+            t_max_c: config.constraints.t_max_c,
+            rho: scene.rho,
+            pe_budget: scene.pe_budget,
+        }
+    }
+
+    /// [`SubsystemScene::check`] for the frequency-ladder point `f_idx`,
+    /// memoized through `cache`. Feasibility classification matches the
+    /// uncached check; the returned `(power_w, t_c)` are the cache's
+    /// canonical values (a pure function of the operating point — see
+    /// `eval_power::cache`).
+    pub fn check_at(
+        &self,
+        cache: &mut SolveCache,
+        f_idx: usize,
+        vdd: f64,
+        vbb: f64,
+    ) -> Option<(f64, f64)> {
+        let sol = cache
+            .solve_ladder(
+                &self.params,
+                &self.tenv,
+                self.device,
+                f_idx,
+                Volts::raw(vdd),
+                Volts::raw(vbb),
+            )
+            .ok()?;
+        if sol.t_c > self.t_max_c {
+            return None;
+        }
+        let cond = OperatingConditions {
+            vdd: Volts::raw(vdd),
+            vbb: Volts::raw(vbb),
+            t_c: sol.t_c,
+        };
+        self.timing
+            .pe_access_bounded(GHz::raw(FREQ_LADDER.at(f_idx)), &cond, self.rho, self.pe_budget)?;
+        Some((sol.total_w(), sol.t_c))
+    }
+
+    /// [`SubsystemScene::check`] for an arbitrary (possibly off-ladder)
+    /// frequency: a direct canonical cold-start solve, no memoization.
+    pub fn check_free(&self, f_ghz: f64, vdd: f64, vbb: f64) -> Option<(f64, f64)> {
+        let op = OperatingPoint::raw(f_ghz, vdd, vbb);
+        let sol = solve_thermal(&self.params, &self.tenv, &op, self.device).ok()?;
+        if sol.t_c > self.t_max_c {
+            return None;
+        }
+        let cond = OperatingConditions {
+            vdd: Volts::raw(vdd),
+            vbb: Volts::raw(vbb),
+            t_c: sol.t_c,
+        };
+        self.timing
+            .pe_access_bounded(GHz::raw(f_ghz), &cond, self.rho, self.pe_budget)?;
+        Some((sol.total_w(), sol.t_c))
     }
 }
 
@@ -99,4 +231,9 @@ pub trait Optimizer {
         scene: &SubsystemScene<'_>,
         f_core: f64,
     ) -> (f64, f64);
+
+    /// Drains any accumulated solver/cache counters into eval-trace
+    /// metrics. Drivers call this at natural boundaries (end of a
+    /// campaign cell, end of training); the default does nothing.
+    fn flush_metrics(&self, _tracer: Tracer<'_>) {}
 }

@@ -115,15 +115,14 @@ enum Checked {
 
 fn evaluate(
     config: &EvalConfig,
-    core: &CoreModel,
+    plan: &eval_core::CoreEvalPlan<'_>,
     th_c: f64,
     f_ghz: f64,
     settings: &[(f64, f64)],
     alpha: &[f64; N_SUBSYSTEMS],
     rho: &[f64; N_SUBSYSTEMS],
-    variants: &VariantSelection,
 ) -> Option<CoreEvaluation> {
-    core.evaluate(config, th_c, GHz::raw(f_ghz), settings, alpha, rho, variants)
+    plan.evaluate(config, th_c, GHz::raw(f_ghz), settings, alpha, rho)
         .ok()
 }
 
@@ -179,8 +178,11 @@ pub fn retune_traced(
     tracer: Tracer<'_>,
 ) -> RetuneResult {
     let mut probes: Vec<RetuneProbe> = Vec::new();
+    // Variant-selected params/timing are invariant across the probe loop;
+    // resolve them once instead of once per probed frequency.
+    let plan = core.evaluation_plan(variants);
     let check = |f: f64, direction: &'static str, probes: &mut Vec<RetuneProbe>| -> Checked {
-        let state = match evaluate(config, core, th_c, f, settings, alpha, rho, variants) {
+        let state = match evaluate(config, &plan, th_c, f, settings, alpha, rho) {
             Some(e) => match violation(config, &e) {
                 None => Checked::Clean(e),
                 Some(v) => Checked::Violating(v, e),
@@ -264,7 +266,7 @@ pub fn retune_traced(
                             outcome: initial_violation,
                             steps,
                             evaluation: floor_evaluation(
-                                state, config, core, th_c, settings, alpha, rho, variants,
+                                state, config, &plan, th_c, settings, alpha, rho,
                             ),
                             probes,
                         };
@@ -307,12 +309,11 @@ pub fn retune_traced(
 fn floor_evaluation(
     state: Checked,
     config: &EvalConfig,
-    core: &CoreModel,
+    plan: &eval_core::CoreEvalPlan<'_>,
     th_c: f64,
     settings: &[(f64, f64)],
     alpha: &[f64; N_SUBSYSTEMS],
     rho: &[f64; N_SUBSYSTEMS],
-    variants: &VariantSelection,
 ) -> CoreEvaluation {
     match state {
         Checked::Clean(e) | Checked::Violating(_, e) => e,
@@ -320,13 +321,12 @@ fn floor_evaluation(
             let floor_settings: Vec<(f64, f64)> = settings.iter().map(|_| (1.0, 0.0)).collect();
             evaluate(
                 config,
-                core,
+                plan,
                 th_c,
                 FREQ_LADDER.min,
                 &floor_settings,
                 alpha,
                 rho,
-                variants,
             )
             // lint:allow(panic-safety): the 2.4 GHz floor at nominal
             // voltages converges for every chip the variation model can

@@ -5,7 +5,7 @@
 use eval_core::{
     Environment, EvalConfig, OperatingConditions, PerfModel, SubsystemState, VariantSelection,
 };
-use eval_power::{solve_thermal, OperatingPoint, ThermalEnvironment};
+use eval_power::{SolveCache, ThermalEnvironment};
 use eval_units::{GHz, Volts};
 
 /// One sample of the Figure 9(a) surface.
@@ -42,16 +42,15 @@ pub fn pe_power_frequency_surface(
     novar_perf: f64,
 ) -> Vec<SurfacePoint> {
     let variants = VariantSelection::default();
-    let vdds: Vec<f64> = if env.asv {
-        eval_core::VDD_LADDER.iter().collect()
-    } else {
-        vec![1.0]
-    };
-    let vbbs: Vec<f64> = if env.abb {
-        eval_core::VBB_LADDER.iter().collect()
-    } else {
-        vec![0.0]
-    };
+    let vdds: &[f64] = if env.asv { eval_power::vdd_steps() } else { &[1.0] };
+    let vbbs: &[f64] = if env.abb { eval_power::vbb_steps() } else { &[0.0] };
+
+    // Per-sweep invariants, hoisted out of the candidate loops; thermal
+    // solves are memoized and warm-started across the frequency ladder.
+    let params = state.power_params(&variants);
+    let timing = state.timing(&variants);
+    let tenv = ThermalEnvironment { th_c, alpha_f };
+    let mut cache = SolveCache::new();
 
     let mut points = Vec::new();
     for f_idx in 0..eval_core::FREQ_LADDER.len() {
@@ -59,12 +58,16 @@ pub fn pe_power_frequency_surface(
         // Minimum PE for each power level: collect feasible (power, pe)
         // pairs and keep the Pareto-minimal PE per power bin.
         let mut candidates: Vec<(f64, f64)> = Vec::new();
-        for &vdd in &vdds {
-            for &vbb in &vbbs {
-                let op = OperatingPoint::raw(f, vdd, vbb);
-                let tenv = ThermalEnvironment { th_c, alpha_f };
-                let params = state.power_params(&variants);
-                let Ok(sol) = solve_thermal(&params, &tenv, &op, &config.device) else {
+        for &vdd in vdds {
+            for &vbb in vbbs {
+                let Ok(sol) = cache.solve_ladder(
+                    &params,
+                    &tenv,
+                    &config.device,
+                    f_idx,
+                    Volts::raw(vdd),
+                    Volts::raw(vbb),
+                ) else {
                     continue;
                 };
                 if sol.t_c > config.constraints.t_max_c {
@@ -75,7 +78,7 @@ pub fn pe_power_frequency_surface(
                     vbb: Volts::raw(vbb),
                     t_c: sol.t_c,
                 };
-                let pe = state.timing(&variants).pe_access(GHz::raw(f), &cond);
+                let pe = timing.pe_access(GHz::raw(f), &cond);
                 candidates.push((sol.total_w(), pe));
             }
         }

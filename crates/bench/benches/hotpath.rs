@@ -1,0 +1,133 @@
+//! Hot-path benchmarks: the memoized, warm-started operating-point fast
+//! path against the reference (pre-optimization) implementations it
+//! replaced.
+//!
+//! Pairs to watch:
+//!
+//! * `solve_thermal` vs `solve_thermal_reference` — undamped fixed-point
+//!   iteration vs the original 0.5-damped loop;
+//! * `freq_max_*` vs `freq_max_reference` — cached guess-verify ladder
+//!   search vs uncached bisection;
+//! * `campaign_exhdyn` — a small end-to-end campaign exercising everything
+//!   at once.
+//!
+//! `cargo run -p eval-bench --bin hotpath` produces the same comparisons
+//! as machine-readable JSON (`BENCH_hotpath.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eval_adapt::{Campaign, ExhaustiveOptimizer, Optimizer, Scheme, SubsystemScene};
+use eval_core::{
+    ChipFactory, ChipModel, Environment, EvalConfig, OperatingConditions, SubsystemId,
+    VariantSelection, N_SUBSYSTEMS,
+};
+use eval_power::{solve_thermal, solve_thermal_reference, ThermalEnvironment};
+use eval_uarch::Workload;
+use eval_units::{GHz, Volts};
+
+fn setup() -> (EvalConfig, ChipModel) {
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(42);
+    (config, chip)
+}
+
+fn scene<'a>(config: &EvalConfig, chip: &'a ChipModel, id: SubsystemId) -> SubsystemScene<'a> {
+    SubsystemScene {
+        state: chip.core(0).subsystem(id),
+        variants: VariantSelection::default(),
+        th_c: 60.0,
+        alpha_f: 0.5,
+        rho: 0.6,
+        pe_budget: config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS),
+        env: Environment::TS_ASV,
+    }
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let (config, chip) = setup();
+    let state = chip.core(0).subsystem(SubsystemId::Dcache);
+    let params = state.power_params(&VariantSelection::default());
+    let tenv = ThermalEnvironment {
+        th_c: 60.0,
+        alpha_f: 0.5,
+    };
+    let op = eval_power::OperatingPoint::raw(4.0, 1.0, 0.0);
+
+    c.bench_function("solve_thermal_fast", |b| {
+        b.iter(|| black_box(solve_thermal(&params, &tenv, black_box(&op), &config.device)))
+    });
+    c.bench_function("solve_thermal_reference", |b| {
+        b.iter(|| {
+            black_box(solve_thermal_reference(
+                &params,
+                &tenv,
+                black_box(&op),
+                &config.device,
+            ))
+        })
+    });
+
+    let timing = state.timing(&VariantSelection::default());
+    let cond = OperatingConditions {
+        vdd: Volts::raw(1.0),
+        vbb: Volts::raw(0.0),
+        t_c: 65.0,
+    };
+    let budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+    c.bench_function("pe_access", |b| {
+        b.iter(|| black_box(timing.pe_access(GHz::raw(4.0), black_box(&cond))))
+    });
+    c.bench_function("pe_access_bounded", |b| {
+        b.iter(|| black_box(timing.pe_access_bounded(GHz::raw(4.0), black_box(&cond), 0.6, budget)))
+    });
+}
+
+fn bench_freq_max(c: &mut Criterion) {
+    let (config, chip) = setup();
+    let sc = scene(&config, &chip, SubsystemId::Dcache);
+
+    // Cold: a fresh cache every query, as the first query of a campaign
+    // sees it. This is the "freq_max ladder sweep" headline pair.
+    c.bench_function("freq_max_fast_cold", |b| {
+        b.iter(|| {
+            let opt = ExhaustiveOptimizer::new();
+            black_box(opt.freq_max(&config, black_box(&sc)))
+        })
+    });
+    // Warm: the steady state inside a campaign, where repeated queries
+    // against the same scene hit the memoized solves.
+    let warm = ExhaustiveOptimizer::new();
+    c.bench_function("freq_max_fast_warm", |b| {
+        b.iter(|| black_box(warm.freq_max(&config, black_box(&sc))))
+    });
+    c.bench_function("freq_max_reference", |b| {
+        b.iter(|| {
+            let opt = ExhaustiveOptimizer::new();
+            black_box(opt.freq_max_reference(&config, black_box(&sc)))
+        })
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("exhdyn_2chips", |b| {
+        b.iter(|| {
+            let mut campaign = Campaign::new(2);
+            campaign.profile_budget = 3_000;
+            campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
+            campaign.threads = 1;
+            black_box(
+                campaign
+                    .run(&[Environment::TS_ASV], &[Scheme::ExhDyn])
+                    .expect("campaign runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_freq_max, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! Hot-path smoke benchmark: times the memoized operating-point fast path
+//! against the reference implementations it replaced, prints a comparison
+//! table, and (with `--bench-json <path>`) writes the results as JSON.
+//!
+//! ```text
+//! cargo run --release -p eval-bench --bin hotpath -- --bench-json BENCH_hotpath.json
+//! ```
+//!
+//! Each benchmark is self-timed: the body is repeated until a sample takes
+//! at least a few milliseconds, several samples are collected, and the
+//! median per-iteration time is reported. The committed
+//! `BENCH_hotpath.json` at the workspace root is this binary's output.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use eval_adapt::{Campaign, ExhaustiveOptimizer, Optimizer, Scheme, SubsystemScene};
+use eval_core::{
+    ChipFactory, ChipModel, Environment, EvalConfig, OperatingConditions, SubsystemId,
+    VariantSelection, N_SUBSYSTEMS,
+};
+use eval_power::{solve_thermal, solve_thermal_reference, OperatingPoint, ThermalEnvironment};
+use eval_uarch::Workload;
+use eval_units::{GHz, Volts};
+
+/// Median per-iteration nanoseconds for `body`, self-calibrated so each
+/// sample runs for at least `min_sample_ms`.
+fn time_ns<F: FnMut()>(mut body: F, min_sample_ms: u64, samples: usize) -> f64 {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to drown out timer quantization.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= min_sample_ms || iters > 1_000_000_000 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                body();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    fast_ns: f64,
+    reference_ns: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.reference_ns.map(|r| r / self.fast_ns)
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn scene<'a>(config: &EvalConfig, chip: &'a ChipModel, id: SubsystemId) -> SubsystemScene<'a> {
+    SubsystemScene {
+        state: chip.core(0).subsystem(id),
+        variants: VariantSelection::default(),
+        th_c: 60.0,
+        alpha_f: 0.5,
+        rho: 0.6,
+        pe_budget: config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS),
+        env: Environment::TS_ASV,
+    }
+}
+
+fn small_campaign() {
+    let mut campaign = Campaign::new(2);
+    campaign.profile_budget = 3_000;
+    campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
+    campaign.threads = 1;
+    black_box(
+        campaign
+            .run(&[Environment::TS_ASV], &[Scheme::ExhDyn])
+            .expect("campaign runs"),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench-json" => {
+                json_path = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+
+    let config = EvalConfig::micro08();
+    let factory = ChipFactory::new(config.clone());
+    let chip = factory.chip(42);
+    let state = chip.core(0).subsystem(SubsystemId::Dcache);
+    let params = state.power_params(&VariantSelection::default());
+    let timing = state.timing(&VariantSelection::default());
+    let tenv = ThermalEnvironment {
+        th_c: 60.0,
+        alpha_f: 0.5,
+    };
+    let op = OperatingPoint::raw(4.0, 1.0, 0.0);
+    let cond = OperatingConditions {
+        vdd: Volts::raw(1.0),
+        vbb: Volts::raw(0.0),
+        t_c: 65.0,
+    };
+    let budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);
+    let sc = scene(&config, &chip, SubsystemId::Dcache);
+
+    let mut rows = Vec::new();
+
+    rows.push(Row {
+        name: "solve_thermal",
+        fast_ns: time_ns(
+            || {
+                black_box(solve_thermal(&params, &tenv, black_box(&op), &config.device)).ok();
+            },
+            5,
+            7,
+        ),
+        reference_ns: Some(time_ns(
+            || {
+                black_box(solve_thermal_reference(
+                    &params,
+                    &tenv,
+                    black_box(&op),
+                    &config.device,
+                ))
+                .ok();
+            },
+            5,
+            7,
+        )),
+    });
+
+    rows.push(Row {
+        name: "pe_access_bounded",
+        fast_ns: time_ns(
+            || {
+                black_box(timing.pe_access_bounded(GHz::raw(4.0), black_box(&cond), 0.6, budget));
+            },
+            5,
+            7,
+        ),
+        reference_ns: Some(time_ns(
+            || {
+                black_box(timing.pe_access(GHz::raw(4.0), black_box(&cond)));
+            },
+            5,
+            7,
+        )),
+    });
+
+    rows.push(Row {
+        name: "freq_max_ladder_sweep",
+        fast_ns: time_ns(
+            || {
+                let opt = ExhaustiveOptimizer::new();
+                black_box(opt.freq_max(&config, black_box(&sc)));
+            },
+            20,
+            7,
+        ),
+        reference_ns: Some(time_ns(
+            || {
+                let opt = ExhaustiveOptimizer::new();
+                black_box(opt.freq_max_reference(&config, black_box(&sc)));
+            },
+            20,
+            7,
+        )),
+    });
+
+    let warm = ExhaustiveOptimizer::new();
+    rows.push(Row {
+        name: "freq_max_warm_reuse",
+        fast_ns: time_ns(
+            || {
+                black_box(warm.freq_max(&config, black_box(&sc)));
+            },
+            20,
+            7,
+        ),
+        reference_ns: None,
+    });
+
+    rows.push(Row {
+        name: "campaign_exhdyn_2chips",
+        fast_ns: time_ns(small_campaign, 1, 3),
+        reference_ns: None,
+    });
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "benchmark", "fast", "reference", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>14} {:>14} {:>9}",
+            row.name,
+            human(row.fast_ns),
+            row.reference_ns.map_or_else(|| "-".to_string(), human),
+            row.speedup()
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
+        );
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"fast_ns\": {:.1}, \"reference_ns\": {}, \"speedup\": {}}}{}\n",
+                row.name,
+                row.fast_ns,
+                row.reference_ns
+                    .map_or_else(|| "null".to_string(), |r| format!("{r:.1}")),
+                row.speedup()
+                    .map_or_else(|| "null".to_string(), |s| format!("{s:.2}")),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out)?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}

@@ -281,12 +281,62 @@ impl CoreModel {
         rho: &[f64; N_SUBSYSTEMS],
         variants: &VariantSelection,
     ) -> Result<CoreEvaluation, InfeasibleConfig> {
+        let plan = self.evaluation_plan(variants);
+        plan.evaluate(config, th_c, f, settings, alpha, rho)
+    }
+
+    /// Resolves the per-subsystem invariants of [`evaluate`] — the
+    /// variant-selected power parameters and timing models — once, so a
+    /// probe loop (retuning, the runtime controller) can evaluate many
+    /// candidate frequencies without re-resolving them per call.
+    ///
+    /// [`evaluate`]: CoreModel::evaluate
+    pub fn evaluation_plan(&self, variants: &VariantSelection) -> CoreEvalPlan<'_> {
+        CoreEvalPlan {
+            entries: self
+                .subsystems
+                .iter()
+                .map(|s| (s.id(), s.power_params(variants), s.timing(variants)))
+                .collect(),
+        }
+    }
+}
+
+/// The per-subsystem invariants of [`CoreModel::evaluate`] for one fixed
+/// variant selection, resolved once (see
+/// [`CoreModel::evaluation_plan`]).
+#[derive(Debug, Clone)]
+pub struct CoreEvalPlan<'a> {
+    entries: Vec<(SubsystemId, SubsystemPowerParams, &'a StageTiming)>,
+}
+
+impl CoreEvalPlan<'_> {
+    /// [`CoreModel::evaluate`] with the invariants pre-resolved; identical
+    /// results, fewer per-call lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleConfig`] on thermal runaway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings` has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate(
+        &self,
+        config: &EvalConfig,
+        th_c: f64,
+        f: GHz,
+        settings: &[(f64, f64)],
+        alpha: &[f64; N_SUBSYSTEMS],
+        rho: &[f64; N_SUBSYSTEMS],
+    ) -> Result<CoreEvaluation, InfeasibleConfig> {
         assert_eq!(settings.len(), N_SUBSYSTEMS, "one (Vdd, Vbb) per subsystem");
         let mut subsystems = Vec::with_capacity(N_SUBSYSTEMS);
         let mut total_power = config.uncore_power_w(f) + config.checker_w;
         let mut total_pe = 0.0;
         let mut max_t = th_c;
-        for (i, state) in self.subsystems.iter().enumerate() {
+        for (i, (id, params, timing)) in self.entries.iter().enumerate() {
             // Settings come off the discrete actuator ladders, which are
             // validated at construction; `raw` skips re-validation per call.
             let (vdd, vbb) = settings[i];
@@ -299,18 +349,14 @@ impl CoreModel {
                 th_c,
                 alpha_f: alpha[i],
             };
-            let params = state.power_params(variants);
-            let sol = solve_thermal(&params, &env, &op, &config.device).map_err(|_| {
-                InfeasibleConfig {
-                    subsystem: state.id(),
-                }
-            })?;
+            let sol = solve_thermal(params, &env, &op, &config.device)
+                .map_err(|_| InfeasibleConfig { subsystem: *id })?;
             let cond = OperatingConditions {
                 vdd: Volts::raw(vdd),
                 vbb: Volts::raw(vbb),
                 t_c: sol.t_c,
             };
-            let pe = rho[i] * state.timing(variants).pe_access(f, &cond);
+            let pe = rho[i] * timing.pe_access(f, &cond);
             total_power += sol.total_w();
             total_pe += pe;
             max_t = max_t.max(sol.t_c);

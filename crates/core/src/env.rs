@@ -16,7 +16,7 @@ use std::fmt;
 /// let ts_q = Environment { queue: true, name: "TS+Q", ..Environment::TS };
 /// assert!(ts_q.queue && !ts_q.fu_replication);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Environment {
     /// Display name (matches the paper's labels).
     pub name: &'static str,

@@ -43,8 +43,8 @@ pub mod tester;
 
 pub use area::AreaBreakdown;
 pub use chip::{
-    ChipFactory, ChipModel, CoreEvaluation, CoreModel, FuChoice, InfeasibleConfig, QueueChoice,
-    SubsystemEvaluation, SubsystemState, VariantSelection,
+    ChipFactory, ChipModel, CoreEvalPlan, CoreEvaluation, CoreModel, FuChoice, InfeasibleConfig,
+    QueueChoice, SubsystemEvaluation, SubsystemState, VariantSelection,
 };
 pub use config::EvalConfig;
 pub use env::Environment;

@@ -88,8 +88,12 @@ fn run_one(id: &str, samples: u32, throughput: Option<Throughput>, f: &mut dyn F
 
 impl Criterion {
     /// Benchmarks `f` under `id` with default settings.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        run_one(id, 10, None, &mut f);
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), 10, None, &mut f);
         self
     }
 
@@ -126,8 +130,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `group/id`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let full = format!("{}/{}", self.name, id);
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
         run_one(&full, self.sample_size, self.throughput, &mut f);
         self
     }

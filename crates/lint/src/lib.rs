@@ -1,7 +1,7 @@
 //! # eval-lint
 //!
 //! A std-only, token/line-level static-analysis pass over the EVAL
-//! workspace. It enforces five rule families that the type system alone
+//! workspace. It enforces six rule families that the type system alone
 //! cannot (or that we chose to enforce by convention):
 //!
 //! * **unit-safety** — public functions of the physics crates
@@ -26,6 +26,10 @@
 //!   goes through the `eval-trace` sinks so output stays structured and
 //!   machine-parseable. The figure binaries (`eval-bench` bins) and the
 //!   lint CLI are the printing layer and are exempt.
+//! * **no-alloc-in-check** — files that carry a `// lint:hot-path` marker
+//!   comment (the memoized operating-point evaluators) must not construct
+//!   `Vec`s outside `#[cfg(test)]` regions: the per-candidate `check` path
+//!   runs millions of times per campaign and must stay allocation-free.
 //!
 //! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
 //! the offending line or in the contiguous comment block directly above
@@ -43,7 +47,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The five rule families.
+/// The six rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// Raw `f64` where a unit newtype is required.
@@ -56,16 +60,19 @@ pub enum Rule {
     ConfigInvariants,
     /// stdout/stderr macros in library code (use eval-trace sinks).
     NoPrintln,
+    /// `Vec` construction in `lint:hot-path`-marked modules.
+    NoAllocInCheck,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::UnitSafety,
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::ConfigInvariants,
         Rule::NoPrintln,
+        Rule::NoAllocInCheck,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(...)`.
@@ -76,6 +83,7 @@ impl Rule {
             Rule::PanicSafety => "panic-safety",
             Rule::ConfigInvariants => "config-invariants",
             Rule::NoPrintln => "no-println",
+            Rule::NoAllocInCheck => "no-alloc-in-check",
         }
     }
 }
@@ -205,6 +213,8 @@ struct Scanned {
     comment_only: Vec<bool>,
     /// Per line: true inside a `#[cfg(test)]` item's braces.
     in_test: Vec<bool>,
+    /// True when any comment in the file contains `lint:hot-path`.
+    hot_path: bool,
 }
 
 /// Strips comments and literal contents while recording `lint:allow`
@@ -223,6 +233,7 @@ fn scan(source: &str) -> Scanned {
     let mut code = Vec::new();
     let mut allows = Vec::new();
     let mut comment_only = Vec::new();
+    let mut hot_path = false;
 
     for raw in source.lines() {
         let b: Vec<char> = raw.chars().collect();
@@ -367,6 +378,9 @@ fn scan(source: &str) -> Scanned {
                 break;
             }
         }
+        if comment_text.contains("lint:hot-path") {
+            hot_path = true;
+        }
         comment_only.push(out.trim().is_empty());
         code.push(out);
         allows.push(line_allows);
@@ -409,6 +423,7 @@ fn scan(source: &str) -> Scanned {
         allows,
         comment_only,
         in_test,
+        hot_path,
     }
 }
 
@@ -465,8 +480,46 @@ pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     if is_println_free_crate(&ctx.crate_name) && !ctx.is_test_code {
         no_println(&s, path, &mut out);
     }
+    if s.hot_path && !ctx.is_test_code {
+        no_alloc_in_check(&s, path, &mut out);
+    }
     config_invariants(&s, path, ctx, &mut out);
     out
+}
+
+/// `Vec`-constructing tokens banned from hot-path modules.
+const ALLOC_TOKENS: [&str; 6] = [
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    ".to_vec()",
+    ".collect(",
+    ".collect::<",
+];
+
+/// Flags `Vec` construction outside `#[cfg(test)]` in files that carry a
+/// `// lint:hot-path` marker. Those modules sit on the per-candidate
+/// operating-point `check` path, which runs millions of times per campaign
+/// and must not allocate.
+fn no_alloc_in_check(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in s.code.iter().enumerate() {
+        if s.in_test[i] {
+            continue;
+        }
+        for tok in ALLOC_TOKENS {
+            if line.contains(tok) {
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::NoAllocInCheck,
+                    format!("`{tok}..` allocates inside a `lint:hot-path` module"),
+                );
+                break;
+            }
+        }
+    }
 }
 
 /// Flags `name: f64` parameters of `pub fn`s where `name` carries a unit.
@@ -843,6 +896,35 @@ mod tests {
         let d = lint_source("x.rs", src, &ctx("eval-adapt"));
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, Rule::ConfigInvariants);
+    }
+
+    #[test]
+    fn hot_path_marker_bans_vec_construction() {
+        let src = "// lint:hot-path\npub fn f(n: usize) -> usize { let v: Vec<u8> = Vec::new(); v.len() + n }\n";
+        let d = lint_source("x.rs", src, &ctx("eval-power"));
+        assert!(d.iter().any(|d| d.rule == Rule::NoAllocInCheck), "{d:?}");
+    }
+
+    #[test]
+    fn unmarked_files_may_construct_vecs() {
+        let src = "pub fn f(n: usize) -> usize { let v: Vec<u8> = Vec::with_capacity(n); v.len() }\n";
+        let d = lint_source("x.rs", src, &ctx("eval-power"));
+        assert!(d.iter().all(|d| d.rule != Rule::NoAllocInCheck), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_tests_may_allocate() {
+        let src = "// lint:hot-path\n#[cfg(test)]\nmod tests {\n    fn f() -> usize { vec![1u8].len() }\n}\n";
+        let d = lint_source("x.rs", src, &ctx("eval-power"));
+        assert!(d.iter().all(|d| d.rule != Rule::NoAllocInCheck), "{d:?}");
+    }
+
+    #[test]
+    fn collect_is_flagged_in_hot_path_modules() {
+        let src = "// lint:hot-path\npub fn f() -> usize { (0..4).collect::<Vec<_>>().len() }\n";
+        let d = lint_source("x.rs", src, &ctx("eval-adapt"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::NoAllocInCheck);
     }
 
     #[test]

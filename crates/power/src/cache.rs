@@ -1,0 +1,359 @@
+//! Memoized, warm-started thermal solves over the discrete actuator
+//! ladders — the operating-point fast path.
+//!
+//! Every adaptation decision evaluates `(f, Vdd, Vbb)` candidates drawn
+//! from the ladders of Figure 7(a), and a frequency-ladder sweep at fixed
+//! `(Vdd, Vbb)` revisits nearly identical thermal problems: the fixed
+//! point moves by a fraction of a degree per 100 MHz step. [`SolveCache`]
+//! exploits both facts:
+//!
+//! * **Memoization.** Solutions are keyed by the *exact bits* of the
+//!   subsystem parameters and environment plus the discrete frequency
+//!   ladder index — no tolerance matching, so a hit is exactly the value
+//!   a miss would have produced.
+//! * **Warm starts.** A miss at ladder index `i` seeds the solver with
+//!   the converged temperature of its *anchor* point
+//!   `a = i - (i % ANCHOR_STRIDE)`, itself always solved from the
+//!   canonical cold start. Temperature increases with frequency, so the
+//!   anchor's temperature approaches the target fixed point from below
+//!   and the undamped iteration converges in ~2–4 steps.
+//!
+//! **Order-independence by construction.** The seed for any key is
+//! derived only from the key itself (its anchor's canonically solved
+//! temperature), never from whatever happened to be solved last. The
+//! cached value for a key is therefore a pure function of the key:
+//! query order, interleaving across subsystems, and even evictions
+//! (`clear` on reaching [`MAX_ENTRIES`]) cannot change any returned
+//! value. `tests/hotpath_equivalence.rs` checks this bitwise across the
+//! full grid.
+//!
+//! One cache instance assumes a single [`DeviceParams`] (the per-process
+//! technology model, constant across a campaign); device fields are
+//! deliberately not part of the key.
+//
+// lint:hot-path — this module is on the operating-point fast path; the
+// no-alloc-in-check rule forbids Vec construction outside tests here.
+
+use std::collections::BTreeMap;
+
+use eval_units::Volts;
+use eval_variation::DeviceParams;
+
+use crate::ladder::FREQ_LADDER;
+use crate::op::OperatingPoint;
+use crate::params::{SubsystemPowerParams, ThermalEnvironment};
+use crate::solve::{
+    cold_start_c, solve_thermal_seeded, SolveStats, ThermalRunaway, ThermalSolution,
+};
+
+/// Frequency-ladder stride between canonically (cold) seeded anchor
+/// points. Non-anchor indices warm-start from their anchor's temperature,
+/// at most `ANCHOR_STRIDE - 1` steps below them.
+pub const ANCHOR_STRIDE: usize = 4;
+
+/// Entry cap; reaching it clears the map (deterministically, and —
+/// because cached values are pure functions of their keys — without any
+/// effect on returned values, only on hit rate).
+pub const MAX_ENTRIES: usize = 1 << 17;
+
+/// Bit-exact cache key: subsystem parameters, environment, biases, and
+/// the discrete frequency-ladder index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SolveKey {
+    kdyn: u64,
+    ksta: u64,
+    rth: u64,
+    vt0: u64,
+    th: u64,
+    alpha: u64,
+    vdd: u64,
+    vbb: u64,
+    f_idx: u32,
+}
+
+impl SolveKey {
+    fn new(
+        params: &SubsystemPowerParams,
+        env: &ThermalEnvironment,
+        f_idx: usize,
+        vdd: Volts,
+        vbb: Volts,
+    ) -> Self {
+        SolveKey {
+            kdyn: params.kdyn_w.to_bits(),
+            ksta: params.ksta_nom_w.to_bits(),
+            rth: params.rth_c_per_w.to_bits(),
+            vt0: params.vt0.to_bits(),
+            th: env.th_c.to_bits(),
+            alpha: env.alpha_f.to_bits(),
+            vdd: vdd.get().to_bits(),
+            vbb: vbb.get().to_bits(),
+            f_idx: f_idx as u32,
+        }
+    }
+}
+
+/// Hit/miss and solver-effort counters, drained by optimizers into
+/// eval-trace metrics (`solver.cache.hits`, `solver.cache.misses`,
+/// `solver.iterations`, `solver.slow_convergence`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that ran the solver.
+    pub misses: u64,
+    /// Total fixed-point iterations across all misses.
+    pub iterations: u64,
+    /// Solves that exhausted the iteration budget (bounded slow
+    /// convergence; the last iterate was accepted).
+    pub slow_convergence: u64,
+}
+
+impl SolveCacheStats {
+    /// Merges `other` into `self` (for aggregating across caches).
+    pub fn merge(&mut self, other: SolveCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.iterations += other.iterations;
+        self.slow_convergence += other.slow_convergence;
+    }
+}
+
+/// The memoized ladder solver. One instance per optimizer (caches are
+/// cheap: an empty `BTreeMap` plus counters).
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    map: BTreeMap<SolveKey, Result<ThermalSolution, ThermalRunaway>>,
+    stats: SolveCacheStats,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no solutions are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters since construction or the last [`take_stats`].
+    ///
+    /// [`take_stats`]: SolveCache::take_stats
+    pub fn stats(&self) -> SolveCacheStats {
+        self.stats
+    }
+
+    /// Returns and resets the counters (for periodic metric flushes).
+    pub fn take_stats(&mut self) -> SolveCacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Solves the thermal fixed point at frequency-ladder index `f_idx`
+    /// and biases `(vdd, vbb)`, memoized and warm-started.
+    ///
+    /// Returns exactly what [`crate::solve_thermal`] would return for the
+    /// same operating point up to the seed-independence tolerance of the
+    /// solver; for a given key the returned bits never depend on what was
+    /// queried before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalRunaway`] (also cached) when the operating point
+    /// diverges thermally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_idx` is outside the frequency ladder.
+    pub fn solve_ladder(
+        &mut self,
+        params: &SubsystemPowerParams,
+        env: &ThermalEnvironment,
+        device: &DeviceParams,
+        f_idx: usize,
+        vdd: Volts,
+        vbb: Volts,
+    ) -> Result<ThermalSolution, ThermalRunaway> {
+        let key = SolveKey::new(params, env, f_idx, vdd, vbb);
+        if let Some(&cached) = self.map.get(&key) {
+            self.stats.hits += 1;
+            return cached;
+        }
+        self.stats.misses += 1;
+
+        // Canonical seed: anchors cold-start; everything else starts from
+        // its anchor's converged temperature (a lower bound on the target,
+        // since temperature increases with frequency). The anchor solve
+        // recurses at most once — an anchor is its own anchor.
+        let anchor_idx = f_idx - (f_idx % ANCHOR_STRIDE);
+        let seed = if anchor_idx == f_idx {
+            cold_start_c(env, device)
+        } else {
+            match self.solve_ladder(params, env, device, anchor_idx, vdd, vbb) {
+                Ok(anchor) => anchor.t_c,
+                // A runaway anchor gives no usable temperature; fall back
+                // to the canonical cold start (still key-derived).
+                Err(_) => cold_start_c(env, device),
+            }
+        };
+
+        let op = OperatingPoint::raw(FREQ_LADDER.at(f_idx), vdd.get(), vbb.get());
+        let mut effort = SolveStats::default();
+        let result = solve_thermal_seeded(params, env, &op, device, seed, &mut effort);
+        self.stats.iterations += u64::from(effort.iterations);
+        if effort.slow_convergence {
+            self.stats.slow_convergence += 1;
+        }
+        if self.map.len() >= MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SubsystemPowerParams {
+        SubsystemPowerParams {
+            kdyn_w: 0.4,
+            ksta_nom_w: 0.15,
+            rth_c_per_w: 6.0,
+            vt0: 0.150,
+        }
+    }
+
+    fn env() -> ThermalEnvironment {
+        ThermalEnvironment {
+            th_c: 55.0,
+            alpha_f: 0.8,
+        }
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_cold_solver() {
+        let device = DeviceParams::micro08();
+        let mut cache = SolveCache::new();
+        for f_idx in 0..FREQ_LADDER.len() {
+            let cached = cache.solve_ladder(
+                &params(),
+                &env(),
+                &device,
+                f_idx,
+                Volts::raw(1.0),
+                Volts::raw(0.0),
+            );
+            let op = OperatingPoint::raw(FREQ_LADDER.at(f_idx), 1.0, 0.0);
+            let cold = crate::solve_thermal(&params(), &env(), &op, &device);
+            match (cached, cold) {
+                (Ok(a), Ok(b)) => {
+                    assert!(
+                        (a.t_c - b.t_c).abs() < 1e-5,
+                        "idx {f_idx}: warm {} vs cold {}",
+                        a.t_c,
+                        b.t_c
+                    );
+                    assert!((a.total_w() - b.total_w()).abs() < 1e-6);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("idx {f_idx}: warm {a:?} vs cold {b:?} disagree on feasibility"),
+            }
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_is_bitwise_identical() {
+        let device = DeviceParams::micro08();
+        let mut cache = SolveCache::new();
+        let first = cache
+            .solve_ladder(&params(), &env(), &device, 7, Volts::raw(1.1), Volts::raw(0.1))
+            .expect("feasible point");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        // Index 7 warm-starts from anchor 4, so two misses were recorded.
+        assert_eq!(stats.misses, 2);
+        assert!(stats.iterations > 0);
+
+        let second = cache
+            .solve_ladder(&params(), &env(), &device, 7, Volts::raw(1.1), Volts::raw(0.1))
+            .expect("feasible point");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(first.t_c.to_bits(), second.t_c.to_bits());
+        assert_eq!(first.total_w().to_bits(), second.total_w().to_bits());
+    }
+
+    #[test]
+    fn query_order_cannot_change_values() {
+        let device = DeviceParams::micro08();
+        // Forward sweep vs reverse sweep vs fresh-per-point: identical bits.
+        let mut forward = SolveCache::new();
+        let mut reverse = SolveCache::new();
+        let n = FREQ_LADDER.len();
+        let fwd: Vec<_> = (0..n)
+            .map(|i| {
+                forward.solve_ladder(&params(), &env(), &device, i, Volts::raw(1.0), Volts::raw(0.0))
+            })
+            .collect();
+        let rev: Vec<_> = (0..n)
+            .rev()
+            .map(|i| {
+                reverse.solve_ladder(&params(), &env(), &device, i, Volts::raw(1.0), Volts::raw(0.0))
+            })
+            .collect();
+        for i in 0..n {
+            let a = fwd[i].expect("feasible");
+            let b = rev[n - 1 - i].expect("feasible");
+            assert_eq!(a.t_c.to_bits(), b.t_c.to_bits(), "index {i}");
+            assert_eq!(a.psta_w.to_bits(), b.psta_w.to_bits(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn take_stats_resets_counters() {
+        let device = DeviceParams::micro08();
+        let mut cache = SolveCache::new();
+        let _ = cache.solve_ladder(&params(), &env(), &device, 0, Volts::raw(1.0), Volts::raw(0.0));
+        let taken = cache.take_stats();
+        assert_eq!(taken.misses, 1);
+        assert_eq!(cache.stats(), SolveCacheStats::default());
+
+        let mut merged = SolveCacheStats::default();
+        merged.merge(taken);
+        merged.merge(taken);
+        assert_eq!(merged.misses, 2);
+    }
+
+    #[test]
+    fn runaway_points_are_cached_too() {
+        let device = DeviceParams::micro08();
+        let bad = SubsystemPowerParams {
+            kdyn_w: 2.0,
+            ksta_nom_w: 5.0,
+            rth_c_per_w: 80.0,
+            vt0: 0.10,
+        };
+        let hot = ThermalEnvironment {
+            th_c: 70.0,
+            alpha_f: 1.0,
+        };
+        let mut cache = SolveCache::new();
+        let top = FREQ_LADDER.len() - 1;
+        assert!(cache
+            .solve_ladder(&bad, &hot, &device, top, Volts::raw(1.2), Volts::raw(0.5))
+            .is_err());
+        let misses = cache.stats().misses;
+        assert!(cache
+            .solve_ladder(&bad, &hot, &device, top, Volts::raw(1.2), Volts::raw(0.5))
+            .is_err());
+        assert_eq!(cache.stats().misses, misses, "second runaway lookup is a hit");
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

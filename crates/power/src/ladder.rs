@@ -110,6 +110,45 @@ impl Ladder {
         let steps = (x - self.min) / self.step;
         (steps - steps.round()).abs() < 1e-6
     }
+
+    /// The ladder index of `x`, if `x` is (within floating tolerance) a
+    /// ladder setting. The hot-path cache uses this to key solves by
+    /// discrete ladder position instead of by raw floating value.
+    pub fn index_of(&self, x: f64) -> Option<usize> {
+        let steps = (x - self.min) / self.step;
+        let rounded = steps.round();
+        if (steps - rounded).abs() >= 1e-6 {
+            return None;
+        }
+        if rounded < -0.5 || rounded as usize >= self.len() {
+            return None;
+        }
+        Some(rounded as usize)
+    }
+}
+
+/// Materializes a ladder into a `'static` slice exactly once (one small,
+/// intentional leak per ladder for the lifetime of the process).
+fn materialize(cell: &std::sync::OnceLock<&'static [f64]>, ladder: &Ladder) -> &'static [f64] {
+    cell.get_or_init(|| Box::leak(ladder.iter().collect::<Vec<f64>>().into_boxed_slice()))
+}
+
+/// All [`FREQ_LADDER`] settings as a `'static` slice (materialized once).
+pub fn freq_steps() -> &'static [f64] {
+    static CELL: std::sync::OnceLock<&'static [f64]> = std::sync::OnceLock::new();
+    materialize(&CELL, &FREQ_LADDER)
+}
+
+/// All [`VDD_LADDER`] settings as a `'static` slice (materialized once).
+pub fn vdd_steps() -> &'static [f64] {
+    static CELL: std::sync::OnceLock<&'static [f64]> = std::sync::OnceLock::new();
+    materialize(&CELL, &VDD_LADDER)
+}
+
+/// All [`VBB_LADDER`] settings as a `'static` slice (materialized once).
+pub fn vbb_steps() -> &'static [f64] {
+    static CELL: std::sync::OnceLock<&'static [f64]> = std::sync::OnceLock::new();
+    materialize(&CELL, &VBB_LADDER)
 }
 
 #[cfg(test)]
@@ -149,6 +188,36 @@ mod tests {
     fn step_by_clamps() {
         assert!((FREQ_LADDER.step_by(2.5, -8) - 2.4).abs() < 1e-12);
         assert!((FREQ_LADDER.step_by(4.0, 2) - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_of_round_trips_every_setting() {
+        for ladder in [FREQ_LADDER, VDD_LADDER, VBB_LADDER] {
+            for i in 0..ladder.len() {
+                assert_eq!(ladder.index_of(ladder.at(i)), Some(i));
+            }
+            assert_eq!(ladder.index_of(ladder.min - ladder.step), None);
+            assert_eq!(ladder.index_of(ladder.max + ladder.step), None);
+            assert_eq!(ladder.index_of(ladder.min + 0.4 * ladder.step), None);
+        }
+    }
+
+    #[test]
+    fn static_steps_match_the_ladders() {
+        assert_eq!(freq_steps().len(), FREQ_LADDER.len());
+        assert_eq!(vdd_steps().len(), VDD_LADDER.len());
+        assert_eq!(vbb_steps().len(), VBB_LADDER.len());
+        for (i, &f) in freq_steps().iter().enumerate() {
+            assert_eq!(f, FREQ_LADDER.at(i));
+        }
+        for (i, &v) in vdd_steps().iter().enumerate() {
+            assert_eq!(v, VDD_LADDER.at(i));
+        }
+        for (i, &v) in vbb_steps().iter().enumerate() {
+            assert_eq!(v, VBB_LADDER.at(i));
+        }
+        // Repeated calls hand back the very same slice.
+        assert!(std::ptr::eq(freq_steps(), freq_steps()));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! ```
 //!
 //! "These equations form a feedback system and need to be solved
-//! iteratively" (§4.1) — [`solve_thermal`] runs the damped fixed-point
-//! iteration and reports thermal runaway when leakage self-heating diverges.
+//! iteratively" (§4.1) — [`solve_thermal`] runs the fixed-point iteration
+//! (undamped with a deterministic damped fallback; see `solve`) and
+//! reports thermal runaway when leakage self-heating diverges.
+//! [`SolveCache`] memoizes and warm-starts solves over the discrete
+//! ladders — the operating-point fast path all optimizers share.
 //!
 //! The crate also defines the discrete actuator ladders of Figure 7(a)
 //! (frequency in 100 MHz steps, ASV in 50 mV steps from 800 mV to 1200 mV,
@@ -42,14 +45,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod constraints;
 pub mod ladder;
 pub mod op;
 pub mod params;
 pub mod solve;
 
+pub use cache::{SolveCache, SolveCacheStats};
 pub use constraints::Constraints;
-pub use ladder::{Ladder, FREQ_LADDER, VBB_LADDER, VDD_LADDER};
+pub use ladder::{freq_steps, vbb_steps, vdd_steps, Ladder, FREQ_LADDER, VBB_LADDER, VDD_LADDER};
 pub use op::OperatingPoint;
 pub use params::{SubsystemPowerParams, ThermalEnvironment};
-pub use solve::{solve_thermal, ThermalRunaway, ThermalSolution};
+pub use solve::{
+    cold_start_c, solve_thermal, solve_thermal_reference, solve_thermal_seeded, SolveStats,
+    ThermalRunaway, ThermalSolution,
+};

@@ -214,6 +214,55 @@ impl StageTiming {
         -log_ok.exp_m1()
     }
 
+    /// Budget-aware variant of [`pe_access`] for the hot path: evaluates
+    /// the same per-cell product but returns early with `None` as soon as
+    /// the accumulated error probability already proves
+    /// `scale * pe > cap` (the caller's `rho * PE > budget` test). The
+    /// partial product is a lower bound on the final `pe` — each cell only
+    /// adds error mass — so an early `None` is never wrong.
+    ///
+    /// When the access is within budget, the returned `Some(pe)` is
+    /// bitwise identical to [`pe_access`]'s value: same cells, same
+    /// accumulation order, same arithmetic.
+    ///
+    /// [`pe_access`]: StageTiming::pe_access
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f <= 0` or if `cond.vdd` does not exceed the local
+    /// threshold voltage (an invalid operating point).
+    pub fn pe_access_bounded(
+        &self,
+        f: GHz,
+        cond: &OperatingConditions,
+        scale: f64,
+        cap: f64,
+    ) -> Option<f64> {
+        assert!(f.get() > 0.0, "frequency must be positive");
+        let t = f.period_ns();
+        let per_cell_paths = self.dist.paths() / self.cells.len() as f64;
+        let mut log_ok = 0.0f64;
+        for cell in &self.cells {
+            let kappa = self.cell_factor(cell, cond);
+            let q = self.dist.scaled(kappa).single_path_miss(t);
+            if q >= 1.0 {
+                // `pe_access` returns 1.0 here; mirror its caller's
+                // `scale * 1.0 > cap` comparison exactly.
+                return if scale > cap { None } else { Some(1.0) };
+            }
+            log_ok += per_cell_paths * (-q).ln_1p();
+            if scale * (-log_ok.exp_m1()) > cap {
+                return None;
+            }
+        }
+        let pe = -log_ok.exp_m1();
+        if scale * pe > cap {
+            None
+        } else {
+            Some(pe)
+        }
+    }
+
     /// Maximum frequency at which the per-access error probability stays at
     /// or below `pe_threshold`, under `cond`. Solved by bisection; `PE` is
     /// monotone in `f`.
@@ -261,6 +310,28 @@ mod tests {
             DeviceParams::micro08(),
             12,
         )
+    }
+
+    #[test]
+    fn bounded_pe_matches_unbounded_classification_and_bits() {
+        let stage = test_stage(SubsystemKind::Logic, 7);
+        let cond = OperatingConditions {
+            vdd: Volts::raw(1.0),
+            vbb: Volts::raw(0.0),
+            t_c: 65.0,
+        };
+        let (scale, cap) = (0.6, 1e-4);
+        for i in 0..33 {
+            let f = GHz::raw(2.4 + 0.1 * i as f64);
+            let full = stage.pe_access(f, &cond);
+            let bounded = stage.pe_access_bounded(f, &cond, scale, cap);
+            if scale * full > cap {
+                assert!(bounded.is_none(), "f={f:?}: expected early None");
+            } else {
+                let pe = bounded.expect("within budget");
+                assert_eq!(pe.to_bits(), full.to_bits(), "f={f:?}");
+            }
+        }
     }
 
     #[test]
