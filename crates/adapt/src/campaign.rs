@@ -216,7 +216,9 @@ impl Campaign {
     }
 
     /// [`Campaign::run`] with tracing: emits a `campaign-start` event,
-    /// per-chip tester/training/decision events, and span timings into
+    /// per-chip `chip-start` markers plus tester/training/decision events,
+    /// a live `campaign.chips_done` counter (recorded by workers as each
+    /// chip completes, for progress decorators), and span timings into
     /// `tracer`.
     ///
     /// Workers record into per-chip buffers that are replayed into the
@@ -326,6 +328,13 @@ impl Campaign {
                                         chip_tracer,
                                     ),
                                 ));
+                                // Live progress signal on the *outer* sink
+                                // (per-chip events stay buffered until the
+                                // join): counter adds commute, so the
+                                // end-of-run snapshot is independent of
+                                // worker interleaving and the golden event
+                                // lines are untouched.
+                                tracer.count("campaign.chips_done");
                             }
                             done
                         })
@@ -380,6 +389,9 @@ impl Campaign {
         tracer: Tracer<'_>,
     ) -> Result<(CellResult, Vec<CellResult>), CampaignError> {
         let _chip_span = tracer.span("chip");
+        tracer.event(|| Event::ChipStart {
+            chip: chip_idx as u64,
+        });
         let chip = factory.chip_traced(
             self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37),
             tracer,

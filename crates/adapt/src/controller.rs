@@ -71,6 +71,19 @@ fn scheme_counter(scheme: &str) -> &'static str {
     }
 }
 
+/// Per-scheme decision-latency timer names. The `_us` suffix marks them
+/// wall-clock (outside the golden determinism contract); `eval-obs
+/// analyze` folds them into per-scheme p50/p95/p99 latency digests.
+fn scheme_latency(scheme: &str) -> &'static str {
+    match scheme {
+        "static" => "decision.latency.static_us",
+        "fuzzy" => "decision.latency.fuzzy_us",
+        "exhaustive" => "decision.latency.exhaustive_us",
+        "global-dvfs" => "decision.latency.global-dvfs_us",
+        _ => "decision.latency.other_us",
+    }
+}
+
 /// Which constraint bound the final frequency, derived from the retune
 /// probe history: the last rejected probe names the binding constraint;
 /// no rejection means retuning ran out of ladder.
@@ -133,8 +146,8 @@ pub fn decide_phase(
     )
 }
 
-/// [`decide_phase`] with full observability: a `decide` span, a
-/// `decision.latency_us` timer, per-scheme decision counters,
+/// [`decide_phase`] with full observability: a `decide` span, aggregate
+/// and per-scheme `decision.latency*_us` timers, per-scheme decision counters,
 /// frequency/error-rate histogram observations, and one
 /// [`Decision`](Event::Decision) event carrying the chosen operating
 /// point, the binding constraint, the rejected retune candidates, and
@@ -155,6 +168,7 @@ pub fn decide_phase_traced(
 ) -> PhaseDecision {
     let _span = tracer.span("decide");
     let _latency = tracer.timer("decision.latency_us");
+    let _scheme_latency = tracer.timer(scheme_latency(ctx.scheme));
     let alpha = phase.activity.alpha_f;
     let rho = phase.activity.rho;
     let pe_budget = config.constraints.pe_budget_per_subsystem(N_SUBSYSTEMS);

@@ -101,6 +101,38 @@ fn small_campaign() {
     );
 }
 
+/// Runs the same small campaign once under a tracer and returns the
+/// end-of-run `solver.*` counters as `(name, value)` pairs — flushed
+/// into the JSON so `eval-obs bench-check` can gate on cache hit-rate
+/// alongside raw latency.
+fn campaign_metrics() -> Vec<(&'static str, f64)> {
+    let collector = eval_trace::Collector::new();
+    let mut campaign = Campaign::new(2);
+    campaign.profile_budget = 3_000;
+    campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
+    campaign.threads = 1;
+    campaign
+        .run_traced(
+            &[Environment::TS_ASV],
+            &[Scheme::ExhDyn],
+            eval_trace::Tracer::new(&collector),
+        )
+        .expect("campaign runs");
+    let registry = collector.registry();
+    let hits = registry.counter("solver.cache.hits");
+    let misses = registry.counter("solver.cache.misses");
+    let mut out = vec![
+        ("solver.cache.hits", hits as f64),
+        ("solver.cache.misses", misses as f64),
+        ("solver.iterations", registry.counter("solver.iterations") as f64),
+        ("decision.count", registry.counter("decision.count") as f64),
+    ];
+    if hits + misses > 0 {
+        out.push(("solver.cache.hit_rate", hits as f64 / (hits + misses) as f64));
+    }
+    out
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json_path = None;
     let mut args = std::env::args().skip(1);
@@ -231,6 +263,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = json_path {
+        let metrics = campaign_metrics();
         let mut out = String::from("{\n  \"benchmarks\": [\n");
         for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!(
@@ -244,7 +277,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n  \"metrics\": {\n");
+        for (i, (name, value)) in metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                name,
+                if value.fract() == 0.0 {
+                    format!("{value:.1}")
+                } else {
+                    format!("{value:.6}")
+                },
+                if i + 1 < metrics.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  }\n}\n");
         std::fs::write(&path, out)?;
         println!("\nwrote {path}");
     }

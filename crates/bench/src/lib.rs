@@ -30,58 +30,117 @@
 
 use eval_adapt::{Campaign, CampaignResult, Scheme};
 use eval_core::Environment;
+use eval_obs::ProgressSink;
 use eval_trace::{Collector, Tracer};
 
-/// An optional JSONL trace session for the experiment binaries, enabled by
-/// `--trace <path>` (or `--trace=<path>`) on the command line or the
-/// `EVAL_TRACE` environment variable; the flag wins when both are set.
+/// The collecting side of a [`TraceSession`]: either a bare
+/// [`Collector`], or one wrapped in a [`ProgressSink`] heartbeating to
+/// stderr. The decorator forwards every record verbatim, so the traced
+/// JSONL stream is bit-identical either way.
+enum SessionSink {
+    Plain(Collector),
+    Progress(ProgressSink<Collector, std::io::Stderr>),
+}
+
+/// An optional telemetry session for the experiment binaries, enabled by
+/// any of:
 ///
-/// Events/metrics accumulate in memory and are flushed by
-/// [`TraceSession::finish`], which writes the JSONL stream and prints the
-/// span/metric summary. The `"kind":"event"` lines are bit-deterministic
-/// across runs and thread counts; span lines and `*_us` metrics carry
-/// wall-clock timings and are excluded from that contract.
+/// * `--trace <path>` (or `--trace=<path>`, or `EVAL_TRACE`) — write the
+///   JSONL trace stream at end-of-run;
+/// * `--progress` (or `EVAL_PROGRESS=1`) — heartbeat live campaign
+///   progress (chips done/total, chips/sec, ETA, solver counters) to
+///   stderr while the run executes;
+/// * `--metrics-out <path>` (or `--metrics-out=<path>`, or
+///   `EVAL_METRICS_OUT`) — write a Prometheus-text snapshot of the
+///   metric registry at end-of-run, servable with `eval-obs serve`.
+///
+/// Flags win over environment variables. Events/metrics accumulate in
+/// memory and are flushed by [`TraceSession::finish`]. The
+/// `"kind":"event"` lines are bit-deterministic across runs and thread
+/// counts; span lines and `*_us` metrics carry wall-clock timings and
+/// are excluded from that contract.
 pub struct TraceSession {
-    path: std::path::PathBuf,
-    collector: Collector,
+    trace_path: Option<std::path::PathBuf>,
+    metrics_path: Option<std::path::PathBuf>,
+    sink: SessionSink,
 }
 
 impl TraceSession {
-    /// Builds a session from `std::env::args` / `EVAL_TRACE`, or `None`
-    /// when tracing was not requested.
+    /// Builds a session from `std::env::args` / environment variables,
+    /// or `None` when no telemetry was requested.
     pub fn from_env() -> Option<TraceSession> {
         let mut args = std::env::args();
-        let mut path: Option<std::path::PathBuf> = None;
+        let mut trace_path: Option<std::path::PathBuf> = None;
+        let mut metrics_path: Option<std::path::PathBuf> = None;
+        let mut progress = false;
         while let Some(arg) = args.next() {
             if arg == "--trace" {
-                path = args.next().map(Into::into);
+                trace_path = args.next().map(Into::into);
             } else if let Some(p) = arg.strip_prefix("--trace=") {
-                path = Some(p.into());
+                trace_path = Some(p.into());
+            } else if arg == "--metrics-out" {
+                metrics_path = args.next().map(Into::into);
+            } else if let Some(p) = arg.strip_prefix("--metrics-out=") {
+                metrics_path = Some(p.into());
+            } else if arg == "--progress" {
+                progress = true;
             }
         }
-        let path = path.or_else(|| std::env::var_os("EVAL_TRACE").map(Into::into))?;
+        let trace_path = trace_path.or_else(|| std::env::var_os("EVAL_TRACE").map(Into::into));
+        let metrics_path =
+            metrics_path.or_else(|| std::env::var_os("EVAL_METRICS_OUT").map(Into::into));
+        let progress = progress
+            || std::env::var("EVAL_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0");
+        if trace_path.is_none() && metrics_path.is_none() && !progress {
+            return None;
+        }
+        let collector = Collector::new();
+        let sink = if progress {
+            SessionSink::Progress(ProgressSink::stderr(collector))
+        } else {
+            SessionSink::Plain(collector)
+        };
         Some(TraceSession {
-            path,
-            collector: Collector::new(),
+            trace_path,
+            metrics_path,
+            sink,
         })
     }
 
     /// A tracer recording into this session.
     pub fn tracer(&self) -> Tracer<'_> {
-        Tracer::new(&self.collector)
+        match &self.sink {
+            SessionSink::Plain(c) => Tracer::new(c),
+            SessionSink::Progress(p) => Tracer::new(p),
+        }
     }
 
-    /// Writes the JSONL stream to the session path and prints the
+    /// Flushes the session: writes the JSONL stream (`--trace`) and the
+    /// Prometheus metrics snapshot (`--metrics-out`), and prints the
     /// end-of-run span/metric summary.
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error if the trace file cannot be written.
+    /// Propagates the I/O error if an output file cannot be written.
     pub fn finish(self) -> std::io::Result<()> {
-        self.collector.write_jsonl(&self.path)?;
+        let collector = match self.sink {
+            SessionSink::Plain(c) => c,
+            SessionSink::Progress(p) => p.into_inner(),
+        };
+        if let Some(path) = &self.trace_path {
+            collector.write_jsonl(path)?;
+        }
+        if let Some(path) = &self.metrics_path {
+            eval_obs::write_prometheus(&collector.registry(), path)?;
+        }
         println!();
-        println!("{}", self.collector.summary());
-        eprintln!("# trace written to {}", self.path.display());
+        println!("{}", collector.summary());
+        if let Some(path) = &self.trace_path {
+            eprintln!("# trace written to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_path {
+            eprintln!("# metrics written to {}", path.display());
+        }
         Ok(())
     }
 }

@@ -1,7 +1,7 @@
 //! # eval-lint
 //!
 //! A std-only, token/line-level static-analysis pass over the EVAL
-//! workspace. It enforces six rule families that the type system alone
+//! workspace. It enforces seven rule families that the type system alone
 //! cannot (or that we chose to enforce by convention):
 //!
 //! * **unit-safety** — public functions of the physics crates
@@ -30,6 +30,11 @@
 //!   comment (the memoized operating-point evaluators) must not construct
 //!   `Vec`s outside `#[cfg(test)]` regions: the per-candidate `check` path
 //!   runs millions of times per campaign and must stay allocation-free.
+//! * **sink-forward** — `impl TraceSink for ...` blocks must not swallow
+//!   records: no `_ =>` wildcard arms, and an impl that matches on
+//!   `Record` must handle all three variants (`Event`, `Metric`, `Span`)
+//!   explicitly. A sink that silently drops a variant breaks the
+//!   bit-identical trace contract downstream decorators rely on.
 //!
 //! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
 //! the offending line or in the contiguous comment block directly above
@@ -47,7 +52,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The six rule families.
+/// The seven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// Raw `f64` where a unit newtype is required.
@@ -62,17 +67,20 @@ pub enum Rule {
     NoPrintln,
     /// `Vec` construction in `lint:hot-path`-marked modules.
     NoAllocInCheck,
+    /// `TraceSink` impls that swallow or drop `Record` variants.
+    SinkForward,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::UnitSafety,
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::ConfigInvariants,
         Rule::NoPrintln,
         Rule::NoAllocInCheck,
+        Rule::SinkForward,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(...)`.
@@ -84,6 +92,7 @@ impl Rule {
             Rule::ConfigInvariants => "config-invariants",
             Rule::NoPrintln => "no-println",
             Rule::NoAllocInCheck => "no-alloc-in-check",
+            Rule::SinkForward => "sink-forward",
         }
     }
 }
@@ -483,8 +492,107 @@ pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     if s.hot_path && !ctx.is_test_code {
         no_alloc_in_check(&s, path, &mut out);
     }
+    if !ctx.is_test_code {
+        sink_forward(&s, path, &mut out);
+    }
     config_invariants(&s, path, ctx, &mut out);
     out
+}
+
+/// The three `Record` variants every sink must handle explicitly when it
+/// matches on the record at all.
+const RECORD_VARIANTS: [&str; 3] = ["Record::Event", "Record::Metric", "Record::Span"];
+
+/// True when a (comment-stripped) line holds a wildcard match arm: a
+/// pattern that is `_`, or an or-pattern ending in `| _`, before `=>`.
+fn is_wildcard_arm(line: &str) -> bool {
+    let Some(head) = line.split("=>").next() else {
+        return false;
+    };
+    if !line.contains("=>") {
+        return false;
+    }
+    let head = head.trim();
+    head == "_" || head.ends_with("| _") || head.ends_with("|_")
+}
+
+/// Flags `impl ... TraceSink for ...` blocks that can swallow records:
+/// wildcard `_ =>` arms, or a `match` over `Record` that does not name all
+/// three variants. The trace contract (decorators keep the JSONL stream
+/// bit-identical) only holds if every sink forwards every variant.
+fn sink_forward(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < s.code.len() {
+        let starts_impl = !s.in_test[i]
+            && s.code[i].contains("TraceSink for")
+            && (s.code[i].contains("impl")
+                || (i > 0 && s.code[i - 1].contains("impl")));
+        if !starts_impl {
+            i += 1;
+            continue;
+        }
+        let impl_line = i;
+        // Walk to the end of the impl's brace region.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = i;
+        let mut region = String::new();
+        'outer: for (j, line) in s.code.iter().enumerate().skip(i) {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened {
+                region.push_str(line);
+                region.push('\n');
+                if j > impl_line && is_wildcard_arm(line) {
+                    push(
+                        out,
+                        s,
+                        path,
+                        j,
+                        Rule::SinkForward,
+                        "wildcard `_ =>` arm inside a `TraceSink` impl can silently \
+                         swallow record variants"
+                            .to_string(),
+                    );
+                }
+            }
+            if opened && depth <= 0 {
+                end = j;
+                break 'outer;
+            }
+            end = j;
+        }
+        if region.contains("Record::") {
+            let missing: Vec<&str> = RECORD_VARIANTS
+                .iter()
+                .filter(|v| !region.contains(*v))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                push(
+                    out,
+                    s,
+                    path,
+                    impl_line,
+                    Rule::SinkForward,
+                    format!(
+                        "`TraceSink` impl matches on `Record` but never handles {}; \
+                         sinks must forward every variant",
+                        missing.join(", ")
+                    ),
+                );
+            }
+        }
+        i = end + 1;
+    }
 }
 
 /// `Vec`-constructing tokens banned from hot-path modules.

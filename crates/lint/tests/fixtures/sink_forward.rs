@@ -1,0 +1,119 @@
+//! Fixture for the sink-forward rule: `TraceSink` impls must not swallow
+//! records via wildcard arms or partial `Record` matches.
+//!
+//! Seeded violations (must fire): the `_ =>` arm in `DroppingSink` and the
+//! partial match in `PartialSink`. Everything else must stay quiet.
+
+pub enum Record {
+    Event(u32),
+    Metric(u32),
+    Span { path: u32, nanos: u64 },
+}
+
+pub trait TraceSink {
+    fn record(&self, rec: Record);
+}
+
+pub struct DroppingSink;
+
+// BAD: the wildcard arm silently drops Metric and Span records.
+impl TraceSink for DroppingSink {
+    fn record(&self, rec: Record) {
+        match rec {
+            Record::Event(e) => {
+                let _ = e;
+            }
+            _ => {}
+        }
+    }
+}
+
+pub struct PartialSink;
+
+// BAD: matches on Record but never handles Record::Span.
+impl TraceSink for PartialSink {
+    fn record(&self, rec: Record) {
+        if let Record::Event(e) = &rec {
+            let _ = e;
+        } else if let Record::Metric(m) = &rec {
+            let _ = m;
+        }
+    }
+}
+
+pub struct ExhaustiveSink;
+
+// GOOD: exhaustive match, every variant handled by name.
+impl TraceSink for ExhaustiveSink {
+    fn record(&self, rec: Record) {
+        match rec {
+            Record::Event(e) => {
+                let _ = e;
+            }
+            Record::Metric(m) => {
+                let _ = m;
+            }
+            Record::Span { path, nanos } => {
+                let _ = (path, nanos);
+            }
+        }
+    }
+}
+
+pub struct ForwardingSink<S>(S);
+
+impl<S> ForwardingSink<S> {
+    fn observe(&self, rec: &Record) {
+        // GOOD: a wildcard in an *inherent* impl is fine — only the
+        // TraceSink impl must be forwarding-complete.
+        match rec {
+            Record::Event(e) => {
+                let _ = e;
+            }
+            _ => {}
+        }
+    }
+}
+
+// GOOD: forwards the record verbatim without matching at all.
+impl<S: TraceSink> TraceSink for ForwardingSink<S> {
+    fn record(&self, rec: Record) {
+        self.observe(&rec);
+        self.0.record(rec);
+    }
+}
+
+pub struct AllowedSink;
+
+// A sink that deliberately filters records, with the suppression marker.
+// lint:allow(sink-forward)
+impl TraceSink for AllowedSink {
+    fn record(&self, rec: Record) {
+        match rec {
+            Record::Event(e) => {
+                let _ = e;
+            }
+            // lint:allow(sink-forward)
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub struct TestSink;
+
+    // Test-only sinks are exempt even with a wildcard arm.
+    impl TraceSink for TestSink {
+        fn record(&self, rec: Record) {
+            match rec {
+                Record::Event(e) => {
+                    let _ = e;
+                }
+                _ => {}
+            }
+        }
+    }
+}

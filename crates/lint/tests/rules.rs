@@ -144,6 +144,57 @@ fn config_invariants_catch_a_drifted_paper_value() {
 }
 
 #[test]
+fn sink_forward_fires_on_wildcard_and_partial_match() {
+    let d = lint_fixture("sink_forward.rs", "eval-trace");
+    let hits = lines_for(&d, Rule::SinkForward);
+    // DroppingSink: wildcard arm + missing Metric/Span; PartialSink:
+    // missing Span. ExhaustiveSink, ForwardingSink (wildcard only in its
+    // inherent impl), the allowlisted AllowedSink and the #[cfg(test)]
+    // TestSink stay quiet.
+    assert_eq!(hits.len(), 3, "{d:?}");
+    assert!(
+        d.iter()
+            .any(|x| x.rule == Rule::SinkForward && x.message.contains("Record::Span")),
+        "{d:?}"
+    );
+    assert!(
+        d.iter()
+            .any(|x| x.rule == Rule::SinkForward && x.message.contains("wildcard")),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn sink_forward_skips_test_code_files() {
+    let path = format!(
+        "{}/tests/fixtures/sink_forward.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("fixture exists");
+    let test_ctx = FileContext {
+        crate_name: "eval-trace".to_string(),
+        is_test_code: true,
+    };
+    let d = lint_source("sink_forward.rs", &source, &test_ctx);
+    assert!(lines_for(&d, Rule::SinkForward).is_empty(), "{d:?}");
+}
+
+#[test]
+fn sink_forward_accepts_the_real_sinks() {
+    // Collector, BufferSink (eval-trace) and ProgressSink (eval-obs) must
+    // all satisfy the forwarding contract.
+    for (rel, crate_name) in [
+        ("../trace/src/sink.rs", "eval-trace"),
+        ("../obs/src/progress.rs", "eval-obs"),
+    ] {
+        let path = format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"));
+        let source = std::fs::read_to_string(&path).expect("source exists");
+        let d = lint_source(rel, &source, &ctx(crate_name));
+        assert!(lines_for(&d, Rule::SinkForward).is_empty(), "{rel}: {d:?}");
+    }
+}
+
+#[test]
 fn every_rule_family_is_exercised() {
     // The acceptance criterion: the tool reports >= 4 rule families.
     assert!(Rule::ALL.len() >= 4);
@@ -173,6 +224,11 @@ fn every_rule_family_is_exercised() {
             Rule::NoPrintln,
         )
         .is_empty(),
+        !lines_for(
+            &lint_fixture("sink_forward.rs", "eval-trace"),
+            Rule::SinkForward,
+        )
+        .is_empty(),
     ];
-    assert_eq!(fired, [true; 5]);
+    assert_eq!(fired, [true; 6]);
 }

@@ -1,0 +1,806 @@
+//! Streaming analysis of a campaign trace (`*.jsonl`).
+//!
+//! [`Analyzer`] folds a JSONL trace line-by-line — it never holds the
+//! whole file — into per-scheme, per-chip, and per-phase rollups:
+//!
+//! * decision counts, chosen-frequency statistics, and error-rate digest
+//!   quantiles per scheme (rebuilt from the deterministic decision
+//!   events with the same fixed bucket boundaries the collector uses);
+//! * decision-latency p50/p95/p99 per scheme, reconstructed from the
+//!   trace's own histogram snapshot lines via
+//!   [`Histogram::from_parts`] (wall-clock data: deterministic given
+//!   the file, not across re-runs of the producer);
+//! * fuzzy-vs-exhaustive frequency deltas, joined on
+//!   `(chip, env, workload, phase)`;
+//! * binding-constraint and retune-outcome breakdowns;
+//! * `SolveCache` hit rates and the full counter/gauge snapshot.
+//!
+//! Every container is a `BTreeMap`, so the rendered report is a pure
+//! function of the input bytes — the golden test relies on this.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+use eval_trace::json::JsonObject;
+use eval_trace::Histogram;
+
+use crate::json::Json;
+
+/// Chosen-frequency digest boundaries — the retuning ladder in 250 MHz
+/// steps, mirroring the collector's `decision.f_ghz` histogram.
+const F_GHZ_BOUNDS: [f64; 13] = [
+    2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0, 4.25, 4.5, 4.75, 5.0,
+];
+
+/// Error-rate digest boundaries — decades around the `PEMAX = 1e-4`
+/// constraint, mirroring the collector's `decision.pe_per_instruction`.
+const PE_BOUNDS: [f64; 8] = [1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+
+/// A malformed trace line (bad JSON or a record missing required fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// 1-based line number in the input stream.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Rollup for one decision scheme (`static`, `fuzzy`, `exhaustive`, ...).
+#[derive(Debug, Clone)]
+pub struct SchemeRollup {
+    /// Decisions observed.
+    pub decisions: u64,
+    /// Sum of chosen frequencies (for the mean).
+    pub f_sum: f64,
+    /// Minimum chosen frequency.
+    pub f_min: f64,
+    /// Maximum chosen frequency.
+    pub f_max: f64,
+    /// Chosen-frequency digest over the retuning ladder.
+    pub f_digest: Histogram,
+    /// Error-rate digest (decades around `PEMAX`).
+    pub pe_digest: Histogram,
+    /// Decisions by binding constraint at the chosen point.
+    pub bindings: BTreeMap<String, u64>,
+    /// Decisions by retune outcome (Figure 13 label).
+    pub outcomes: BTreeMap<String, u64>,
+    /// Total retune steps across decisions.
+    pub retune_steps: u64,
+    /// Total rejected retune probes across decisions.
+    pub rejected: u64,
+}
+
+impl Default for SchemeRollup {
+    fn default() -> Self {
+        Self {
+            decisions: 0,
+            f_sum: 0.0,
+            f_min: f64::INFINITY,
+            f_max: f64::NEG_INFINITY,
+            f_digest: Histogram::new(&F_GHZ_BOUNDS),
+            pe_digest: Histogram::new(&PE_BOUNDS),
+            bindings: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            retune_steps: 0,
+            rejected: 0,
+        }
+    }
+}
+
+impl SchemeRollup {
+    /// Mean chosen frequency (0 when no decisions).
+    pub fn f_mean(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.f_sum / self.decisions as f64
+        }
+    }
+}
+
+/// Rollup keyed by chip index or phase index: decision count and mean
+/// chosen frequency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupRollup {
+    /// Decisions in the group.
+    pub decisions: u64,
+    /// Sum of chosen frequencies.
+    pub f_sum: f64,
+}
+
+impl GroupRollup {
+    /// Mean chosen frequency (0 when no decisions).
+    pub fn f_mean(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.f_sum / self.decisions as f64
+        }
+    }
+}
+
+/// Fuzzy-vs-exhaustive chosen-frequency comparison, joined on
+/// `(chip, env, workload, phase)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreqDelta {
+    /// Decision pairs present under both schemes.
+    pub pairs: u64,
+    /// Sum of `f_fuzzy - f_exhaustive` (signed).
+    pub delta_sum: f64,
+    /// Sum of `|f_fuzzy - f_exhaustive|`.
+    pub abs_sum: f64,
+    /// Largest `|f_fuzzy - f_exhaustive|`.
+    pub abs_max: f64,
+}
+
+impl FreqDelta {
+    /// Mean signed delta, GHz.
+    pub fn mean(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.delta_sum / self.pairs as f64
+        }
+    }
+
+    /// Mean absolute delta, GHz.
+    pub fn mean_abs(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.abs_sum / self.pairs as f64
+        }
+    }
+}
+
+/// The folded trace: everything the report renders.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// `campaign-start` payload, when present: (chips, workloads, cells).
+    pub campaign: Option<(u64, u64, u64)>,
+    /// `chip-start` markers observed.
+    pub chips_seen: u64,
+    /// Total event lines.
+    pub events: u64,
+    /// Event counts by kind tag.
+    pub events_by_kind: BTreeMap<String, u64>,
+    /// Per-scheme rollups.
+    pub schemes: BTreeMap<String, SchemeRollup>,
+    /// Per-chip rollups (keyed by chip index).
+    pub chips: BTreeMap<u64, GroupRollup>,
+    /// Per-phase rollups (keyed by phase index).
+    pub phases: BTreeMap<u64, GroupRollup>,
+    /// Fuzzy-vs-exhaustive comparison.
+    pub freq_delta: FreqDelta,
+    /// Counter snapshot lines.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge snapshot lines.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshot lines, reconstructed as digests.
+    pub digests: BTreeMap<String, Histogram>,
+    /// Span lines: path -> (count, total nanoseconds).
+    pub spans: BTreeMap<String, (u64, u128)>,
+}
+
+impl Analysis {
+    /// `SolveCache` hit rate from the `solver.cache.*` counters, if the
+    /// trace recorded any cache traffic.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = *self.counters.get("solver.cache.hits")?;
+        let misses = self.counters.get("solver.cache.misses").copied().unwrap_or(0);
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Decision-latency digests (`decision.latency*_us`) with data, in
+    /// name order.
+    pub fn latency_digests(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.digests
+            .iter()
+            .filter(|(name, h)| name.starts_with("decision.latency") && h.count() > 0)
+            .map(|(name, h)| (name.as_str(), h))
+    }
+
+    /// Renders the human-readable report (deterministic for a given
+    /// trace file — the golden test pins it).
+    pub fn report_text(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+
+        let _ = writeln!(w, "EVAL trace analysis");
+        let _ = writeln!(w, "===================");
+        match self.campaign {
+            Some((chips, workloads, cells)) => {
+                let _ = writeln!(
+                    w,
+                    "campaign: chips={chips} workloads={workloads} cells={cells} (chip markers: {})",
+                    self.chips_seen
+                );
+            }
+            None => {
+                let _ = writeln!(w, "campaign: no campaign-start event (chip markers: {})", self.chips_seen);
+            }
+        }
+        let _ = writeln!(w, "events: {}", self.events);
+        for (kind, n) in &self.events_by_kind {
+            let _ = writeln!(w, "  {kind:<28} {n:>10}");
+        }
+
+        if !self.schemes.is_empty() {
+            let _ = writeln!(w, "\nscheme rollups");
+            let _ = writeln!(w, "--------------");
+            let _ = writeln!(
+                w,
+                "{:<12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+                "scheme", "decisions", "f_mean", "f_min", "f_max", "f_p50", "retune", "rejected"
+            );
+            for (scheme, r) in &self.schemes {
+                let p50 = r.f_digest.quantile(0.5).unwrap_or(0.0);
+                let _ = writeln!(
+                    w,
+                    "{scheme:<12} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8} {:>9}",
+                    r.decisions, r.f_mean(), r.f_min, r.f_max, p50, r.retune_steps, r.rejected
+                );
+            }
+
+            let _ = writeln!(w, "\nerror-rate digest (errors/instruction)");
+            let _ = writeln!(
+                w,
+                "{:<12} {:>12} {:>12} {:>12}",
+                "scheme", "pe_p50", "pe_p95", "pe_p99"
+            );
+            for (scheme, r) in &self.schemes {
+                let q = |q: f64| r.pe_digest.quantile(q).unwrap_or(0.0);
+                let _ = writeln!(
+                    w,
+                    "{scheme:<12} {:>12.3e} {:>12.3e} {:>12.3e}",
+                    q(0.5),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+
+            let _ = writeln!(w, "\nbinding constraints");
+            for (scheme, r) in &self.schemes {
+                for (binding, n) in &r.bindings {
+                    let _ = writeln!(w, "  {:<28} {n:>10}", format!("{scheme}/{binding}"));
+                }
+            }
+
+            let _ = writeln!(w, "\nretune outcomes");
+            for (scheme, r) in &self.schemes {
+                for (outcome, n) in &r.outcomes {
+                    let _ = writeln!(w, "  {:<28} {n:>10}", format!("{scheme}/{outcome}"));
+                }
+            }
+        }
+
+        let latencies: Vec<_> = self.latency_digests().collect();
+        if !latencies.is_empty() {
+            let _ = writeln!(w, "\ndecision latency (us, wall-clock digests)");
+            let _ = writeln!(
+                w,
+                "{:<32} {:>7} {:>9} {:>9} {:>9}",
+                "digest", "n", "p50", "p95", "p99"
+            );
+            for (name, h) in latencies {
+                let q = |q: f64| h.quantile(q).unwrap_or(0.0);
+                let _ = writeln!(
+                    w,
+                    "{name:<32} {:>7} {:>9.1} {:>9.1} {:>9.1}",
+                    h.count(),
+                    q(0.5),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+        }
+
+        if self.freq_delta.pairs > 0 {
+            let d = &self.freq_delta;
+            let _ = writeln!(w, "\nfuzzy vs exhaustive frequency");
+            let _ = writeln!(w, "  matched decisions: {}", d.pairs);
+            let _ = writeln!(w, "  mean delta (fuzzy - exhaustive): {:+.4} GHz", d.mean());
+            let _ = writeln!(
+                w,
+                "  mean |delta|: {:.4} GHz   max |delta|: {:.4} GHz",
+                d.mean_abs(),
+                d.abs_max
+            );
+        }
+
+        match self.cache_hit_rate() {
+            Some(rate) => {
+                let hits = self.counters.get("solver.cache.hits").copied().unwrap_or(0);
+                let misses = self.counters.get("solver.cache.misses").copied().unwrap_or(0);
+                let _ = writeln!(
+                    w,
+                    "\nsolver cache: hits={hits} misses={misses} hit_rate={:.1}%",
+                    rate * 100.0
+                );
+                if let Some(iters) = self.counters.get("solver.iterations") {
+                    let _ = writeln!(w, "solver iterations: {iters}");
+                }
+            }
+            None => {
+                let _ = writeln!(w, "\nsolver cache: no data");
+            }
+        }
+
+        if !self.chips.is_empty() {
+            let _ = writeln!(w, "\nper-chip");
+            let _ = writeln!(w, "{:<8} {:>9} {:>8}", "chip", "decisions", "f_mean");
+            for (chip, r) in &self.chips {
+                let _ = writeln!(w, "{chip:<8} {:>9} {:>8.3}", r.decisions, r.f_mean());
+            }
+        }
+
+        if !self.phases.is_empty() {
+            let _ = writeln!(w, "\nper-phase");
+            let _ = writeln!(w, "{:<8} {:>9} {:>8}", "phase", "decisions", "f_mean");
+            for (phase, r) in &self.phases {
+                // u64::MAX is the "no phase" sentinel (whole-workload
+                // decisions from the static scheme).
+                let label = if *phase == u64::MAX {
+                    "-".to_string()
+                } else {
+                    phase.to_string()
+                };
+                let _ = writeln!(w, "{label:<8} {:>9} {:>8.3}", r.decisions, r.f_mean());
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(w, "\ncounters");
+            for (name, v) in &self.counters {
+                let _ = writeln!(w, "  {name:<40} {v:>12}");
+            }
+        }
+
+        out
+    }
+
+    /// Renders the report as a single JSON object (one line, stable
+    /// field order).
+    pub fn report_json(&self) -> String {
+        let schemes = {
+            let mut o = JsonObject::new();
+            for (scheme, r) in &self.schemes {
+                let bindings = map_u64_json(&r.bindings);
+                let outcomes = map_u64_json(&r.outcomes);
+                let cell = JsonObject::new()
+                    .u64("decisions", r.decisions)
+                    .f64("f_mean", r.f_mean())
+                    .f64("f_min", if r.decisions == 0 { 0.0 } else { r.f_min })
+                    .f64("f_max", if r.decisions == 0 { 0.0 } else { r.f_max })
+                    .f64("f_p50", r.f_digest.quantile(0.5).unwrap_or(0.0))
+                    .f64("pe_p50", r.pe_digest.quantile(0.5).unwrap_or(0.0))
+                    .f64("pe_p95", r.pe_digest.quantile(0.95).unwrap_or(0.0))
+                    .f64("pe_p99", r.pe_digest.quantile(0.99).unwrap_or(0.0))
+                    .u64("retune_steps", r.retune_steps)
+                    .u64("rejected", r.rejected)
+                    .raw("bindings", &bindings)
+                    .raw("outcomes", &outcomes)
+                    .finish();
+                o = o.raw(scheme, &cell);
+            }
+            o.finish()
+        };
+
+        let latency = {
+            let mut o = JsonObject::new();
+            for (name, h) in self.latency_digests() {
+                let cell = JsonObject::new()
+                    .u64("count", h.count())
+                    .f64("p50", h.quantile(0.5).unwrap_or(0.0))
+                    .f64("p95", h.quantile(0.95).unwrap_or(0.0))
+                    .f64("p99", h.quantile(0.99).unwrap_or(0.0))
+                    .finish();
+                o = o.raw(name, &cell);
+            }
+            o.finish()
+        };
+
+        let chips = {
+            let mut o = JsonObject::new();
+            for (chip, r) in &self.chips {
+                let cell = JsonObject::new()
+                    .u64("decisions", r.decisions)
+                    .f64("f_mean", r.f_mean())
+                    .finish();
+                o = o.raw(&chip.to_string(), &cell);
+            }
+            o.finish()
+        };
+
+        let delta = JsonObject::new()
+            .u64("pairs", self.freq_delta.pairs)
+            .f64("mean", self.freq_delta.mean())
+            .f64("mean_abs", self.freq_delta.mean_abs())
+            .f64("max_abs", self.freq_delta.abs_max)
+            .finish();
+
+        let cache = match self.cache_hit_rate() {
+            Some(rate) => JsonObject::new()
+                .u64("hits", self.counters.get("solver.cache.hits").copied().unwrap_or(0))
+                .u64("misses", self.counters.get("solver.cache.misses").copied().unwrap_or(0))
+                .f64("hit_rate", rate)
+                .finish(),
+            None => "null".to_string(),
+        };
+
+        let campaign = match self.campaign {
+            Some((chips, workloads, cells)) => JsonObject::new()
+                .u64("chips", chips)
+                .u64("workloads", workloads)
+                .u64("cells", cells)
+                .finish(),
+            None => "null".to_string(),
+        };
+
+        JsonObject::new()
+            .raw("campaign", &campaign)
+            .u64("chips_seen", self.chips_seen)
+            .u64("events", self.events)
+            .raw("events_by_kind", &map_u64_json(&self.events_by_kind))
+            .raw("schemes", &schemes)
+            .raw("decision_latency", &latency)
+            .raw("freq_delta", &delta)
+            .raw("solver_cache", &cache)
+            .raw("chips", &chips)
+            .raw("counters", &map_u64_json(&self.counters))
+            .finish()
+    }
+}
+
+fn map_u64_json(map: &BTreeMap<String, u64>) -> String {
+    let mut o = JsonObject::new();
+    for (k, v) in map {
+        o = o.u64(k, *v);
+    }
+    o.finish()
+}
+
+/// Join key for the fuzzy-vs-exhaustive comparison.
+type DecisionKey = (Option<u64>, String, String, u64);
+
+/// The streaming folder. Feed lines, then [`Analyzer::finish`].
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    analysis: Analysis,
+    line: usize,
+    current_chip: Option<u64>,
+    fuzzy_f: BTreeMap<DecisionKey, f64>,
+    exhaustive_f: BTreeMap<DecisionKey, f64>,
+}
+
+impl Analyzer {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn err(&self, message: impl Into<String>) -> AnalyzeError {
+        AnalyzeError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Folds one JSONL line (blank lines are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] on malformed JSON or a record missing
+    /// required fields.
+    pub fn feed_line(&mut self, line: &str) -> Result<(), AnalyzeError> {
+        self.line += 1;
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let v = Json::parse(line).map_err(|e| self.err(e.to_string()))?;
+        match v.str_field("kind") {
+            Some("event") => self.fold_event(&v),
+            Some("counter") => {
+                let name = v.str_field("name").ok_or_else(|| self.err("counter without name"))?;
+                let value = v.u64_field("value").ok_or_else(|| self.err("counter without value"))?;
+                *self.analysis.counters.entry(name.to_string()).or_insert(0) += value;
+                Ok(())
+            }
+            Some("gauge") => {
+                let name = v.str_field("name").ok_or_else(|| self.err("gauge without name"))?;
+                let value = v.f64_field("value").ok_or_else(|| self.err("gauge without value"))?;
+                self.analysis.gauges.insert(name.to_string(), value);
+                Ok(())
+            }
+            Some("histogram") => self.fold_histogram(&v),
+            Some("span") => {
+                let path = v.str_field("path").ok_or_else(|| self.err("span without path"))?;
+                let count = v.u64_field("count").unwrap_or(0);
+                let total = v.u64_field("total_ns").unwrap_or(0) as u128;
+                let entry = self.analysis.spans.entry(path.to_string()).or_insert((0, 0));
+                entry.0 += count;
+                entry.1 += total;
+                Ok(())
+            }
+            Some(other) => Err(self.err(format!("unknown record kind `{other}`"))),
+            None => Err(self.err("record without `kind`")),
+        }
+    }
+
+    fn fold_histogram(&mut self, v: &Json) -> Result<(), AnalyzeError> {
+        let name = v.str_field("name").ok_or_else(|| self.err("histogram without name"))?;
+        let bounds: Vec<f64> = v
+            .get("bounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| self.err("histogram without bounds"))?
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect();
+        let counts: Vec<u64> = v
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| self.err("histogram without counts"))?
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        let sum = v.f64_field("sum").unwrap_or(0.0);
+        let digest = Histogram::from_parts(&bounds, &counts, sum)
+            .map_err(|e| self.err(format!("histogram `{name}`: {e}")))?;
+        match self.analysis.digests.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(digest);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                // Same metric from a second snapshot (concatenated
+                // traces): digests merge.
+                e.get_mut()
+                    .merge(&digest)
+                    .map_err(|e| self.err(format!("histogram `{name}`: {e}")))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn fold_event(&mut self, v: &Json) -> Result<(), AnalyzeError> {
+        let kind = v.str_field("event").ok_or_else(|| self.err("event without `event` tag"))?;
+        self.analysis.events += 1;
+        *self
+            .analysis
+            .events_by_kind
+            .entry(kind.to_string())
+            .or_insert(0) += 1;
+        let payload = v.get("payload").ok_or_else(|| self.err("event without payload"))?;
+        match kind {
+            "campaign-start" => {
+                self.analysis.campaign = Some((
+                    payload.u64_field("chips").unwrap_or(0),
+                    payload.u64_field("workloads").unwrap_or(0),
+                    payload.u64_field("cells").unwrap_or(0),
+                ));
+            }
+            "chip-start" => {
+                let chip = payload.u64_field("chip").ok_or_else(|| self.err("chip-start without chip"))?;
+                self.analysis.chips_seen += 1;
+                self.current_chip = Some(chip);
+                self.analysis.chips.entry(chip).or_default();
+            }
+            "decision" => self.fold_decision(payload)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn fold_decision(&mut self, payload: &Json) -> Result<(), AnalyzeError> {
+        let scheme = payload
+            .str_field("scheme")
+            .ok_or_else(|| self.err("decision without scheme"))?
+            .to_string();
+        let f_ghz = payload
+            .f64_field("f_ghz")
+            .ok_or_else(|| self.err("decision without f_ghz"))?;
+        let pe = payload.f64_field("pe_per_instruction").unwrap_or(0.0);
+        let phase = payload.u64_field("phase").unwrap_or(0);
+        let binding = payload.str_field("binding").unwrap_or("unknown").to_string();
+        let outcome = payload.str_field("outcome").unwrap_or("unknown").to_string();
+        let retune_steps = payload.u64_field("retune_steps").unwrap_or(0);
+        let rejected = payload
+            .get("rejected")
+            .and_then(Json::as_arr)
+            .map_or(0, |a| a.len() as u64);
+
+        let r = self.analysis.schemes.entry(scheme.clone()).or_default();
+        r.decisions += 1;
+        r.f_sum += f_ghz;
+        r.f_min = r.f_min.min(f_ghz);
+        r.f_max = r.f_max.max(f_ghz);
+        r.f_digest.observe(f_ghz);
+        r.pe_digest.observe(pe);
+        *r.bindings.entry(binding).or_insert(0) += 1;
+        *r.outcomes.entry(outcome).or_insert(0) += 1;
+        r.retune_steps += retune_steps;
+        r.rejected += rejected;
+
+        if let Some(chip) = self.current_chip {
+            let c = self.analysis.chips.entry(chip).or_default();
+            c.decisions += 1;
+            c.f_sum += f_ghz;
+        }
+        let p = self.analysis.phases.entry(phase).or_default();
+        p.decisions += 1;
+        p.f_sum += f_ghz;
+
+        if scheme == "fuzzy" || scheme == "exhaustive" {
+            let key: DecisionKey = (
+                self.current_chip,
+                payload.str_field("env").unwrap_or("").to_string(),
+                payload.str_field("workload").unwrap_or("").to_string(),
+                phase,
+            );
+            let side = if scheme == "fuzzy" {
+                &mut self.fuzzy_f
+            } else {
+                &mut self.exhaustive_f
+            };
+            side.insert(key, f_ghz);
+        }
+        Ok(())
+    }
+
+    /// Completes the fold (joins the fuzzy-vs-exhaustive sides) and
+    /// returns the analysis.
+    pub fn finish(mut self) -> Analysis {
+        for (key, fuzzy) in &self.fuzzy_f {
+            if let Some(exhaustive) = self.exhaustive_f.get(key) {
+                let d = fuzzy - exhaustive;
+                self.analysis.freq_delta.pairs += 1;
+                self.analysis.freq_delta.delta_sum += d;
+                self.analysis.freq_delta.abs_sum += d.abs();
+                self.analysis.freq_delta.abs_max = self.analysis.freq_delta.abs_max.max(d.abs());
+            }
+        }
+        self.analysis
+    }
+}
+
+/// Folds a whole JSONL stream from a reader.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] on I/O failure or a malformed line.
+pub fn analyze_reader(reader: impl BufRead) -> Result<Analysis, AnalyzeError> {
+    let mut analyzer = Analyzer::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| AnalyzeError {
+            line: i + 1,
+            message: format!("read failed: {e}"),
+        })?;
+        analyzer.feed_line(&line)?;
+    }
+    Ok(analyzer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_trace() -> String {
+        let decision = |scheme: &str, chipless: bool, f: f64, binding: &str| {
+            format!(
+                concat!(
+                    r#"{{"kind":"event","event":"decision","payload":{{"scheme":"{}","env":"TS+ASV","#,
+                    r#""workload":"swim","phase":{},"f_ghz":{:?},"settings":[],"int_fu":"normal","#,
+                    r#""fp_fu":"normal","int_queue":"full","fp_queue":"full","outcome":"NoChange","#,
+                    r#""binding":"{}","retune_steps":2,"rejected":[{{"f_ghz":4.5,"violation":"Error"}}],"#,
+                    r#""pe_per_instruction":2e-05,"power_w":30.0,"max_t_c":80.0,"perf_bips":3.0,"#,
+                    r#""cpi_comp":1.0,"cpi_mem":0.2,"cpi_recovery":0.01}}}}"#
+                ),
+                scheme,
+                if chipless { 9 } else { 1 },
+                f,
+                binding
+            )
+        };
+        let mut lines = vec![
+            r#"{"kind":"event","event":"campaign-start","payload":{"chips":2,"workloads":1,"cells":3}}"#.to_string(),
+            r#"{"kind":"event","event":"chip-start","payload":{"chip":0}}"#.to_string(),
+            decision("fuzzy", false, 4.0, "error-rate"),
+            decision("exhaustive", false, 4.25, "temperature"),
+            r#"{"kind":"event","event":"chip-start","payload":{"chip":1}}"#.to_string(),
+            decision("fuzzy", false, 4.5, "error-rate"),
+            decision("exhaustive", false, 4.5, "error-rate"),
+            decision("static", false, 3.75, "ladder-top"),
+            r#"{"kind":"counter","name":"solver.cache.hits","value":90}"#.to_string(),
+            r#"{"kind":"counter","name":"solver.cache.misses","value":10}"#.to_string(),
+            r#"{"kind":"histogram","name":"decision.latency.fuzzy_us","timing":true,"bounds":[10.0,100.0,1000.0],"counts":[0,3,1,0],"count":4,"sum":500.0}"#.to_string(),
+            r#"{"kind":"span","path":"campaign","count":1,"total_ns":12345}"#.to_string(),
+        ];
+        lines.push(String::new()); // blank lines are tolerated
+        lines.join("\n")
+    }
+
+    #[test]
+    fn folds_schemes_chips_cache_and_deltas() {
+        let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
+        assert_eq!(a.campaign, Some((2, 1, 3)));
+        assert_eq!(a.chips_seen, 2);
+        assert_eq!(a.schemes.len(), 3);
+        let fuzzy = &a.schemes["fuzzy"];
+        assert_eq!(fuzzy.decisions, 2);
+        assert!((fuzzy.f_mean() - 4.25).abs() < 1e-12);
+        assert_eq!(fuzzy.bindings["error-rate"], 2);
+        assert_eq!(fuzzy.rejected, 2);
+        assert_eq!(a.chips[&0].decisions, 2);
+        assert_eq!(a.chips[&1].decisions, 3);
+        // chip 0: fuzzy 4.0 vs exhaustive 4.25; chip 1: 4.5 vs 4.5.
+        assert_eq!(a.freq_delta.pairs, 2);
+        assert!((a.freq_delta.mean() - (-0.125)).abs() < 1e-12);
+        assert!((a.freq_delta.abs_max - 0.25).abs() < 1e-12);
+        assert_eq!(a.cache_hit_rate(), Some(0.9));
+        assert_eq!(a.spans["campaign"], (1, 12345));
+        let (name, h) = a.latency_digests().next().expect("latency digest");
+        assert_eq!(name, "decision.latency.fuzzy_us");
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn report_text_is_deterministic_and_mentions_the_acceptance_fields() {
+        let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
+        let t1 = a.report_text();
+        let t2 = analyze_reader(mini_trace().as_bytes()).unwrap().report_text();
+        assert_eq!(t1, t2);
+        for needle in [
+            "scheme rollups",
+            "decision latency",
+            "p99",
+            "exhaustive/temperature",
+            "solver cache: hits=90 misses=10 hit_rate=90.0%",
+            "fuzzy vs exhaustive frequency",
+        ] {
+            assert!(t1.contains(needle), "missing {needle:?} in:\n{t1}");
+        }
+    }
+
+    #[test]
+    fn report_json_parses_back_and_carries_the_rollups() {
+        let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
+        let json = a.report_json();
+        let v = Json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("schemes").and_then(|s| s.get("fuzzy")).and_then(|f| f.u64_field("decisions")), Some(2));
+        assert_eq!(v.get("solver_cache").and_then(|c| c.f64_field("hit_rate")), Some(0.9));
+        assert_eq!(v.u64_field("chips_seen"), Some(2));
+        assert!(v.get("decision_latency").and_then(|l| l.get("decision.latency.fuzzy_us")).is_some());
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let bad = "{\"kind\":\"event\"}\n";
+        let e = analyze_reader(bad.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 1);
+        let bad2 = format!("{}\nnot json\n", r#"{"kind":"counter","name":"a","value":1}"#);
+        let e2 = analyze_reader(bad2.as_bytes()).unwrap_err();
+        assert_eq!(e2.line, 2);
+    }
+
+    #[test]
+    fn repeated_histogram_snapshots_merge() {
+        let line = r#"{"kind":"histogram","name":"decision.latency_us","timing":true,"bounds":[10.0,100.0],"counts":[0,2,0],"count":2,"sum":60.0}"#;
+        let two = format!("{line}\n{line}\n");
+        let a = analyze_reader(two.as_bytes()).expect("parses");
+        assert_eq!(a.digests["decision.latency_us"].count(), 4);
+    }
+}

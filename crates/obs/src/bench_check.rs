@@ -1,0 +1,396 @@
+//! The bench regression gate (`eval-obs bench-check`).
+//!
+//! Compares a freshly generated `BENCH_hotpath.json` against the
+//! committed baseline:
+//!
+//! * every baseline benchmark must still exist, and its fresh `fast_ns`
+//!   must not exceed `baseline * (1 + tolerance)` — 15% by default,
+//!   with a wider per-benchmark override for the noisy end-to-end
+//!   campaign row;
+//! * the end-of-run `solver.cache.hit_rate` metric (flushed into the
+//!   JSON by the `hotpath` binary) must not drop more than two points
+//!   below the baseline — a perf win that silently loses the cache is
+//!   still a regression;
+//! * every run appends one JSONL line to `BENCH_history.jsonl`, so the
+//!   trend survives the baseline being re-committed.
+//!
+//! Wired onto tier-1 (see `ROADMAP.md`): the gate exits nonzero on any
+//! regression.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use eval_trace::json::JsonObject;
+
+use crate::json::Json;
+
+/// Allowed `solver.cache.hit_rate` drop before the gate fails.
+pub const HIT_RATE_SLACK: f64 = 0.02;
+
+/// Per-benchmark slowdown tolerances (fractions: `0.15` allows +15%).
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Applied when no per-benchmark override matches.
+    pub default: f64,
+    /// Overrides by benchmark name.
+    pub per_bench: BTreeMap<String, f64>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        let mut per_bench = BTreeMap::new();
+        // The end-to-end campaign row is dominated by scheduling noise
+        // at 2 chips; gate it loosely (it exists to catch order-of-
+        // magnitude cliffs, not percent drift).
+        per_bench.insert("campaign_exhdyn_2chips".to_string(), 0.5);
+        Self {
+            default: 0.15,
+            per_bench,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance applied to `name`.
+    pub fn for_bench(&self, name: &str) -> f64 {
+        self.per_bench.get(name).copied().unwrap_or(self.default)
+    }
+}
+
+/// One parsed `BENCH_*.json` file.
+#[derive(Debug, Clone, Default)]
+pub struct BenchFile {
+    /// `fast_ns` by benchmark name.
+    pub benches: BTreeMap<String, f64>,
+    /// End-of-run metrics (`solver.cache.hit_rate`, ...), when present.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A bench file could not be read or parsed.
+#[derive(Debug)]
+pub struct BenchFileError {
+    /// The offending path.
+    pub path: std::path::PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BenchFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for BenchFileError {}
+
+impl BenchFile {
+    /// Parses the JSON text of a bench file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not the expected shape.
+    pub fn parse(text: &str) -> Result<BenchFile, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let mut out = BenchFile::default();
+        let rows = v
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or("missing `benchmarks` array")?;
+        for row in rows {
+            let name = row.str_field("name").ok_or("benchmark without name")?;
+            let fast = row.f64_field("fast_ns").ok_or("benchmark without fast_ns")?;
+            out.benches.insert(name.to_string(), fast);
+        }
+        if let Some(Json::Obj(fields)) = v.get("metrics") {
+            for (k, m) in fields {
+                if let Some(x) = m.as_f64() {
+                    out.metrics.insert(k.clone(), x);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads and parses a bench file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchFileError`] on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<BenchFile, BenchFileError> {
+        let text = std::fs::read_to_string(path).map_err(|e| BenchFileError {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        BenchFile::parse(&text).map_err(|message| BenchFileError {
+            path: path.to_path_buf(),
+            message,
+        })
+    }
+}
+
+/// One benchmark's verdict.
+#[derive(Debug, Clone)]
+pub struct BenchVerdict {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline `fast_ns`.
+    pub baseline_ns: f64,
+    /// Fresh `fast_ns` (`None`: the benchmark disappeared).
+    pub fresh_ns: Option<f64>,
+    /// `fresh / baseline` when both exist.
+    pub ratio: Option<f64>,
+    /// The tolerance applied.
+    pub tolerance: f64,
+    /// Within tolerance?
+    pub ok: bool,
+}
+
+/// The whole gate's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Per-benchmark rows, baseline order.
+    pub rows: Vec<BenchVerdict>,
+    /// `(baseline, fresh, ok)` for `solver.cache.hit_rate`, when both
+    /// files carry it.
+    pub hit_rate: Option<(f64, f64, bool)>,
+    /// Benchmarks present only in the fresh file (informational).
+    pub new_benches: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the gate passes.
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(|r| r.ok) && self.hit_rate.is_none_or(|(_, _, ok)| ok)
+    }
+
+    /// Human-readable verdict table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>8} {:>7} {:>6}",
+            "benchmark", "baseline_ns", "fresh_ns", "ratio", "tol", "ok"
+        );
+        for r in &self.rows {
+            let fresh = r
+                .fresh_ns
+                .map_or_else(|| "missing".to_string(), |v| format!("{v:.1}"));
+            let ratio = r
+                .ratio
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14.1} {:>14} {:>8} {:>6.0}% {:>6}",
+                r.name,
+                r.baseline_ns,
+                fresh,
+                ratio,
+                r.tolerance * 100.0,
+                if r.ok { "ok" } else { "FAIL" }
+            );
+        }
+        if let Some((base, fresh, ok)) = self.hit_rate {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14.4} {:>14.4} {:>8} {:>7} {:>6}",
+                "solver.cache.hit_rate",
+                base,
+                fresh,
+                "-",
+                "-",
+                if ok { "ok" } else { "FAIL" }
+            );
+        }
+        for name in &self.new_benches {
+            let _ = writeln!(out, "note: new benchmark `{name}` (not gated)");
+        }
+        let _ = writeln!(out, "verdict: {}", if self.pass() { "PASS" } else { "FAIL" });
+        out
+    }
+
+    /// One JSONL history line for this comparison.
+    pub fn history_line(&self, unix_secs: u64) -> String {
+        let rows = {
+            let mut o = JsonObject::new();
+            for r in &self.rows {
+                let mut cell = JsonObject::new().f64("baseline_ns", r.baseline_ns);
+                cell = match r.fresh_ns {
+                    Some(v) => cell.f64("fresh_ns", v),
+                    None => cell.raw("fresh_ns", "null"),
+                };
+                cell = match r.ratio {
+                    Some(v) => cell.f64("ratio", v),
+                    None => cell.raw("ratio", "null"),
+                };
+                o = o.raw(&r.name, &cell.bool("ok", r.ok).finish());
+            }
+            o.finish()
+        };
+        let hit = match self.hit_rate {
+            Some((base, fresh, ok)) => JsonObject::new()
+                .f64("baseline", base)
+                .f64("fresh", fresh)
+                .bool("ok", ok)
+                .finish(),
+            None => "null".to_string(),
+        };
+        JsonObject::new()
+            .u64("unix_secs", unix_secs)
+            .bool("pass", self.pass())
+            .raw("benchmarks", &rows)
+            .raw("hit_rate", &hit)
+            .finish()
+    }
+}
+
+/// Compares `fresh` against `baseline` under `tol`.
+pub fn check(baseline: &BenchFile, fresh: &BenchFile, tol: &Tolerances) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (name, &baseline_ns) in &baseline.benches {
+        let tolerance = tol.for_bench(name);
+        let fresh_ns = fresh.benches.get(name).copied();
+        let ratio = fresh_ns.map(|f| f / baseline_ns);
+        // A missing benchmark is a coverage regression, not a pass.
+        let ok = ratio.is_some_and(|r| r <= 1.0 + tolerance);
+        report.rows.push(BenchVerdict {
+            name: name.clone(),
+            baseline_ns,
+            fresh_ns,
+            ratio,
+            tolerance,
+            ok,
+        });
+    }
+    for name in fresh.benches.keys() {
+        if !baseline.benches.contains_key(name) {
+            report.new_benches.push(name.clone());
+        }
+    }
+    if let (Some(&base), Some(&new)) = (
+        baseline.metrics.get("solver.cache.hit_rate"),
+        fresh.metrics.get("solver.cache.hit_rate"),
+    ) {
+        report.hit_rate = Some((base, new, new >= base - HIT_RATE_SLACK));
+    }
+    report
+}
+
+/// Appends the comparison's history line to `path` (created when
+/// missing).
+///
+/// # Errors
+///
+/// Propagates the I/O error.
+pub fn append_history(path: &Path, report: &CheckReport) -> std::io::Result<()> {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", report.history_line(unix_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(campaign_ns: f64, hit_rate: f64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"benchmarks\": [\n",
+                "    {{\"name\": \"solve_thermal\", \"fast_ns\": 250.0, \"reference_ns\": 2000.0, \"speedup\": 8.00}},\n",
+                "    {{\"name\": \"campaign_exhdyn_2chips\", \"fast_ns\": {:.1}, \"reference_ns\": null, \"speedup\": null}}\n",
+                "  ],\n",
+                "  \"metrics\": {{\"solver.cache.hits\": 90.0, \"solver.cache.hit_rate\": {:.4}}}\n}}\n"
+            ),
+            campaign_ns, hit_rate
+        )
+    }
+
+    #[test]
+    fn parses_benchmarks_and_metrics() {
+        let f = BenchFile::parse(&bench_json(1e9, 0.91)).expect("parses");
+        assert_eq!(f.benches["solve_thermal"], 250.0);
+        assert_eq!(f.metrics["solver.cache.hit_rate"], 0.91);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_over_fails() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let tol = Tolerances::default();
+
+        // +10% on a 15%-gated row: pass.
+        let mut fresh = baseline.clone();
+        fresh.benches.insert("solve_thermal".into(), 275.0);
+        assert!(check(&baseline, &fresh, &tol).pass());
+
+        // +20%: fail, and the verdict names the row.
+        fresh.benches.insert("solve_thermal".into(), 300.0);
+        let report = check(&baseline, &fresh, &tol);
+        assert!(!report.pass());
+        let row = report.rows.iter().find(|r| r.name == "solve_thermal").unwrap();
+        assert!(!row.ok);
+        assert!(report.render_text().contains("FAIL"));
+    }
+
+    #[test]
+    fn noisy_campaign_row_gets_its_wider_tolerance() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let tol = Tolerances::default();
+        // +40% on the end-to-end row is inside its 50% override.
+        let mut fresh = baseline.clone();
+        fresh.benches.insert("campaign_exhdyn_2chips".into(), 1.4e9);
+        assert!(check(&baseline, &fresh, &tol).pass());
+        // +60% is not.
+        fresh.benches.insert("campaign_exhdyn_2chips".into(), 1.6e9);
+        assert!(!check(&baseline, &fresh, &tol).pass());
+    }
+
+    #[test]
+    fn missing_benchmark_is_a_regression() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let mut fresh = baseline.clone();
+        fresh.benches.remove("solve_thermal");
+        let report = check(&baseline, &fresh, &Tolerances::default());
+        assert!(!report.pass());
+        assert!(report.render_text().contains("missing"));
+    }
+
+    #[test]
+    fn hit_rate_gate_allows_slack_but_not_a_real_drop() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let fresh_ok = BenchFile::parse(&bench_json(1e9, 0.90)).unwrap();
+        assert!(check(&baseline, &fresh_ok, &Tolerances::default()).pass());
+        let fresh_bad = BenchFile::parse(&bench_json(1e9, 0.80)).unwrap();
+        let report = check(&baseline, &fresh_bad, &Tolerances::default());
+        assert!(!report.pass());
+        assert_eq!(report.hit_rate, Some((0.91, 0.80, false)));
+    }
+
+    #[test]
+    fn history_line_is_one_valid_json_object() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let report = check(&baseline, &baseline, &Tolerances::default());
+        let line = report.history_line(1_700_000_000);
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("pass").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.u64_field("unix_secs"), Some(1_700_000_000));
+        assert!(v.get("benchmarks").and_then(|b| b.get("solve_thermal")).is_some());
+    }
+
+    #[test]
+    fn legacy_files_without_metrics_skip_the_hit_rate_gate() {
+        let legacy = r#"{"benchmarks": [{"name": "solve_thermal", "fast_ns": 250.0, "reference_ns": null, "speedup": null}]}"#;
+        let f = BenchFile::parse(legacy).expect("parses");
+        assert!(f.metrics.is_empty());
+        let report = check(&f, &f, &Tolerances::default());
+        assert!(report.pass());
+        assert!(report.hit_rate.is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! # eval-obs — telemetry consumers for the EVAL reproduction
+//!
+//! `eval-trace` is the *emit* side of observability: campaign and
+//! runtime code produce deterministic JSONL traces, metrics, and spans.
+//! This crate is the *consume* side:
+//!
+//! * [`analyze`] — streaming trace analysis: folds a JSONL trace into
+//!   per-scheme / per-chip / per-phase rollups with digest quantiles,
+//!   fuzzy-vs-exhaustive frequency deltas, binding-constraint
+//!   breakdowns, and `SolveCache` hit rates (`eval-obs analyze`);
+//! * [`progress`] — [`progress::ProgressSink`], a `TraceSink` decorator
+//!   that heartbeats live campaign progress to stderr while forwarding
+//!   every record verbatim (the `--progress` flag);
+//! * [`expose`] — Prometheus-text exposition of a metric registry
+//!   snapshot, written at end-of-run (`--metrics-out`) and optionally
+//!   served over `std::net` (`eval-obs serve`);
+//! * [`bench_check`] — the bench regression gate comparing a fresh
+//!   `BENCH_hotpath.json` against the committed baseline
+//!   (`eval-obs bench-check`, wired onto tier-1).
+//!
+//! Everything is std-only: the consume side honors the same
+//! offline-build constraint as the emit side, including the local JSON
+//! parser in [`json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod bench_check;
+pub mod expose;
+pub mod json;
+pub mod progress;
+
+pub use analyze::{analyze_reader, Analysis, Analyzer, AnalyzeError};
+pub use bench_check::{append_history, check, BenchFile, CheckReport, Tolerances};
+pub use expose::{prometheus, write_prometheus, MetricsServer};
+pub use json::{Json, JsonError};
+pub use progress::ProgressSink;

@@ -1,0 +1,154 @@
+//! The `eval-obs` command-line tool.
+//!
+//! ```text
+//! eval-obs analyze <trace.jsonl> [--json]
+//! eval-obs bench-check --baseline <BENCH.json> --fresh <BENCH.json>
+//!                      [--history <path>] [--tolerance 0.15]
+//!                      [--tolerance name=0.5]...
+//! eval-obs serve <metrics.prom> [--addr 127.0.0.1:9184] [--once]
+//! ```
+//!
+//! `analyze` reads `-` as stdin, so a trace can be piped straight in.
+//! Exit status: `bench-check` exits 1 on a regression; everything else
+//! exits 1 only on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eval_obs::bench_check::{self, BenchFile, Tolerances};
+use eval_obs::{analyze_reader, MetricsServer};
+
+const USAGE: &str = "usage:
+  eval-obs analyze <trace.jsonl | -> [--json]
+  eval-obs bench-check --baseline <BENCH.json> --fresh <BENCH.json> [--history <path>] [--tolerance X | --tolerance name=X]...
+  eval-obs serve <metrics.prom> [--addr HOST:PORT] [--once]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("bench-check") => return cmd_bench_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("eval-obs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let mut path: Option<&str> = None;
+    let mut as_json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            other if path.is_none() => path = Some(other),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let path = path.ok_or("analyze needs a trace path (or `-` for stdin)")?;
+    let analysis = if path == "-" {
+        let stdin = std::io::stdin();
+        analyze_reader(stdin.lock())?
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        analyze_reader(std::io::BufReader::new(file))?
+    };
+    if as_json {
+        println!("{}", analysis.report_json());
+    } else {
+        print!("{}", analysis.report_text());
+    }
+    Ok(())
+}
+
+fn cmd_bench_check(args: &[String]) -> ExitCode {
+    match run_bench_check(args) {
+        Ok(pass) => {
+            if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("eval-obs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_bench_check(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut history: Option<PathBuf> = None;
+    let mut tolerances = Tolerances::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?.into()),
+            "--fresh" => fresh = Some(it.next().ok_or("--fresh needs a path")?.into()),
+            "--history" => history = Some(it.next().ok_or("--history needs a path")?.into()),
+            "--tolerance" => {
+                let spec = it.next().ok_or("--tolerance needs a value")?;
+                match spec.split_once('=') {
+                    Some((name, v)) => {
+                        let v: f64 = v.parse().map_err(|_| format!("bad tolerance `{spec}`"))?;
+                        tolerances.per_bench.insert(name.to_string(), v);
+                    }
+                    None => {
+                        tolerances.default = spec
+                            .parse()
+                            .map_err(|_| format!("bad tolerance `{spec}`"))?;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let baseline_path = baseline.ok_or("bench-check needs --baseline")?;
+    let fresh_path = fresh.ok_or("bench-check needs --fresh")?;
+    let baseline = BenchFile::load(&baseline_path)?;
+    let fresh = BenchFile::load(&fresh_path)?;
+    let report = bench_check::check(&baseline, &fresh, &tolerances);
+    print!("{}", report.render_text());
+    if let Some(history) = history {
+        bench_check::append_history(&history, &report)?;
+        eprintln!("# history appended to {}", history.display());
+    }
+    Ok(report.pass())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut path: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:9184".to_string();
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--once" => once = true,
+            other if path.is_none() => path = Some(other.into()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let path = path.ok_or("serve needs a metrics file path")?;
+    let server = MetricsServer::bind(&addr)?;
+    eprintln!(
+        "# serving {} at http://{}/metrics",
+        path.display(),
+        server.local_addr()?
+    );
+    server.serve_path(&path, if once { Some(1) } else { None })?;
+    Ok(())
+}

@@ -1,0 +1,307 @@
+//! Live campaign progress: a [`TraceSink`] decorator with a throttled
+//! heartbeat.
+//!
+//! [`ProgressSink`] wraps any inner sink. Every record is **observed by
+//! reference and then forwarded verbatim in the same call** — the
+//! decorator cannot reorder, rewrite, or drop records, so a traced run
+//! produces a bit-identical JSONL stream with or without it (the
+//! round-trip test in `tests/obs_roundtrip.rs` pins this).
+//!
+//! The observation side keeps a tiny mirror of campaign state — chips
+//! done/total from the `campaign-start` event and the live
+//! `campaign.chips_done` counter the workers emit — plus a mirror
+//! [`Registry`] of every metric update, and writes a single-line
+//! heartbeat (chips done/total, chips/sec, ETA, decision and solver
+//! counters) to its own writer (normally stderr), throttled to one line
+//! per interval. The heartbeat consults the wall clock; none of that
+//! timing ever reaches the inner sink.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use eval_trace::{Event, Record, Registry, TraceSink};
+
+struct State<W> {
+    out: W,
+    interval: Duration,
+    started: Instant,
+    last_beat: Option<Instant>,
+    last_len: usize,
+    chips_total: Option<u64>,
+    chips_done: u64,
+    records: u64,
+    registry: Registry,
+}
+
+/// A progress-reporting decorator around an inner [`TraceSink`].
+///
+/// Create with [`ProgressSink::new`] (custom writer and interval, used
+/// by the tests) or [`ProgressSink::stderr`] (what the `--progress`
+/// flag wires up). Recover the inner sink with
+/// [`ProgressSink::into_inner`], which finishes the progress line.
+pub struct ProgressSink<S, W> {
+    inner: S,
+    state: Mutex<State<W>>,
+}
+
+impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
+    /// Wraps `inner`, writing heartbeats to `out` at most once per
+    /// `interval` (a zero interval beats on every record — tests only).
+    pub fn new(inner: S, out: W, interval: Duration) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(State {
+                out,
+                interval,
+                started: Instant::now(),
+                last_beat: None,
+                last_len: 0,
+                chips_total: None,
+                chips_done: 0,
+                records: 0,
+                registry: Registry::new(),
+            }),
+        }
+    }
+
+    /// Chips completed so far (from the live `campaign.chips_done`
+    /// counter).
+    pub fn chips_done(&self) -> u64 {
+        self.lock().chips_done
+    }
+
+    /// Ends the progress line (final heartbeat plus newline) and
+    /// returns the inner sink.
+    pub fn into_inner(self) -> S {
+        {
+            let mut state = self.lock();
+            let line = heartbeat_line(&state);
+            let _ = write_beat(&mut state, &line);
+            let _ = state.out.write_all(b"\n");
+            let _ = state.out.flush();
+        }
+        self.inner
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<W>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Updates the mirror state from one record; never touches `rec`.
+    fn observe(&self, rec: &Record) {
+        let mut state = self.lock();
+        state.records += 1;
+        match rec {
+            Record::Event(Event::CampaignStart { chips, .. }) => {
+                state.chips_total = Some(*chips);
+                state.chips_done = 0;
+            }
+            Record::Metric(update) => {
+                if let eval_trace::MetricUpdate::CounterAdd("campaign.chips_done", n) = update {
+                    state.chips_done += n;
+                }
+                state.registry.apply(update);
+            }
+            _ => {}
+        }
+        let due = match state.last_beat {
+            None => true,
+            Some(at) => at.elapsed() >= state.interval,
+        };
+        if due {
+            let line = heartbeat_line(&state);
+            let _ = write_beat(&mut state, &line);
+        }
+    }
+}
+
+impl<S: TraceSink> ProgressSink<S, std::io::Stderr> {
+    /// The standard campaign progress sink: heartbeats to stderr, at
+    /// most twice a second.
+    pub fn stderr(inner: S) -> Self {
+        Self::new(inner, std::io::stderr(), Duration::from_millis(500))
+    }
+}
+
+impl<S: TraceSink, W: Write + Send> TraceSink for ProgressSink<S, W> {
+    fn record(&self, rec: Record) {
+        self.observe(&rec);
+        self.inner.record(rec);
+    }
+}
+
+impl<S, W> std::fmt::Debug for ProgressSink<S, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink").finish_non_exhaustive()
+    }
+}
+
+/// Renders the current heartbeat (no trailing newline).
+fn heartbeat_line<W>(state: &State<W>) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::from("[eval] ");
+    let elapsed = state.started.elapsed().as_secs_f64().max(1e-9);
+    match state.chips_total {
+        Some(total) if total > 0 => {
+            let done = state.chips_done.min(total);
+            let pct = 100.0 * done as f64 / total as f64;
+            let _ = write!(line, "chips {done}/{total} ({pct:.0}%)");
+            if done > 0 {
+                let rate = done as f64 / elapsed;
+                let _ = write!(line, " | {rate:.2} chips/s");
+                if done < total {
+                    let eta = (total - done) as f64 / rate;
+                    let _ = write!(line, " | eta {}", human_secs(eta));
+                }
+            }
+        }
+        _ => {
+            let _ = write!(line, "{} records", state.records);
+        }
+    }
+    let decisions = state.registry.counter("decision.count");
+    if decisions > 0 {
+        let _ = write!(line, " | decisions {decisions}");
+    }
+    let hits = state.registry.counter("solver.cache.hits");
+    let misses = state.registry.counter("solver.cache.misses");
+    if hits + misses > 0 {
+        let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+        let _ = write!(line, " | cache {rate:.1}%");
+    }
+    let retunes = state.registry.counter("retune.probes");
+    if retunes > 0 {
+        let _ = write!(line, " | probes {retunes}");
+    }
+    line
+}
+
+/// Writes `line` with a carriage return, blanking any longer previous
+/// line, and stamps the throttle clock.
+fn write_beat<W: Write>(state: &mut State<W>, line: &str) -> std::io::Result<()> {
+    let pad = state.last_len.saturating_sub(line.len());
+    state.out.write_all(b"\r")?;
+    state.out.write_all(line.as_bytes())?;
+    for _ in 0..pad {
+        state.out.write_all(b" ")?;
+    }
+    state.out.flush()?;
+    state.last_len = line.len();
+    state.last_beat = Some(Instant::now());
+    Ok(())
+}
+
+fn human_secs(s: f64) -> String {
+    if s < 90.0 {
+        format!("{s:.0}s")
+    } else if s < 5400.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{:.1}h", s / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval_trace::{Collector, MetricUpdate, Tracer};
+    use std::sync::Mutex as StdMutex;
+
+    /// A Vec<u8> writer that can be inspected after the sink is done.
+    #[derive(Default, Clone)]
+    struct SharedBuf(std::sync::Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Event(Event::CampaignStart {
+                chips: 4,
+                workloads: 2,
+                cells: 6,
+            }),
+            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done", 1)),
+            Record::Metric(MetricUpdate::CounterAdd("decision.count", 3)),
+            Record::Metric(MetricUpdate::CounterAdd("solver.cache.hits", 9)),
+            Record::Metric(MetricUpdate::CounterAdd("solver.cache.misses", 1)),
+            Record::Event(Event::ChipStart { chip: 0 }),
+            Record::Span {
+                path: "campaign/chip".into(),
+                nanos: 42,
+            },
+            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done", 3)),
+        ]
+    }
+
+    #[test]
+    fn forwards_every_record_verbatim_and_in_order() {
+        let buf = SharedBuf::default();
+        let wrapped = ProgressSink::new(Collector::new(), buf.clone(), Duration::ZERO);
+        for rec in sample_records() {
+            wrapped.record(rec);
+        }
+        let inner = wrapped.into_inner();
+
+        let plain = Collector::new();
+        for rec in sample_records() {
+            plain.record(rec);
+        }
+        // Byte-identical downstream stream: the decorator is invisible.
+        assert_eq!(inner.jsonl(), plain.jsonl());
+    }
+
+    #[test]
+    fn heartbeat_tracks_chips_rate_and_counters() {
+        let buf = SharedBuf::default();
+        let wrapped = ProgressSink::new(Collector::new(), buf.clone(), Duration::ZERO);
+        for rec in sample_records() {
+            wrapped.record(rec);
+        }
+        assert_eq!(wrapped.chips_done(), 4);
+        drop(wrapped.into_inner());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("chips 4/4 (100%)"), "{text}");
+        assert!(text.contains("chips 1/4 (25%)"), "{text}");
+        assert!(text.contains("decisions 3"), "{text}");
+        assert!(text.contains("cache 90.0%"), "{text}");
+        assert!(text.ends_with('\n'), "final heartbeat terminates the line");
+    }
+
+    #[test]
+    fn throttling_suppresses_intermediate_beats() {
+        let buf = SharedBuf::default();
+        // A day-long interval: only the very first record beats.
+        let wrapped = ProgressSink::new(
+            Collector::new(),
+            buf.clone(),
+            Duration::from_secs(86_400),
+        );
+        let t = Tracer::new(&wrapped);
+        for _ in 0..100 {
+            t.count("decision.count");
+        }
+        drop(wrapped.into_inner());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // First-record beat + the final beat from into_inner.
+        assert_eq!(text.matches('\r').count(), 2, "{text:?}");
+    }
+
+    #[test]
+    fn without_campaign_start_the_heartbeat_counts_records() {
+        let buf = SharedBuf::default();
+        let wrapped = ProgressSink::new(Collector::new(), buf.clone(), Duration::ZERO);
+        wrapped.record(Record::Metric(MetricUpdate::CounterAdd("x", 1)));
+        drop(wrapped.into_inner());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("1 records"), "{text}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file test: `eval-obs analyze` over the committed example trace
+//! must reproduce the committed report byte-for-byte.
+//!
+//! The trace (`results/trace_fig10_small.jsonl`) was generated with
+//!
+//! ```text
+//! EVAL_CHIPS=2 EVAL_WORKLOADS=swim,crafty \
+//!   cargo run --release -p eval-bench --bin fig10 -- \
+//!   --trace results/trace_fig10_small.jsonl
+//! ```
+//!
+//! and the report is `eval-obs analyze` over it. If an intentional change
+//! to the analyzer or the trace schema alters the report, regenerate both
+//! files with the commands above and commit them together.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn workspace_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn committed_trace() -> std::fs::File {
+    std::fs::File::open(workspace_file("results/trace_fig10_small.jsonl"))
+        .expect("committed trace exists")
+}
+
+#[test]
+fn analyze_reproduces_the_golden_report() {
+    let analysis =
+        eval_obs::analyze_reader(BufReader::new(committed_trace())).expect("trace parses");
+    let golden = std::fs::read_to_string(workspace_file("results/trace_fig10_small.report.txt"))
+        .expect("golden report exists");
+    let fresh = analysis.report_text();
+    assert_eq!(
+        fresh, golden,
+        "analyze output drifted from the golden report; regenerate \
+         results/trace_fig10_small.report.txt if the change is intentional"
+    );
+}
+
+#[test]
+fn analyze_is_deterministic_across_runs() {
+    let a = eval_obs::analyze_reader(BufReader::new(committed_trace())).expect("trace parses");
+    let b = eval_obs::analyze_reader(BufReader::new(committed_trace())).expect("trace parses");
+    assert_eq!(a.report_text(), b.report_text());
+    assert_eq!(a.report_json(), b.report_json());
+}
+
+#[test]
+fn golden_report_covers_the_acceptance_surface() {
+    // The acceptance criterion: per-scheme latency quantiles, cache hit
+    // rate, and binding-constraint counts all appear in the report.
+    let analysis =
+        eval_obs::analyze_reader(BufReader::new(committed_trace())).expect("trace parses");
+    let text = analysis.report_text();
+    for needle in [
+        "decision latency (us, wall-clock digests)",
+        "decision.latency.fuzzy_us",
+        "decision.latency.exhaustive_us",
+        "decision.latency.static_us",
+        "solver cache: hits=",
+        "binding constraints",
+        "fuzzy vs exhaustive frequency",
+        "p50",
+        "p95",
+        "p99",
+    ] {
+        assert!(text.contains(needle), "report lacks {needle:?}:\n{text}");
+    }
+    assert!(analysis.cache_hit_rate().is_some());
+    assert_eq!(analysis.schemes.len(), 3);
+}

@@ -81,6 +81,15 @@ pub enum Event {
         /// (environment, scheme) cells requested.
         cells: u64,
     },
+    /// One chip of the Monte Carlo population entered evaluation
+    /// (campaign harness). Chips are traced into per-chip buffers and
+    /// replayed in index order, so this marker deterministically scopes
+    /// the decisions that follow it — trace analyzers key per-chip
+    /// rollups off it.
+    ChipStart {
+        /// Zero-based chip index within the population.
+        chip: u64,
+    },
     /// The phase detector fired (runtime adaptation loop).
     PhaseDetected {
         /// Detector-assigned phase id.
@@ -146,6 +155,7 @@ impl Event {
     pub fn kind(&self) -> &'static str {
         match self {
             Event::CampaignStart { .. } => "campaign-start",
+            Event::ChipStart { .. } => "chip-start",
             Event::PhaseDetected { .. } => "phase-detected",
             Event::Decision(_) => "decision",
             Event::RetuneStep { .. } => "retune-step",
@@ -168,6 +178,7 @@ impl Event {
                 .u64("workloads", *workloads)
                 .u64("cells", *cells)
                 .finish(),
+            Event::ChipStart { chip } => JsonObject::new().u64("chip", *chip).finish(),
             Event::PhaseDetected {
                 phase_id,
                 recurring,
@@ -272,6 +283,7 @@ mod tests {
                 workloads: 3,
                 cells: 4,
             },
+            Event::ChipStart { chip: 3 },
             Event::PhaseDetected {
                 phase_id: 9,
                 recurring: true,

@@ -36,6 +36,6 @@ pub mod sink;
 pub mod span;
 
 pub use event::{DecisionEvent, Event, RejectedCandidate};
-pub use metrics::{Histogram, MetricUpdate, Registry};
+pub use metrics::{Histogram, HistogramMismatch, MetricUpdate, Registry};
 pub use sink::{BufferSink, Collector, Record, TraceSink, Tracer};
 pub use span::{span_report, SpanGuard, SpanStat, TimerGuard};

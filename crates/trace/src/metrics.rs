@@ -118,7 +118,120 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The `[lo, hi)` value range of bucket `i`. The underflow bucket has
+    /// no lower edge and the overflow bucket no upper edge; both collapse
+    /// to their single known boundary, so quantiles that land there
+    /// *saturate* to the first/last bound instead of extrapolating.
+    fn bucket_edges(&self, i: usize) -> (f64, f64) {
+        let k = self.bounds.len();
+        if i == 0 {
+            (self.bounds[0], self.bounds[0])
+        } else if i >= k {
+            (self.bounds[k - 1], self.bounds[k - 1])
+        } else {
+            (self.bounds[i - 1], self.bounds[i])
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated from the bucket counts by
+    /// linear interpolation inside the containing bucket.
+    ///
+    /// Boundary convention: when the target rank `q·n` falls exactly on a
+    /// cumulative bucket boundary, the *lower* bucket's upper edge is
+    /// returned — which equals the upper bucket's lower edge, so the
+    /// estimate is continuous in `q` and empty buckets cannot produce a
+    /// jump. Ranks inside the underflow (overflow) bucket saturate to the
+    /// first (last) boundary. Returns `None` for an empty histogram or a
+    /// `q` outside `[0, 1]`.
+    ///
+    /// The estimate is monotone in `q` and stable under [`Histogram::merge`]
+    /// (the digest is mergeable: merged counts give the same quantiles as
+    /// observing the union of samples).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum: u64 = 0;
+        let mut last_nonempty = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum as f64;
+            cum += c;
+            last_nonempty = i;
+            if cum as f64 >= target {
+                let (lo, hi) = self.bucket_edges(i);
+                let frac = ((target - before) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        // Float round-off fallback: the whole mass is below `target`.
+        Some(self.bucket_edges(last_nonempty).1)
+    }
+
+    /// Merges another digest recorded over the **same boundaries** into
+    /// this one. Bucket counts, total count and sum add, so merging is
+    /// associative and commutative on the counts, and quantiles of the
+    /// merged digest equal quantiles of the union of observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMismatch`] (leaving `self` untouched) when the
+    /// boundary vectors differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramMismatch> {
+        if self.bounds != other.bounds {
+            return Err(HistogramMismatch);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        Ok(())
+    }
+
+    /// Reconstructs a digest from its serialized parts (the `bounds` /
+    /// `counts` / `sum` fields of a `"kind":"histogram"` JSONL line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMismatch`] when `bounds` is empty or not strictly
+    /// increasing, or when `counts` is not exactly `bounds.len() + 1` long.
+    pub fn from_parts(
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+    ) -> Result<Histogram, HistogramMismatch> {
+        if bounds.is_empty()
+            || !bounds.windows(2).all(|w| w[0] < w[1])
+            || counts.len() != bounds.len() + 1
+        {
+            return Err(HistogramMismatch);
+        }
+        Ok(Histogram {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            count: counts.iter().sum(),
+            sum,
+        })
+    }
 }
+
+/// Two histogram digests could not be combined (or reconstructed):
+/// incompatible boundary vectors or malformed serialized parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramMismatch;
+
+impl std::fmt::Display for HistogramMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("histogram digests have incompatible bucket boundaries")
+    }
+}
+
+impl std::error::Error for HistogramMismatch {}
 
 /// Default boundaries for histograms observed without prior registration:
 /// decades from 1e-7 to 1e6.
@@ -177,6 +290,21 @@ impl Registry {
     /// Histogram by name, if observed or registered.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// All counters, in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// All gauges, in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// All histograms, in sorted-name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (*n, h))
     }
 
     /// True when nothing has been recorded.
@@ -356,5 +484,169 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("counter"));
         assert!(s.contains("histogram h"));
+    }
+
+    #[test]
+    fn quantile_interpolates_and_handles_bucket_boundaries() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // 4 observations in [1,2), 4 in [2,4).
+        for v in [1.0, 1.2, 1.5, 1.9, 2.0, 2.5, 3.0, 3.9] {
+            h.observe(v);
+        }
+        // Exactly on the cumulative boundary between the two buckets
+        // (rank 4 of 8): the lower bucket's upper edge == the upper
+        // bucket's lower edge — no jump, no empty-bucket artifacts.
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // Interior ranks interpolate linearly inside the bucket.
+        assert_eq!(h.quantile(0.25), Some(1.5));
+        assert_eq!(h.quantile(0.75), Some(3.0));
+        // Extremes pin to the data's bucket edges.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // Out-of-range q and empty digests yield None.
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_saturates_in_under_and_overflow_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.25); // underflow
+        h.observe(10.0); // overflow
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn merge_requires_matching_bounds_and_adds_counts() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(3.0);
+        a.merge(&b).expect("same bounds merge");
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - 5.0).abs() < 1e-12);
+        let other = Histogram::new(&[1.0, 3.0]);
+        assert_eq!(a.merge(&other), Err(HistogramMismatch));
+        // Failed merges leave the receiver untouched.
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_malformed_input() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 2.5, 8.0] {
+            h.observe(v);
+        }
+        let r = Histogram::from_parts(h.bounds(), h.counts(), h.sum()).expect("round-trips");
+        assert_eq!(r, h);
+        assert!(Histogram::from_parts(&[], &[1], 0.0).is_err());
+        assert!(Histogram::from_parts(&[2.0, 1.0], &[0, 0, 0], 0.0).is_err());
+        assert!(Histogram::from_parts(&[1.0, 2.0], &[0, 0], 0.0).is_err());
+    }
+
+    #[test]
+    fn registry_iterators_walk_sorted_snapshots() {
+        let mut r = Registry::new();
+        r.apply(&MetricUpdate::CounterAdd("b", 2));
+        r.apply(&MetricUpdate::CounterAdd("a", 1));
+        r.apply(&MetricUpdate::GaugeSet("g", 0.5));
+        r.apply(&MetricUpdate::Observe("h", 1.0));
+        let names: Vec<_> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(r.gauges().count(), 1);
+        assert_eq!(r.histograms().count(), 1);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        const BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+        fn digest(values: &[f64]) -> Histogram {
+            let mut h = Histogram::new(&BOUNDS);
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn merge_is_commutative(
+                xs in proptest::collection::vec(0.0f64..20.0, 0..12),
+                ys in proptest::collection::vec(0.0f64..20.0, 0..12),
+            ) {
+                let (a, b) = (digest(&xs), digest(&ys));
+                let mut ab = a.clone();
+                ab.merge(&b).expect("same bounds");
+                let mut ba = b.clone();
+                ba.merge(&a).expect("same bounds");
+                // Float addition is commutative, so the whole digest
+                // (counts AND sum) matches bitwise.
+                prop_assert_eq!(ab, ba);
+            }
+
+            #[test]
+            fn merge_is_associative(
+                xs in proptest::collection::vec(0.0f64..20.0, 0..12),
+                ys in proptest::collection::vec(0.0f64..20.0, 0..12),
+                zs in proptest::collection::vec(0.0f64..20.0, 0..12),
+            ) {
+                let (a, b, c) = (digest(&xs), digest(&ys), digest(&zs));
+                let mut left = a.clone();
+                left.merge(&b).expect("same bounds");
+                left.merge(&c).expect("same bounds");
+                let mut bc = b.clone();
+                bc.merge(&c).expect("same bounds");
+                let mut right = a.clone();
+                right.merge(&bc).expect("same bounds");
+                // Counts are exactly associative; the sum is float and
+                // only associative up to round-off.
+                prop_assert_eq!(left.counts(), right.counts());
+                prop_assert_eq!(left.count(), right.count());
+                prop_assert!(
+                    (left.sum() - right.sum()).abs()
+                        <= 1e-9 * left.sum().abs().max(1.0),
+                    "sums diverged: {} vs {}", left.sum(), right.sum()
+                );
+            }
+
+            #[test]
+            fn quantiles_are_monotone_in_q(
+                xs in proptest::collection::vec(0.0f64..20.0, 1..24),
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                let h = digest(&xs);
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                let vlo = h.quantile(lo).expect("non-empty");
+                let vhi = h.quantile(hi).expect("non-empty");
+                prop_assert!(
+                    vlo <= vhi,
+                    "quantile({}) = {} > quantile({}) = {}", lo, vlo, hi, vhi
+                );
+            }
+
+            #[test]
+            fn merged_quantiles_match_union_observation(
+                xs in proptest::collection::vec(0.0f64..20.0, 1..16),
+                ys in proptest::collection::vec(0.0f64..20.0, 1..16),
+                q in 0.0f64..1.0,
+            ) {
+                let mut merged = digest(&xs);
+                merged.merge(&digest(&ys)).expect("same bounds");
+                let mut union: Vec<f64> = xs.clone();
+                union.extend_from_slice(&ys);
+                let direct = digest(&union);
+                prop_assert_eq!(merged.counts(), direct.counts());
+                prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+            }
+        }
     }
 }

@@ -169,12 +169,33 @@ const F_GHZ_BOUNDS: [f64; 13] = [
 /// the PEMAX=1e-4 constraint).
 const PE_BOUNDS: [f64; 8] = [1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
 
+/// Bucket boundaries for the decision-latency timers, microseconds:
+/// 1-2.5-5 steps over the observed 10 µs – 100 ms range, fine enough for
+/// meaningful p50/p95/p99 interpolation in `eval-obs analyze`.
+const LATENCY_US_BOUNDS: [f64; 13] = [
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0,
+    50_000.0, 100_000.0,
+];
+
+/// The decision-latency timer names: the aggregate plus one per scheme
+/// (`*_us` suffix keeps them outside the golden determinism contract).
+const LATENCY_METRICS: [&str; 5] = [
+    "decision.latency_us",
+    "decision.latency.static_us",
+    "decision.latency.fuzzy_us",
+    "decision.latency.exhaustive_us",
+    "decision.latency.global-dvfs_us",
+];
+
 impl Collector {
     /// A collector with the EVAL-specific histograms pre-registered.
     pub fn new() -> Self {
         let mut registry = Registry::new();
         registry.register_histogram("decision.f_ghz", &F_GHZ_BOUNDS);
         registry.register_histogram("decision.pe_per_instruction", &PE_BOUNDS);
+        for name in LATENCY_METRICS {
+            registry.register_histogram(name, &LATENCY_US_BOUNDS);
+        }
         Self {
             inner: Mutex::new(CollectorInner {
                 events: Vec::new(),

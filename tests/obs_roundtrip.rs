@@ -1,0 +1,71 @@
+//! Cross-crate round-trip: wrapping a [`eval_trace::Collector`] in an
+//! [`eval_obs::ProgressSink`] must not change the traced JSONL stream by
+//! a single byte. This is the load-bearing invariant behind the
+//! `--progress` flag: observability must be free.
+
+use std::time::Duration;
+
+use eval_adapt::{Campaign, Scheme};
+use eval_core::Environment;
+use eval_trace::{BufferSink, Collector, Record, TraceSink, Tracer};
+use eval_uarch::Workload;
+
+/// Records a small traced campaign once and returns the raw records.
+fn campaign_records() -> Vec<Record> {
+    let buffer = BufferSink::new();
+    let mut campaign = Campaign::new(2);
+    campaign.profile_budget = 2_000;
+    campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
+    campaign.threads = 1;
+    campaign
+        .run_traced(
+            &[Environment::TS_ASV],
+            &[Scheme::ExhDyn],
+            Tracer::new(&buffer),
+        )
+        .expect("campaign runs");
+    buffer.into_records()
+}
+
+fn replay(records: &[Record], sink: &dyn TraceSink) {
+    for rec in records {
+        sink.record(rec.clone());
+    }
+}
+
+#[test]
+fn progress_sink_keeps_the_jsonl_stream_bit_identical() {
+    let records = campaign_records();
+    assert!(!records.is_empty(), "campaign produced no records");
+
+    let plain = Collector::new();
+    replay(&records, &plain);
+
+    // Zero interval: heartbeat on *every* record — maximal interference.
+    let progress = eval_obs::ProgressSink::new(Collector::new(), Vec::new(), Duration::ZERO);
+    replay(&records, &progress);
+    assert!(progress.chips_done() > 0, "chips_done counter not mirrored");
+    let wrapped = progress.into_inner();
+
+    assert_eq!(
+        plain.jsonl(),
+        wrapped.jsonl(),
+        "ProgressSink altered the traced stream"
+    );
+    assert_eq!(plain.summary(), wrapped.summary());
+}
+
+#[test]
+fn progress_sink_heartbeat_interval_does_not_affect_the_stream() {
+    let records = campaign_records();
+
+    let fast = eval_obs::ProgressSink::new(Collector::new(), Vec::new(), Duration::ZERO);
+    let slow = eval_obs::ProgressSink::new(
+        Collector::new(),
+        Vec::new(),
+        Duration::from_secs(3600),
+    );
+    replay(&records, &fast);
+    replay(&records, &slow);
+    assert_eq!(fast.into_inner().jsonl(), slow.into_inner().jsonl());
+}
