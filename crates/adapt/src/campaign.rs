@@ -11,6 +11,10 @@ use eval_core::{
 use eval_uarch::profile::{PhaseProfile, WorkloadProfile};
 use eval_uarch::{profile_workload, ActivityVector, QueueSize, Workload};
 
+use crate::checkpoint::{
+    self, capture_metrics, CheckpointError, CheckpointOptions, CheckpointWriter, ChipRecord,
+    RecordedOutcome,
+};
 use crate::controller::{decide_phase_traced, AdaptationTimeline, DecisionContext};
 use crate::exhaustive::ExhaustiveOptimizer;
 use crate::fuzzy_ctl::{FuzzyOptimizer, TrainingBudget};
@@ -59,7 +63,7 @@ impl Scheme {
 /// are *supposed* to be feasible at every chip and phase; if one is not,
 /// the campaign surfaces the divergence instead of panicking so batch
 /// drivers (and the test harness) can report which configuration failed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
     /// A fixed (non-adaptive) operating point hit thermal runaway.
     Infeasible {
@@ -70,6 +74,14 @@ pub enum CampaignError {
     },
     /// A structural invariant of the parallel chip sweep was violated.
     Internal(&'static str),
+    /// The checkpoint sidecar could not be written, read, or trusted.
+    Checkpoint(CheckpointError),
+    /// Every chip in the population was quarantined; there is nothing to
+    /// merge into a result.
+    AllChipsFailed {
+        /// The first quarantined chip's rendered error.
+        first: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -79,6 +91,10 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "{context}: {source}")
             }
             CampaignError::Internal(what) => write!(f, "internal campaign error: {what}"),
+            CampaignError::Checkpoint(source) => write!(f, "{source}"),
+            CampaignError::AllChipsFailed { first } => {
+                write!(f, "every chip failed; first error: {first}")
+            }
         }
     }
 }
@@ -87,9 +103,41 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Infeasible { source, .. } => Some(source),
-            CampaignError::Internal(_) => None,
+            CampaignError::Checkpoint(source) => Some(source),
+            CampaignError::Internal(_) | CampaignError::AllChipsFailed { .. } => None,
         }
     }
+}
+
+/// What happened to one chip of the Monte Carlo sweep.
+///
+/// A chip that diverges no longer aborts the campaign: it is quarantined
+/// as [`ChipOutcome::Failed`], excluded from the merged averages, and
+/// reported through [`CampaignResult::chips_failed`] plus the
+/// `campaign.chips_failed` counter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipOutcome {
+    /// Every cell of the chip evaluated successfully.
+    Completed {
+        /// The chip's baseline reference cell.
+        baseline: CellResult,
+        /// One cell per requested (environment, scheme) pair.
+        cells: Vec<CellResult>,
+    },
+    /// The chip diverged and is quarantined from the merge.
+    Failed {
+        /// What went wrong on this chip.
+        error: CampaignError,
+    },
+}
+
+/// One quarantined chip, as reported by [`CampaignResult::chips_failed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipFailure {
+    /// The chip's index in the population.
+    pub chip: usize,
+    /// The rendered [`CampaignError`] that quarantined it.
+    pub error: String,
 }
 
 /// Outcome histogram over controller invocations (Figure 13).
@@ -124,6 +172,17 @@ impl OutcomeCounts {
             self.counts[i] += other.counts[i];
         }
     }
+
+    /// The raw histogram, in [`Outcome`] index order (checkpoint
+    /// serialization).
+    pub fn as_array(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Rebuilds a histogram from [`OutcomeCounts::as_array`].
+    pub fn from_array(counts: [u64; 5]) -> Self {
+        Self { counts }
+    }
 }
 
 /// Averages for one (environment, scheme) cell.
@@ -148,6 +207,10 @@ pub struct CampaignResult {
     pub novar: CellResult,
     /// One cell per requested (environment, scheme) pair, in request order.
     pub cells: Vec<(Environment, Scheme, CellResult)>,
+    /// Chips quarantined by per-chip faults, in chip order (empty on a
+    /// clean run). Quarantined chips are excluded from the averages
+    /// above, which normalize by the number of *completed* chips.
+    pub chips_failed: Vec<ChipFailure>,
 }
 
 impl CampaignResult {
@@ -180,6 +243,11 @@ pub struct Campaign {
     pub cores_per_chip: usize,
     /// Worker threads for the chip-parallel Monte Carlo (0 = all cores).
     pub threads: usize,
+    /// Fault-injection hook for crash/quarantine tests: the chip at this
+    /// index fails immediately (before emitting any trace output) instead
+    /// of running. Execution-only — excluded from the checkpoint
+    /// fingerprint, like [`Campaign::threads`].
+    pub fail_chip: Option<usize>,
 }
 
 impl Campaign {
@@ -194,7 +262,14 @@ impl Campaign {
             training: TrainingBudget::default(),
             cores_per_chip: 1,
             threads: 0,
+            fail_chip: None,
         }
+    }
+
+    /// The RNG stream seed for one chip of the population (recorded in
+    /// checkpoint records and verified on resume).
+    pub fn chip_seed(&self, chip_idx: usize) -> u64 {
+        self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37)
     }
 
     /// Runs the campaign over the given environments and schemes.
@@ -222,13 +297,17 @@ impl Campaign {
     /// `tracer`.
     ///
     /// Workers record into per-chip buffers that are replayed into the
-    /// caller's sink in chip-index order after the parallel sweep joins,
-    /// so the event stream is identical for any thread count.
+    /// caller's sink *incrementally, in chip-index order*: as soon as the
+    /// commit frontier reaches a finished chip it is replayed (and the
+    /// sink flushed), so a streaming sink grows one complete chip at a
+    /// time while the event stream stays identical for any thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError`] if a reference or statically provisioned
-    /// operating point turns out to be thermally infeasible on some chip.
+    /// Returns [`CampaignError`] if a reference operating point turns out
+    /// to be thermally infeasible, or if *every* chip was quarantined.
+    /// Individual chip faults no longer abort the sweep — see
+    /// [`ChipOutcome`].
     ///
     /// # Panics
     ///
@@ -239,9 +318,72 @@ impl Campaign {
         schemes: &[Scheme],
         tracer: Tracer<'_>,
     ) -> Result<CampaignResult, CampaignError> {
+        self.run_core(envs, schemes, tracer, None)
+    }
+
+    /// [`Campaign::run_traced`] with chip-level checkpointing: after each
+    /// chip's trace records are committed, a compact record of its
+    /// results and metric contributions is appended (and flushed) to the
+    /// sidecar at [`CheckpointOptions::path`]. With
+    /// [`CheckpointOptions::resume`], a sidecar left by an interrupted
+    /// run is verified against this campaign's fingerprint, its completed
+    /// chips are skipped, and the merged [`CampaignResult`] is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Campaign::run_traced`] returns, plus
+    /// [`CampaignError::Checkpoint`] for sidecar I/O failures, corruption
+    /// before the final line, or a fingerprint mismatch on resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips`, `workloads` or `cores_per_chip` is empty/zero.
+    pub fn run_checkpointed(
+        &self,
+        envs: &[Environment],
+        schemes: &[Scheme],
+        tracer: Tracer<'_>,
+        opts: &CheckpointOptions,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_core(envs, schemes, tracer, Some(opts))
+    }
+
+    fn run_core(
+        &self,
+        envs: &[Environment],
+        schemes: &[Scheme],
+        tracer: Tracer<'_>,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<CampaignResult, CampaignError> {
         assert!(self.chips > 0, "need at least one chip");
         assert!(!self.workloads.is_empty(), "need at least one workload");
         assert!(self.cores_per_chip >= 1, "need at least one core");
+
+        let pairs: Vec<(Environment, Scheme)> = envs
+            .iter()
+            .flat_map(|e| schemes.iter().map(move |s| (*e, *s)))
+            .collect();
+
+        // --- checkpoint reconciliation ---
+        // Before any trace output, so a refused resume leaves the sink
+        // untouched. On resume the sidecar is rewritten from the loaded
+        // records: this drops a torn final line and keeps every append
+        // below landing on a clean line boundary.
+        let resumed = self.load_resumable(envs, schemes, pairs.len(), ckpt)?;
+        let writer = match ckpt {
+            Some(opts) => {
+                let fp = checkpoint::fingerprint(self, envs, schemes);
+                let mut w = CheckpointWriter::create(&opts.path, fp, self.chips)
+                    .map_err(CampaignError::Checkpoint)?;
+                for rec in &resumed {
+                    w.append(rec).map_err(CampaignError::Checkpoint)?;
+                }
+                Some(w)
+            }
+            None => None,
+        };
+        let start_at = resumed.len();
 
         let _campaign_span = tracer.span("campaign");
         let factory = ChipFactory::new(self.config.clone());
@@ -269,15 +411,32 @@ impl Campaign {
         // Chips are independent Monte Carlo samples, so they run in
         // parallel; per-chip results are collected by index and merged in a
         // fixed order, keeping the result bit-identical to a serial run.
-        let pairs: Vec<(Environment, Scheme)> = envs
-            .iter()
-            .flat_map(|e| schemes.iter().map(move |s| (*e, *s)))
-            .collect();
-        tracer.event(|| Event::CampaignStart {
-            chips: self.chips as u64,
-            workloads: self.workloads.len() as u64,
-            cells: pairs.len() as u64,
-        });
+        if start_at == 0 {
+            // On resume the campaign-start event (and the resumed chips'
+            // event lines) already live in the on-disk trace.
+            tracer.event(|| Event::CampaignStart {
+                chips: self.chips as u64,
+                workloads: self.workloads.len() as u64,
+                cells: pairs.len() as u64,
+            });
+        }
+        if ckpt.is_some() {
+            tracer.gauge("campaign.chips_total", self.chips as f64);
+        }
+        if start_at > 0 {
+            tracer.count_n("campaign.chips_resumed", start_at as u64);
+            tracer.count_n("campaign.chips_done", start_at as u64);
+        }
+        // Replaying each resumed chip's captured metrics (counters,
+        // gauges, per-name-ordered observations) rebuilds the registry
+        // bit-identically to having run those chips in this process.
+        for rec in &resumed {
+            tracer.replay(rec.metrics.to_updates());
+            if matches!(rec.outcome, RecordedOutcome::Failed { .. }) {
+                tracer.count("campaign.chips_failed");
+            }
+        }
+
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -286,70 +445,76 @@ impl Campaign {
         } else {
             self.threads.min(self.chips)
         };
-        type ChipSlot = Option<Result<(CellResult, Vec<CellResult>), CampaignError>>;
-        let mut per_chip: Vec<ChipSlot> = vec![None; self.chips];
         // Workers trace into per-chip buffers so the merged stream does not
-        // depend on thread interleaving; replayed in chip order below.
+        // depend on thread interleaving; committed in chip order below.
         let buffers: Vec<BufferSink> = (0..self.chips).map(|_| BufferSink::new()).collect();
         // Chips are claimed one at a time off a shared atomic counter, so a
         // slow chip never idles the other workers (static chunking would).
         // Claim order affects scheduling only: each result lands in its
-        // chip's slot and traces replay in chip order below, keeping the
-        // output bit-identical to a serial run.
-        let next_chip = std::sync::atomic::AtomicUsize::new(0);
-        type ChipOutcome = Result<(CellResult, Vec<CellResult>), CampaignError>;
-        let worker_results: Vec<std::thread::Result<Vec<(usize, ChipOutcome)>>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        let factory = &factory;
-                        let profiles = &profiles;
-                        let novar_perf = &novar_perf;
-                        let pairs = &pairs;
-                        let buffers = &buffers;
-                        let next_chip = &next_chip;
-                        scope.spawn(move || {
-                            let mut done: Vec<(usize, ChipOutcome)> = Vec::new();
-                            loop {
-                                let chip_idx =
-                                    next_chip.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if chip_idx >= self.chips {
-                                    break;
-                                }
-                                let chip_tracer = if tracer.enabled() {
-                                    Tracer::new(&buffers[chip_idx])
-                                } else {
-                                    Tracer::noop()
-                                };
-                                done.push((
-                                    chip_idx,
-                                    self.run_one_chip(
-                                        factory, chip_idx, pairs, profiles, novar_perf,
-                                        chip_tracer,
-                                    ),
-                                ));
-                                // Live progress signal on the *outer* sink
-                                // (per-chip events stay buffered until the
-                                // join): counter adds commute, so the
-                                // end-of-run snapshot is independent of
-                                // worker interleaving and the golden event
-                                // lines are untouched.
-                                tracer.count("campaign.chips_done");
-                            }
-                            done
-                        })
+        // chip's slot and commits in chip order, keeping the output
+        // bit-identical to a serial run.
+        let next_chip = std::sync::atomic::AtomicUsize::new(start_at);
+        let commit = std::sync::Mutex::new(CommitState {
+            frontier: start_at,
+            slots: prefill_slots(self.chips, resumed),
+            writer,
+            ckpt_error: None,
+        });
+        let worker_panicked: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let factory = &factory;
+                    let profiles = &profiles;
+                    let novar_perf = &novar_perf;
+                    let pairs = &pairs;
+                    let buffers = &buffers;
+                    let next_chip = &next_chip;
+                    let commit = &commit;
+                    scope.spawn(move || loop {
+                        let chip_idx =
+                            next_chip.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if chip_idx >= self.chips {
+                            break;
+                        }
+                        let chip_tracer = if tracer.enabled() {
+                            Tracer::new(&buffers[chip_idx])
+                        } else {
+                            Tracer::noop()
+                        };
+                        let outcome = self.run_one_chip(
+                            factory, chip_idx, pairs, profiles, novar_perf, chip_tracer,
+                        );
+                        // Commit under one lock: store the slot, then
+                        // advance the frontier over every contiguously
+                        // finished chip — replaying its buffer (which
+                        // flushes a streaming sink) *before* appending its
+                        // checkpoint record, so the on-disk trace is never
+                        // behind the sidecar.
+                        {
+                            let mut guard =
+                                commit.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.slots[chip_idx] = Some(CommittedChip::from(outcome));
+                            guard.advance(self, buffers, tracer);
+                        }
+                        // Live progress signal on the *outer* sink: counter
+                        // adds commute, so the end-of-run snapshot is
+                        // independent of worker interleaving and the golden
+                        // event lines are untouched.
+                        tracer.count("campaign.chips_done");
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join()).collect()
-            });
-        for joined in worker_results {
-            let done = joined.map_err(|_| CampaignError::Internal("worker thread panicked"))?;
-            for (chip_idx, outcome) in done {
-                per_chip[chip_idx] = Some(outcome);
-            }
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().is_err()).collect()
+        });
+        if worker_panicked.into_iter().any(|p| p) {
+            return Err(CampaignError::Internal("worker thread panicked"));
         }
-        for buffer in buffers {
-            tracer.replay(buffer.into_records());
+        let state = commit.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(err) = state.ckpt_error {
+            return Err(CampaignError::Checkpoint(err));
+        }
+        if state.frontier != self.chips {
+            return Err(CampaignError::Internal("chips left uncommitted"));
         }
 
         let mut baseline = CellResult::default();
@@ -357,15 +522,37 @@ impl Campaign {
             .iter()
             .map(|(e, s)| (*e, *s, CellResult::default()))
             .collect();
-        for entry in per_chip {
-            let (chip_baseline, chip_cells) =
-                entry.ok_or(CampaignError::Internal("chip slot left uncomputed"))??;
-            accumulate(&mut baseline, &chip_baseline);
-            for ((_, _, acc), cell) in cells.iter_mut().zip(chip_cells) {
-                accumulate(acc, &cell);
+        let mut chips_failed: Vec<ChipFailure> = Vec::new();
+        let mut ok_chips = 0usize;
+        for (chip_idx, slot) in state.slots.into_iter().enumerate() {
+            match slot.ok_or(CampaignError::Internal("chip slot left uncomputed"))? {
+                CommittedChip::Ok {
+                    baseline: chip_baseline,
+                    cells: chip_cells,
+                } => {
+                    accumulate(&mut baseline, &chip_baseline);
+                    for ((_, _, acc), cell) in cells.iter_mut().zip(chip_cells) {
+                        accumulate(acc, &cell);
+                    }
+                    ok_chips += 1;
+                }
+                CommittedChip::Failed { error } => chips_failed.push(ChipFailure {
+                    chip: chip_idx,
+                    error,
+                }),
             }
         }
-        let samples = self.chips * self.cores_per_chip;
+        if ok_chips == 0 {
+            return Err(CampaignError::AllChipsFailed {
+                first: chips_failed
+                    .first()
+                    .map(|f| f.error.clone())
+                    .unwrap_or_default(),
+            });
+        }
+        // Quarantined chips contribute nothing, so the averages normalize
+        // by the chips that actually completed.
+        let samples = ok_chips * self.cores_per_chip;
         normalize(&mut baseline, samples);
         for (_, _, c) in cells.iter_mut() {
             normalize(c, samples);
@@ -374,12 +561,90 @@ impl Campaign {
             baseline,
             novar,
             cells,
+            chips_failed,
         })
     }
 
-    /// All measurements for one chip: the baseline reference plus one cell
-    /// per requested (environment, scheme) pair, summed over its cores.
+    /// Loads and validates the resumable prefix of the checkpoint sidecar
+    /// (empty when not checkpointing, not resuming, or no usable sidecar
+    /// exists).
+    fn load_resumable(
+        &self,
+        envs: &[Environment],
+        schemes: &[Scheme],
+        cells_per_chip: usize,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<Vec<ChipRecord>, CampaignError> {
+        let Some(opts) = ckpt.filter(|o| o.resume) else {
+            return Ok(Vec::new());
+        };
+        let Some(loaded) = checkpoint::load(&opts.path).map_err(CampaignError::Checkpoint)?
+        else {
+            return Ok(Vec::new());
+        };
+        let expected = checkpoint::fingerprint(self, envs, schemes);
+        if loaded.fingerprint != expected {
+            return Err(CampaignError::Checkpoint(
+                CheckpointError::FingerprintMismatch {
+                    expected,
+                    found: loaded.fingerprint,
+                },
+            ));
+        }
+        for (i, rec) in loaded.records.iter().enumerate() {
+            // Header line is line 1, chip `i` is line `i + 2`.
+            let corrupt = |message: String| {
+                CampaignError::Checkpoint(CheckpointError::Corrupt {
+                    line: i + 2,
+                    message,
+                })
+            };
+            if rec.seed != self.chip_seed(i) {
+                return Err(corrupt(format!(
+                    "chip {i} seed {} does not match the campaign's stream seed {}",
+                    rec.seed,
+                    self.chip_seed(i)
+                )));
+            }
+            if let RecordedOutcome::Ok { cells, .. } = &rec.outcome {
+                if cells.len() != cells_per_chip {
+                    return Err(corrupt(format!(
+                        "chip {i} has {} cells, campaign requests {cells_per_chip}",
+                        cells.len(),
+                    )));
+                }
+            }
+        }
+        Ok(loaded.records)
+    }
+
+    /// All measurements for one chip, with fault isolation: any error is
+    /// quarantined into [`ChipOutcome::Failed`] so the rest of the sweep
+    /// continues. The injected [`Campaign::fail_chip`] fault fires before
+    /// any trace output, so a quarantined chip can leave an empty buffer.
     fn run_one_chip(
+        &self,
+        factory: &ChipFactory,
+        chip_idx: usize,
+        pairs: &[(Environment, Scheme)],
+        profiles: &[WorkloadProfile],
+        novar_perf: &[f64],
+        tracer: Tracer<'_>,
+    ) -> ChipOutcome {
+        if self.fail_chip == Some(chip_idx) {
+            return ChipOutcome::Failed {
+                error: CampaignError::Internal("injected chip fault (fail_chip)"),
+            };
+        }
+        match self.run_one_chip_inner(factory, chip_idx, pairs, profiles, novar_perf, tracer) {
+            Ok((baseline, cells)) => ChipOutcome::Completed { baseline, cells },
+            Err(error) => ChipOutcome::Failed { error },
+        }
+    }
+
+    /// The baseline reference plus one cell per requested (environment,
+    /// scheme) pair, summed over the chip's cores.
+    fn run_one_chip_inner(
         &self,
         factory: &ChipFactory,
         chip_idx: usize,
@@ -392,10 +657,7 @@ impl Campaign {
         tracer.event(|| Event::ChipStart {
             chip: chip_idx as u64,
         });
-        let chip = factory.chip_traced(
-            self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37),
-            tracer,
-        );
+        let chip = factory.chip_traced(self.chip_seed(chip_idx), tracer);
         let mut baseline = CellResult::default();
         let mut cells = vec![CellResult::default(); pairs.len()];
         for core_idx in 0..self.cores_per_chip {
@@ -470,7 +732,7 @@ impl Campaign {
             .map(|w| (w.name, CellResult::default()))
             .collect();
         for chip_idx in 0..self.chips {
-            let chip = factory.chip(self.base_seed.wrapping_add(chip_idx as u64 * 0x9E37));
+            let chip = factory.chip(self.chip_seed(chip_idx));
             for core_idx in 0..self.cores_per_chip {
                 let core = chip.core(core_idx);
                 let fuzzy = matches!(scheme, Scheme::FuzzyDyn).then(|| {
@@ -721,6 +983,114 @@ fn synthetic_worst_phase(profile: &WorkloadProfile) -> PhaseProfile {
         mr: profile.weighted(|p| p.mr),
         mp_ns: profile.weighted(|p| p.mp_ns),
         activity: worst,
+    }
+}
+
+/// A chip that has passed the commit frontier: its trace records are in
+/// the caller's sink and (when checkpointing) its sidecar record is on
+/// disk. Kept until the end-of-run merge.
+#[derive(Debug, Clone)]
+enum CommittedChip {
+    Ok {
+        baseline: CellResult,
+        cells: Vec<CellResult>,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+impl From<ChipOutcome> for CommittedChip {
+    fn from(outcome: ChipOutcome) -> Self {
+        match outcome {
+            ChipOutcome::Completed { baseline, cells } => CommittedChip::Ok { baseline, cells },
+            ChipOutcome::Failed { error } => CommittedChip::Failed {
+                error: error.to_string(),
+            },
+        }
+    }
+}
+
+impl From<&ChipRecord> for CommittedChip {
+    fn from(rec: &ChipRecord) -> Self {
+        match &rec.outcome {
+            RecordedOutcome::Ok { baseline, cells } => CommittedChip::Ok {
+                baseline: *baseline,
+                cells: cells.clone(),
+            },
+            RecordedOutcome::Failed { error } => CommittedChip::Failed {
+                error: error.clone(),
+            },
+        }
+    }
+}
+
+/// Slots for every chip, with the resumed prefix pre-filled (those chips
+/// are already committed — the frontier starts past them).
+fn prefill_slots(chips: usize, resumed: Vec<ChipRecord>) -> Vec<Option<CommittedChip>> {
+    let mut slots: Vec<Option<CommittedChip>> = vec![None; chips];
+    for (slot, rec) in slots.iter_mut().zip(&resumed) {
+        *slot = Some(CommittedChip::from(rec));
+    }
+    slots
+}
+
+/// The in-order commit pipeline shared by all workers (behind one mutex).
+struct CommitState {
+    /// Index of the next chip to commit; chips below it are fully in the
+    /// sink (and the sidecar, when checkpointing).
+    frontier: usize,
+    slots: Vec<Option<CommittedChip>>,
+    writer: Option<CheckpointWriter>,
+    /// First sidecar-append failure; surfaced after the join so the
+    /// in-flight sweep finishes cleanly.
+    ckpt_error: Option<CheckpointError>,
+}
+
+impl CommitState {
+    /// Advances the frontier over every contiguously finished chip:
+    /// drains and replays its buffer (flushing a streaming sink), bumps
+    /// the quarantine counter for failed chips, and appends its
+    /// checkpoint record. Replay-before-append is the crash-safety
+    /// invariant: a chip in the sidecar is always complete in the trace.
+    fn advance(&mut self, campaign: &Campaign, buffers: &[BufferSink], tracer: Tracer<'_>) {
+        while self.frontier < self.slots.len() {
+            let chip_idx = self.frontier;
+            let Some(committed) = self.slots[chip_idx].as_ref() else {
+                break;
+            };
+            let records = buffers[chip_idx].drain();
+            let metrics = self
+                .writer
+                .is_some()
+                .then(|| capture_metrics(&records))
+                .unwrap_or_default();
+            tracer.replay(records);
+            let outcome = match committed {
+                CommittedChip::Ok { baseline, cells } => RecordedOutcome::Ok {
+                    baseline: *baseline,
+                    cells: cells.clone(),
+                },
+                CommittedChip::Failed { error } => {
+                    tracer.count("campaign.chips_failed");
+                    RecordedOutcome::Failed {
+                        error: error.clone(),
+                    }
+                }
+            };
+            if let Some(writer) = self.writer.as_mut() {
+                let rec = ChipRecord {
+                    chip: chip_idx,
+                    seed: campaign.chip_seed(chip_idx),
+                    outcome,
+                    metrics,
+                };
+                if let Err(err) = writer.append(&rec) {
+                    self.ckpt_error.get_or_insert(err);
+                }
+            }
+            self.frontier += 1;
+        }
     }
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod choice;
 pub mod controller;
 pub mod exhaustive;
@@ -36,7 +37,10 @@ pub mod retune;
 pub mod runtime;
 pub mod surface;
 
-pub use campaign::{Campaign, CampaignError, CampaignResult, CellResult, Scheme};
+pub use campaign::{
+    Campaign, CampaignError, CampaignResult, CellResult, ChipFailure, ChipOutcome, Scheme,
+};
+pub use checkpoint::{committed_chips, fingerprint, CheckpointError, CheckpointOptions};
 pub use choice::{choose_fu, choose_queue};
 pub use controller::{decide_phase, AdaptationTimeline, PhaseDecision};
 pub use exhaustive::ExhaustiveOptimizer;

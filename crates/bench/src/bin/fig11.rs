@@ -1,16 +1,16 @@
 //! Figure 11: performance of each environment relative to `NoVar`.
 //!
 //! Protocol knobs: `EVAL_CHIPS` (default 10) and `EVAL_WORKLOADS`;
-//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream.
+//! `--trace <path>` / `EVAL_TRACE` dumps the JSONL event stream;
+//! `--checkpoint <path>` / `--resume` make the campaign restartable.
 
 use eval_bench::{
-    print_environment_csv, print_environment_matrix, run_figure10_campaign, session_tracer,
-    TraceSession,
+    print_environment_csv, print_environment_matrix, run_figure10_campaign, TraceSession,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = TraceSession::from_env();
-    let result = run_figure10_campaign(10, session_tracer(&trace))?;
+    let trace = TraceSession::from_env()?;
+    let result = run_figure10_campaign(10, &trace)?;
     print_environment_matrix(
         "Figure 11: relative performance (NoVar = 1.0)",
         "x NoVar",

@@ -7,25 +7,28 @@
 //!
 //! Protocol knobs: `EVAL_CHIPS` (default 15; paper protocol is 100) and
 //! `EVAL_WORKLOADS`. Pass `--trace <path>` (or set `EVAL_TRACE`) to dump
-//! the structured JSONL event/metric stream and an end-of-run summary.
+//! the structured JSONL event/metric stream and an end-of-run summary;
+//! `--checkpoint <path>` / `--resume` make the campaign restartable.
 
 use eval_adapt::{Campaign, Scheme};
-use eval_bench::{chips_from_env, session_tracer, workloads_from_env, TraceSession};
+use eval_bench::{chips_from_env, fail_chip_from_env, run_campaign, workloads_from_env, TraceSession};
 use eval_core::{AreaBreakdown, Environment};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = TraceSession::from_env();
+    let trace = TraceSession::from_env()?;
     let mut campaign = Campaign::new(chips_from_env(15));
     campaign.workloads = workloads_from_env();
+    campaign.fail_chip = fail_chip_from_env();
     eprintln!(
         "# headline campaign: {} chips x {} workloads",
         campaign.chips,
         campaign.workloads.len()
     );
-    let result = campaign.run_traced(
+    let result = run_campaign(
+        &campaign,
         &[Environment::TS_ASV_Q_FU],
         &[Scheme::FuzzyDyn, Scheme::ExhDyn],
-        session_tracer(&trace),
+        &trace,
     )?;
     let best = result
         .cell(Environment::TS_ASV_Q_FU, Scheme::FuzzyDyn)

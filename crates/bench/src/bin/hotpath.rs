@@ -15,6 +15,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use eval_adapt::{Campaign, ExhaustiveOptimizer, Optimizer, Scheme, SubsystemScene};
+use eval_bench::{fail_chip_from_env, run_campaign, TraceSession};
 use eval_core::{
     ChipFactory, ChipModel, Environment, EvalConfig, OperatingConditions, SubsystemId,
     VariantSelection, N_SUBSYSTEMS,
@@ -104,21 +105,33 @@ fn small_campaign() {
 /// Runs the same small campaign once under a tracer and returns the
 /// end-of-run `solver.*` counters as `(name, value)` pairs — flushed
 /// into the JSON so `eval-obs bench-check` can gate on cache hit-rate
-/// alongside raw latency.
-fn campaign_metrics() -> Vec<(&'static str, f64)> {
-    let collector = eval_trace::Collector::new();
+/// alongside raw latency. When the binary carries a [`TraceSession`]
+/// (`--trace`/`--checkpoint`/...), the campaign runs through it so the
+/// session's trace, sidecar and metrics cover this run too.
+fn campaign_metrics(
+    session: &Option<TraceSession>,
+) -> Result<Vec<(&'static str, f64)>, Box<dyn std::error::Error>> {
     let mut campaign = Campaign::new(2);
     campaign.profile_budget = 3_000;
     campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
     campaign.threads = 1;
-    campaign
-        .run_traced(
-            &[Environment::TS_ASV],
-            &[Scheme::ExhDyn],
-            eval_trace::Tracer::new(&collector),
-        )
-        .expect("campaign runs");
-    let registry = collector.registry();
+    campaign.fail_chip = fail_chip_from_env();
+    let local;
+    let registry = match session {
+        Some(s) => {
+            run_campaign(&campaign, &[Environment::TS_ASV], &[Scheme::ExhDyn], session)?;
+            s.registry()
+        }
+        None => {
+            local = eval_trace::Collector::new();
+            campaign.run_traced(
+                &[Environment::TS_ASV],
+                &[Scheme::ExhDyn],
+                eval_trace::Tracer::new(&local),
+            )?;
+            local.registry()
+        }
+    };
     let hits = registry.counter("solver.cache.hits");
     let misses = registry.counter("solver.cache.misses");
     let mut out = vec![
@@ -130,7 +143,7 @@ fn campaign_metrics() -> Vec<(&'static str, f64)> {
     if hits + misses > 0 {
         out.push(("solver.cache.hit_rate", hits as f64 / (hits + misses) as f64));
     }
-    out
+    Ok(out)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -141,9 +154,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--bench-json" => {
                 json_path = Some(args.next().ok_or("--bench-json needs a path")?);
             }
+            // Session flags, parsed by TraceSession::from_env below.
+            "--trace" | "--metrics-out" | "--checkpoint" => {
+                args.next();
+            }
+            "--progress" | "--resume" => {}
+            other if other.starts_with("--trace=")
+                || other.starts_with("--metrics-out=")
+                || other.starts_with("--checkpoint=")
+                || other.starts_with("--bench-json=") =>
+            {
+                if let Some(p) = other.strip_prefix("--bench-json=") {
+                    json_path = Some(p.to_string());
+                }
+            }
             other => return Err(format!("unknown argument {other}").into()),
         }
     }
+    let session = TraceSession::from_env()?;
 
     let config = EvalConfig::micro08();
     let factory = ChipFactory::new(config.clone());
@@ -263,7 +291,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = json_path {
-        let metrics = campaign_metrics();
+        let metrics = campaign_metrics(&session)?;
         let mut out = String::from("{\n  \"benchmarks\": [\n");
         for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!(
@@ -291,8 +319,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ));
         }
         out.push_str("  }\n}\n");
-        std::fs::write(&path, out)?;
+        eval_trace::write_atomic(std::path::Path::new(&path), out.as_bytes())?;
         println!("\nwrote {path}");
+    }
+    if let Some(session) = session {
+        session.finish()?;
     }
     Ok(())
 }

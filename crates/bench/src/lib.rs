@@ -28,51 +28,86 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use eval_adapt::{Campaign, CampaignResult, Scheme};
+use std::path::{Path, PathBuf};
+
+use eval_adapt::{Campaign, CampaignResult, CheckpointOptions, Scheme};
 use eval_core::Environment;
 use eval_obs::ProgressSink;
-use eval_trace::{Collector, Tracer};
+use eval_trace::{ensure_parent_dir, Collector, Registry, StreamingJsonl, Tracer};
 
-/// The collecting side of a [`TraceSession`]: either a bare
-/// [`Collector`], or one wrapped in a [`ProgressSink`] heartbeating to
-/// stderr. The decorator forwards every record verbatim, so the traced
-/// JSONL stream is bit-identical either way.
+/// The collecting side of a [`TraceSession`]: an in-memory [`Collector`]
+/// (trace written atomically at end-of-run) or a crash-safe
+/// [`StreamingJsonl`] (one complete chip segment flushed per commit; used
+/// whenever checkpointing is on), either optionally wrapped in a
+/// [`ProgressSink`] heartbeating to stderr. The decorator forwards every
+/// record verbatim, so the traced JSONL stream is bit-identical either
+/// way.
 enum SessionSink {
     Plain(Collector),
     Progress(ProgressSink<Collector, std::io::Stderr>),
+    Stream(StreamingJsonl),
+    StreamProgress(ProgressSink<StreamingJsonl, std::io::Stderr>),
 }
 
 /// An optional telemetry session for the experiment binaries, enabled by
 /// any of:
 ///
 /// * `--trace <path>` (or `--trace=<path>`, or `EVAL_TRACE`) — write the
-///   JSONL trace stream at end-of-run;
+///   JSONL trace stream;
 /// * `--progress` (or `EVAL_PROGRESS=1`) — heartbeat live campaign
 ///   progress (chips done/total, chips/sec, ETA, solver counters) to
 ///   stderr while the run executes;
 /// * `--metrics-out <path>` (or `--metrics-out=<path>`, or
 ///   `EVAL_METRICS_OUT`) — write a Prometheus-text snapshot of the
-///   metric registry at end-of-run, servable with `eval-obs serve`.
+///   metric registry at end-of-run, servable with `eval-obs serve`;
+/// * `--checkpoint <path>` (or `--checkpoint=<path>`, or
+///   `EVAL_CHECKPOINT`) — checkpoint campaign progress chip-by-chip to a
+///   sidecar, and stream the trace (when requested) one committed chip
+///   at a time instead of buffering it to end-of-run;
+/// * `--resume` (or `EVAL_RESUME=1`) — resume from the sidecar (which
+///   defaults to `<trace basename>.ckpt.jsonl` when only `--trace` is
+///   given), skipping chips it already holds.
 ///
-/// Flags win over environment variables. Events/metrics accumulate in
-/// memory and are flushed by [`TraceSession::finish`]. The
-/// `"kind":"event"` lines are bit-deterministic across runs and thread
-/// counts; span lines and `*_us` metrics carry wall-clock timings and
-/// are excluded from that contract.
+/// Flags win over environment variables. Output paths are validated (and
+/// parent directories created, and the streaming trace opened) up front,
+/// so a bad path fails before hours of chip work instead of after.
+/// [`TraceSession::finish`] completes all outputs. The `"kind":"event"`
+/// lines are bit-deterministic across runs and thread counts; span lines
+/// and `*_us` metrics carry wall-clock timings and are excluded from
+/// that contract.
 pub struct TraceSession {
-    trace_path: Option<std::path::PathBuf>,
-    metrics_path: Option<std::path::PathBuf>,
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    checkpoint: Option<CheckpointOptions>,
     sink: SessionSink,
+}
+
+/// `<trace>.ckpt.jsonl` next to the trace file (the default sidecar when
+/// `--resume`/`--checkpoint` is used with only a trace path).
+fn derived_checkpoint_path(trace: &Path) -> PathBuf {
+    trace.with_extension("ckpt.jsonl")
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
 }
 
 impl TraceSession {
     /// Builds a session from `std::env::args` / environment variables,
     /// or `None` when no telemetry was requested.
-    pub fn from_env() -> Option<TraceSession> {
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on unusable output paths, on `--resume` without any way
+    /// to locate a sidecar, on a trace file that cannot be reconciled
+    /// with the sidecar's committed frontier, or on a corrupt sidecar.
+    pub fn from_env() -> std::io::Result<Option<TraceSession>> {
         let mut args = std::env::args();
-        let mut trace_path: Option<std::path::PathBuf> = None;
-        let mut metrics_path: Option<std::path::PathBuf> = None;
+        let mut trace_path: Option<PathBuf> = None;
+        let mut metrics_path: Option<PathBuf> = None;
+        let mut checkpoint_path: Option<PathBuf> = None;
         let mut progress = false;
+        let mut resume = false;
         while let Some(arg) = args.next() {
             if arg == "--trace" {
                 trace_path = args.next().map(Into::into);
@@ -82,29 +117,101 @@ impl TraceSession {
                 metrics_path = args.next().map(Into::into);
             } else if let Some(p) = arg.strip_prefix("--metrics-out=") {
                 metrics_path = Some(p.into());
+            } else if arg == "--checkpoint" {
+                checkpoint_path = args.next().map(Into::into);
+            } else if let Some(p) = arg.strip_prefix("--checkpoint=") {
+                checkpoint_path = Some(p.into());
             } else if arg == "--progress" {
                 progress = true;
+            } else if arg == "--resume" {
+                resume = true;
             }
         }
         let trace_path = trace_path.or_else(|| std::env::var_os("EVAL_TRACE").map(Into::into));
         let metrics_path =
             metrics_path.or_else(|| std::env::var_os("EVAL_METRICS_OUT").map(Into::into));
-        let progress = progress
-            || std::env::var("EVAL_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0");
-        if trace_path.is_none() && metrics_path.is_none() && !progress {
-            return None;
-        }
-        let collector = Collector::new();
-        let sink = if progress {
-            SessionSink::Progress(ProgressSink::stderr(collector))
-        } else {
-            SessionSink::Plain(collector)
+        let checkpoint_path =
+            checkpoint_path.or_else(|| std::env::var_os("EVAL_CHECKPOINT").map(Into::into));
+        let truthy = |var: &str| std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0");
+        let progress = progress || truthy("EVAL_PROGRESS");
+        let resume = resume || truthy("EVAL_RESUME");
+
+        let checkpoint = match (checkpoint_path, resume) {
+            (Some(path), resume) => Some(CheckpointOptions { path, resume }),
+            (None, true) => {
+                let trace = trace_path.as_ref().ok_or_else(|| {
+                    invalid(
+                        "--resume needs --checkpoint <path>, or --trace <path> to derive \
+                         the sidecar from"
+                            .to_string(),
+                    )
+                })?;
+                Some(CheckpointOptions {
+                    path: derived_checkpoint_path(trace),
+                    resume: true,
+                })
+            }
+            (None, false) => None,
         };
-        Some(TraceSession {
+        if trace_path.is_none() && metrics_path.is_none() && checkpoint.is_none() && !progress {
+            return Ok(None);
+        }
+
+        // Fail-fast output validation: surface path problems when flags
+        // are parsed, not after hours of chip work.
+        for path in [&trace_path, &metrics_path]
+            .into_iter()
+            .flatten()
+            .chain(checkpoint.as_ref().map(|o| &o.path))
+        {
+            ensure_parent_dir(path).map_err(|e| {
+                invalid(format!("cannot create parent of {}: {e}", path.display()))
+            })?;
+        }
+
+        let sink = match (&trace_path, &checkpoint) {
+            // Checkpointed trace: stream it, so the on-disk file is
+            // always a complete prefix the sidecar can reconcile with.
+            (Some(trace), Some(opts)) => {
+                let committed = if opts.resume {
+                    eval_adapt::committed_chips(&opts.path)
+                        .map_err(|e| invalid(e.to_string()))?
+                } else {
+                    0
+                };
+                let stream = if opts.resume && trace.exists() {
+                    StreamingJsonl::resume(trace, committed)?
+                } else if committed > 0 {
+                    return Err(invalid(format!(
+                        "cannot resume: sidecar {} holds {committed} chips but the trace \
+                         file {} is missing (remove the sidecar to start fresh)",
+                        opts.path.display(),
+                        trace.display()
+                    )));
+                } else {
+                    StreamingJsonl::create(trace)?
+                };
+                if progress {
+                    SessionSink::StreamProgress(ProgressSink::stderr(stream))
+                } else {
+                    SessionSink::Stream(stream)
+                }
+            }
+            _ => {
+                let collector = Collector::new();
+                if progress {
+                    SessionSink::Progress(ProgressSink::stderr(collector))
+                } else {
+                    SessionSink::Plain(collector)
+                }
+            }
+        };
+        Ok(Some(TraceSession {
             trace_path,
             metrics_path,
+            checkpoint,
             sink,
-        })
+        }))
     }
 
     /// A tracer recording into this session.
@@ -112,34 +219,79 @@ impl TraceSession {
         match &self.sink {
             SessionSink::Plain(c) => Tracer::new(c),
             SessionSink::Progress(p) => Tracer::new(p),
+            SessionSink::Stream(s) => Tracer::new(s),
+            SessionSink::StreamProgress(p) => Tracer::new(p),
         }
     }
 
-    /// Flushes the session: writes the JSONL stream (`--trace`) and the
-    /// Prometheus metrics snapshot (`--metrics-out`), and prints the
-    /// end-of-run span/metric summary.
+    /// The checkpoint sidecar configuration, when `--checkpoint` or
+    /// `--resume` was requested.
+    pub fn checkpoint_options(&self) -> Option<&CheckpointOptions> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The trace output path, when `--trace` was requested.
+    pub fn trace_path(&self) -> Option<&Path> {
+        self.trace_path.as_deref()
+    }
+
+    /// A snapshot of the session's metric registry so far.
+    pub fn registry(&self) -> Registry {
+        match &self.sink {
+            SessionSink::Plain(c) => c.registry(),
+            SessionSink::Progress(p) => p.inner().registry(),
+            SessionSink::Stream(s) => s.registry(),
+            SessionSink::StreamProgress(p) => p.inner().registry(),
+        }
+    }
+
+    /// Flushes the session: completes the JSONL stream (`--trace`),
+    /// writes the Prometheus metrics snapshot (`--metrics-out`), and
+    /// prints the end-of-run span/metric summary.
     ///
     /// # Errors
     ///
     /// Propagates the I/O error if an output file cannot be written.
     pub fn finish(self) -> std::io::Result<()> {
-        let collector = match self.sink {
-            SessionSink::Plain(c) => c,
-            SessionSink::Progress(p) => p.into_inner(),
+        let (summary, registry) = match self.sink {
+            SessionSink::Plain(c) => {
+                if let Some(path) = &self.trace_path {
+                    c.write_jsonl(path)?;
+                }
+                (c.summary(), c.registry())
+            }
+            SessionSink::Progress(p) => {
+                let c = p.into_inner();
+                if let Some(path) = &self.trace_path {
+                    c.write_jsonl(path)?;
+                }
+                (c.summary(), c.registry())
+            }
+            SessionSink::Stream(s) => {
+                let out = (s.summary(), s.registry());
+                s.finish()?;
+                out
+            }
+            SessionSink::StreamProgress(p) => {
+                let s = p.into_inner();
+                let out = (s.summary(), s.registry());
+                s.finish()?;
+                out
+            }
         };
-        if let Some(path) = &self.trace_path {
-            collector.write_jsonl(path)?;
-        }
         if let Some(path) = &self.metrics_path {
-            eval_obs::write_prometheus(&collector.registry(), path)?;
+            eval_obs::write_prometheus(&registry, path)?;
         }
         println!();
-        println!("{}", collector.summary());
+        println!("{summary}");
         if let Some(path) = &self.trace_path {
             eprintln!("# trace written to {}", path.display());
         }
         if let Some(path) = &self.metrics_path {
             eprintln!("# metrics written to {}", path.display());
+        }
+        if let Some(opts) = &self.checkpoint {
+            eprintln!("# checkpoint sidecar at {}", opts.path.display());
         }
         Ok(())
     }
@@ -148,6 +300,41 @@ impl TraceSession {
 /// The tracer of an optional session ([`Tracer::noop`] when absent).
 pub fn session_tracer(session: &Option<TraceSession>) -> Tracer<'_> {
     session.as_ref().map_or(Tracer::noop(), TraceSession::tracer)
+}
+
+/// Runs one campaign through an optional session: checkpointed when the
+/// session carries `--checkpoint`/`--resume`, plainly traced otherwise.
+/// Quarantined chips are reported as warnings on stderr; only a sweep
+/// with *no* surviving chips is an error.
+///
+/// # Errors
+///
+/// Everything [`Campaign::run_checkpointed`] /
+/// [`Campaign::run_traced`] can return.
+pub fn run_campaign(
+    campaign: &Campaign,
+    envs: &[Environment],
+    schemes: &[Scheme],
+    session: &Option<TraceSession>,
+) -> Result<CampaignResult, eval_adapt::CampaignError> {
+    let tracer = session_tracer(session);
+    let result = match session.as_ref().and_then(TraceSession::checkpoint_options) {
+        Some(opts) => campaign.run_checkpointed(envs, schemes, tracer, opts)?,
+        None => campaign.run_traced(envs, schemes, tracer)?,
+    };
+    for failure in &result.chips_failed {
+        eprintln!(
+            "# WARNING: chip {} quarantined and excluded from averages: {}",
+            failure.chip, failure.error
+        );
+    }
+    Ok(result)
+}
+
+/// Fault-injection knob for quarantine/crash testing: `EVAL_FAIL_CHIP=<n>`
+/// makes chip `n` fail instead of running (see `Campaign::fail_chip`).
+pub fn fail_chip_from_env() -> Option<usize> {
+    std::env::var("EVAL_FAIL_CHIP").ok()?.parse().ok()
 }
 
 /// Number of chips for campaign binaries: `EVAL_CHIPS` env var, else
@@ -183,6 +370,7 @@ pub fn workloads_from_env() -> Vec<eval_uarch::Workload> {
 pub fn standard_campaign(default_chips: usize) -> Campaign {
     let mut c = Campaign::new(chips_from_env(default_chips));
     c.workloads = workloads_from_env();
+    c.fail_chip = fail_chip_from_env();
     c
 }
 
@@ -190,7 +378,7 @@ pub fn standard_campaign(default_chips: usize) -> Campaign {
 /// returns the result. This is the expensive shared computation.
 pub fn run_figure10_campaign(
     default_chips: usize,
-    tracer: Tracer<'_>,
+    session: &Option<TraceSession>,
 ) -> Result<CampaignResult, eval_adapt::CampaignError> {
     let campaign = standard_campaign(default_chips);
     eprintln!(
@@ -198,7 +386,7 @@ pub fn run_figure10_campaign(
         campaign.chips,
         campaign.workloads.len()
     );
-    campaign.run_traced(&Environment::FIGURE10, &Scheme::ALL, tracer)
+    run_campaign(&campaign, &Environment::FIGURE10, &Scheme::ALL, session)
 }
 
 /// Prints a row-per-environment matrix with `Static`, `Fuzzy-Dyn` and

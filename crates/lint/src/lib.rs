@@ -35,6 +35,12 @@
 //!   `Record` must handle all three variants (`Event`, `Metric`, `Span`)
 //!   explicitly. A sink that silently drops a variant breaks the
 //!   bit-identical trace contract downstream decorators rely on.
+//! * **atomic-artifacts** — library and binary crates must not write
+//!   final artifacts with `std::fs::write` / `File::create`: a crash (or
+//!   a concurrent reader) mid-write leaves a torn file. Artifacts go
+//!   through `eval_trace::write_atomic` (stage + rename); append-mode
+//!   streams built on `OpenOptions` are their own crash-safety story and
+//!   are not flagged.
 //!
 //! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
 //! the offending line or in the contiguous comment block directly above
@@ -69,11 +75,13 @@ pub enum Rule {
     NoAllocInCheck,
     /// `TraceSink` impls that swallow or drop `Record` variants.
     SinkForward,
+    /// Torn-file-prone writes (`fs::write`/`File::create`) for artifacts.
+    AtomicArtifacts,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::UnitSafety,
         Rule::Determinism,
         Rule::PanicSafety,
@@ -81,6 +89,7 @@ impl Rule {
         Rule::NoPrintln,
         Rule::NoAllocInCheck,
         Rule::SinkForward,
+        Rule::AtomicArtifacts,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(...)`.
@@ -93,6 +102,7 @@ impl Rule {
             Rule::NoPrintln => "no-println",
             Rule::NoAllocInCheck => "no-alloc-in-check",
             Rule::SinkForward => "sink-forward",
+            Rule::AtomicArtifacts => "atomic-artifacts",
         }
     }
 }
@@ -133,6 +143,9 @@ pub struct FileContext {
     pub crate_name: String,
     /// Test/bench/example code: exempt from panic-safety.
     pub is_test_code: bool,
+    /// A `src/bin/*` binary: counted as test code for panic-safety and
+    /// printing, but its artifact writes are real and must be atomic.
+    pub is_bin: bool,
 }
 
 /// Crates whose public `f64` parameters are checked for unit names.
@@ -495,8 +508,45 @@ pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     if !ctx.is_test_code {
         sink_forward(&s, path, &mut out);
     }
+    if !ctx.is_test_code || ctx.is_bin {
+        atomic_artifacts(&s, path, &mut out);
+    }
     config_invariants(&s, path, ctx, &mut out);
     out
+}
+
+/// Write calls that clobber the target in place: a crash mid-write (or a
+/// concurrent reader) sees a torn file.
+const TORN_WRITE_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
+
+/// Flags in-place artifact writes outside `#[cfg(test)]` regions. Final
+/// artifacts (traces, reports, metric snapshots, bench JSON) must go
+/// through `eval_trace::write_atomic`; incremental append logs built on
+/// `OpenOptions` are exempt by construction.
+fn atomic_artifacts(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in s.code.iter().enumerate() {
+        if s.in_test[i] {
+            continue;
+        }
+        for tok in TORN_WRITE_TOKENS {
+            if line.contains(tok) {
+                let shown = tok.trim_end_matches('(');
+                push(
+                    out,
+                    s,
+                    path,
+                    i,
+                    Rule::AtomicArtifacts,
+                    format!(
+                        "`{shown}` clobbers the target in place and can leave a \
+                         torn file on crash; use eval_trace::write_atomic (or \
+                         OpenOptions for append streams) or justify with \
+                         lint:allow(atomic-artifacts)"
+                    ),
+                );
+            }
+        }
+    }
 }
 
 /// The three `Record` variants every sink must handle explicitly when it
@@ -901,9 +951,11 @@ pub fn context_for(rel: &Path) -> Option<FileContext> {
     let is_test_code = parts
         .iter()
         .any(|p| ["tests", "examples", "benches", "bin"].contains(p));
+    let is_bin = parts.iter().any(|p| *p == "bin");
     Some(FileContext {
         crate_name,
         is_test_code,
+        is_bin,
     })
 }
 
@@ -960,6 +1012,7 @@ mod tests {
         FileContext {
             crate_name: name.to_string(),
             is_test_code: false,
+            is_bin: false,
         }
     }
 
@@ -1033,6 +1086,41 @@ mod tests {
         let d = lint_source("x.rs", src, &ctx("eval-adapt"));
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, Rule::NoAllocInCheck);
+    }
+
+    #[test]
+    fn in_place_artifact_writes_are_flagged_even_in_bins() {
+        let src = "pub fn f() { std::fs::write(\"out.json\", \"x\").ok(); }\n";
+        let d = lint_source("x.rs", src, &ctx("eval-obs"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::AtomicArtifacts);
+        // A bin crate is test code for panic-safety, but its artifact
+        // writes are real output.
+        let bin = FileContext {
+            crate_name: "eval-bench".to_string(),
+            is_test_code: true,
+            is_bin: true,
+        };
+        let d = lint_source("x.rs", src, &bin);
+        assert_eq!(d.len(), 1, "{d:?}");
+        // Tests proper stay exempt.
+        let test = FileContext {
+            crate_name: "eval-bench".to_string(),
+            is_test_code: true,
+            is_bin: false,
+        };
+        assert!(lint_source("x.rs", src, &test).is_empty());
+        // The escape hatch works.
+        let allowed =
+            "// lint:allow(atomic-artifacts): staging write\npub fn f() { std::fs::write(\"o\", \"x\").ok(); }\n";
+        assert!(lint_source("x.rs", allowed, &ctx("eval-obs")).is_empty());
+    }
+
+    #[test]
+    fn append_streams_on_openoptions_are_not_flagged() {
+        let src = "pub fn f() { let _ = std::fs::OpenOptions::new().append(true).open(\"log\"); }\n";
+        let d = lint_source("x.rs", src, &ctx("eval-adapt"));
+        assert!(d.iter().all(|d| d.rule != Rule::AtomicArtifacts), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Fixture for the atomic-artifacts rule: seeded in-place artifact
+//! writes, an allowlisted staging write, an exempt append stream, and a
+//! test region.
+
+use std::path::Path;
+
+pub fn torn_report(path: &Path, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body) // BAD: clobbers in place
+}
+
+pub fn torn_create(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) // BAD: truncates in place
+}
+
+pub fn staged(path: &Path, body: &str) -> std::io::Result<()> {
+    // lint:allow(atomic-artifacts): staging write, renamed over the target below
+    std::fs::write(path.with_extension("tmp"), body)?;
+    std::fs::rename(path.with_extension("tmp"), path)
+}
+
+pub fn append_log(path: &Path) -> std::io::Result<std::fs::File> {
+    // OK: append streams are their own crash-safety story.
+    std::fs::OpenOptions::new().append(true).create(true).open(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_fine() {
+        std::fs::write("/tmp/scratch", "x").ok();
+    }
+}

@@ -7,6 +7,7 @@ fn ctx(name: &str) -> FileContext {
     FileContext {
         crate_name: name.to_string(),
         is_test_code: false,
+        is_bin: false,
     }
 }
 
@@ -78,6 +79,7 @@ fn panic_safety_skips_test_code_files() {
     let test_ctx = FileContext {
         crate_name: "eval-adapt".to_string(),
         is_test_code: true,
+        is_bin: false,
     };
     let d = lint_source("panic_safety.rs", &source, &test_ctx);
     assert!(lines_for(&d, Rule::PanicSafety).is_empty(), "{d:?}");
@@ -174,6 +176,7 @@ fn sink_forward_skips_test_code_files() {
     let test_ctx = FileContext {
         crate_name: "eval-trace".to_string(),
         is_test_code: true,
+        is_bin: false,
     };
     let d = lint_source("sink_forward.rs", &source, &test_ctx);
     assert!(lines_for(&d, Rule::SinkForward).is_empty(), "{d:?}");
@@ -192,6 +195,38 @@ fn sink_forward_accepts_the_real_sinks() {
         let d = lint_source(rel, &source, &ctx(crate_name));
         assert!(lines_for(&d, Rule::SinkForward).is_empty(), "{rel}: {d:?}");
     }
+}
+
+#[test]
+fn atomic_artifacts_fire_with_allow_append_and_test_exemptions() {
+    let d = lint_fixture("atomic_artifacts.rs", "eval-obs");
+    let hits = lines_for(&d, Rule::AtomicArtifacts);
+    // fs::write and File::create fire; the allowlisted staging write,
+    // the OpenOptions append stream, and the #[cfg(test)] region do not.
+    assert_eq!(hits.len(), 2, "{d:?}");
+}
+
+#[test]
+fn atomic_artifacts_apply_to_bins_but_not_tests() {
+    let path = format!(
+        "{}/tests/fixtures/atomic_artifacts.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("fixture exists");
+    let bin_ctx = FileContext {
+        crate_name: "eval-bench".to_string(),
+        is_test_code: true,
+        is_bin: true,
+    };
+    let d = lint_source("atomic_artifacts.rs", &source, &bin_ctx);
+    assert_eq!(lines_for(&d, Rule::AtomicArtifacts).len(), 2, "{d:?}");
+    let test_ctx = FileContext {
+        crate_name: "eval-bench".to_string(),
+        is_test_code: true,
+        is_bin: false,
+    };
+    let d = lint_source("atomic_artifacts.rs", &source, &test_ctx);
+    assert!(lines_for(&d, Rule::AtomicArtifacts).is_empty(), "{d:?}");
 }
 
 #[test]
@@ -229,6 +264,11 @@ fn every_rule_family_is_exercised() {
             Rule::SinkForward,
         )
         .is_empty(),
+        !lines_for(
+            &lint_fixture("atomic_artifacts.rs", "eval-obs"),
+            Rule::AtomicArtifacts,
+        )
+        .is_empty(),
     ];
-    assert_eq!(fired, [true; 6]);
+    assert_eq!(fired, [true; 7]);
 }

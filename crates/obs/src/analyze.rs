@@ -189,6 +189,9 @@ pub struct Analysis {
     pub digests: BTreeMap<String, Histogram>,
     /// Span lines: path -> (count, total nanoseconds).
     pub spans: BTreeMap<String, (u64, u128)>,
+    /// The file ended in one unparseable final line — the signature of a
+    /// write torn by a crash. The rest of the analysis is still valid.
+    pub truncated_tail: bool,
 }
 
 impl Analysis {
@@ -233,6 +236,15 @@ impl Analysis {
             None => {
                 let _ = writeln!(w, "campaign: no campaign-start event (chip markers: {})", self.chips_seen);
             }
+        }
+        if let Some(resumed) = self.counters.get("campaign.chips_resumed") {
+            let _ = writeln!(w, "resumed: {resumed} chips restored from a checkpoint sidecar");
+        }
+        if let Some(failed) = self.counters.get("campaign.chips_failed") {
+            let _ = writeln!(w, "quarantined: {failed} chips failed and were excluded from averages");
+        }
+        if self.truncated_tail {
+            let _ = writeln!(w, "WARNING: trace ends in a torn final line (crashed mid-write); tail dropped");
         }
         let _ = writeln!(w, "events: {}", self.events);
         for (kind, n) in &self.events_by_kind {
@@ -451,7 +463,7 @@ impl Analysis {
             None => "null".to_string(),
         };
 
-        JsonObject::new()
+        let mut o = JsonObject::new()
             .raw("campaign", &campaign)
             .u64("chips_seen", self.chips_seen)
             .u64("events", self.events)
@@ -461,8 +473,13 @@ impl Analysis {
             .raw("freq_delta", &delta)
             .raw("solver_cache", &cache)
             .raw("chips", &chips)
-            .raw("counters", &map_u64_json(&self.counters))
-            .finish()
+            .raw("counters", &map_u64_json(&self.counters));
+        // Only stamped when set, so reports over intact traces are
+        // byte-identical to those from before the field existed.
+        if self.truncated_tail {
+            o = o.bool("truncated_tail", true);
+        }
+        o.finish()
     }
 }
 
@@ -679,19 +696,37 @@ impl Analyzer {
 
 /// Folds a whole JSONL stream from a reader.
 ///
+/// A single malformed **final** line is tolerated: that is the signature
+/// of a write torn by a crash, so the line is dropped and the analysis
+/// is returned with [`Analysis::truncated_tail`] set. A malformed line
+/// *followed by more content* is mid-file corruption and stays an error.
+///
 /// # Errors
 ///
-/// Returns [`AnalyzeError`] on I/O failure or a malformed line.
+/// Returns [`AnalyzeError`] on I/O failure or mid-file corruption.
 pub fn analyze_reader(reader: impl BufRead) -> Result<Analysis, AnalyzeError> {
     let mut analyzer = Analyzer::new();
+    let mut pending: Option<AnalyzeError> = None;
     for (i, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| AnalyzeError {
             line: i + 1,
             message: format!("read failed: {e}"),
         })?;
-        analyzer.feed_line(&line)?;
+        if let Some(err) = pending.take() {
+            if line.trim().is_empty() {
+                // Trailing blanks don't prove the bad line was mid-file.
+                pending = Some(err);
+                continue;
+            }
+            return Err(err);
+        }
+        if let Err(err) = analyzer.feed_line(&line) {
+            pending = Some(err);
+        }
     }
-    Ok(analyzer.finish())
+    let mut analysis = analyzer.finish();
+    analysis.truncated_tail = pending.is_some();
+    Ok(analysis)
 }
 
 #[cfg(test)]
@@ -787,13 +822,51 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_carry_line_numbers() {
-        let bad = "{\"kind\":\"event\"}\n";
+    fn mid_file_corruption_stays_an_error_with_its_line_number() {
+        let counter = r#"{"kind":"counter","name":"a","value":1}"#;
+        // The bad line is followed by more content: corruption, not a
+        // torn tail.
+        let bad = format!("{{\"kind\":\"event\"}}\n{counter}\n");
         let e = analyze_reader(bad.as_bytes()).unwrap_err();
         assert_eq!(e.line, 1);
-        let bad2 = format!("{}\nnot json\n", r#"{"kind":"counter","name":"a","value":1}"#);
+        let bad2 = format!("{counter}\nnot json\n{counter}\n");
         let e2 = analyze_reader(bad2.as_bytes()).unwrap_err();
         assert_eq!(e2.line, 2);
+    }
+
+    #[test]
+    fn a_single_torn_final_line_is_tolerated_and_flagged() {
+        let counter = r#"{"kind":"counter","name":"a","value":1}"#;
+        // A crash mid-write leaves one incomplete final line.
+        let torn = format!("{counter}\n{{\"kind\":\"coun");
+        let a = analyze_reader(torn.as_bytes()).expect("tolerated");
+        assert!(a.truncated_tail);
+        assert_eq!(a.counters["a"], 1);
+        assert!(a.report_text().contains("torn final line"), "{}", a.report_text());
+        let v = Json::parse(&a.report_json()).expect("valid JSON");
+        assert_eq!(v.get("truncated_tail").and_then(Json::as_bool), Some(true));
+
+        // An intact trace reports no truncation and omits the field.
+        let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
+        assert!(!a.truncated_tail);
+        assert!(!a.report_json().contains("truncated_tail"));
+    }
+
+    #[test]
+    fn resumed_and_quarantined_counters_surface_in_the_report() {
+        let trace = concat!(
+            r#"{"kind":"counter","name":"campaign.chips_resumed","value":3}"#,
+            "\n",
+            r#"{"kind":"counter","name":"campaign.chips_failed","value":1}"#,
+            "\n",
+        );
+        let report = analyze_reader(trace.as_bytes()).expect("parses").report_text();
+        assert!(report.contains("resumed: 3 chips"), "{report}");
+        assert!(report.contains("quarantined: 1 chips"), "{report}");
+        // Traces without those counters keep the old report shape.
+        let report = analyze_reader(mini_trace().as_bytes()).unwrap().report_text();
+        assert!(!report.contains("resumed:"), "{report}");
+        assert!(!report.contains("quarantined:"), "{report}");
     }
 
     #[test]

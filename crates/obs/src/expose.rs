@@ -86,13 +86,15 @@ pub fn prometheus(registry: &Registry) -> String {
     out
 }
 
-/// Writes the snapshot to `path` (the `--metrics-out` target).
+/// Writes the snapshot to `path` (the `--metrics-out` target),
+/// atomically: a scraper (or `eval-obs serve`) re-reading the file mid
+/// write sees the old complete snapshot, never a torn one.
 ///
 /// # Errors
 ///
 /// Propagates the I/O error when the file cannot be written.
 pub fn write_prometheus(registry: &Registry, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, prometheus(registry))
+    eval_trace::write_atomic(path, prometheus(registry).as_bytes())
 }
 
 /// A minimal scrape endpoint over `std::net` (no HTTP dependency).
@@ -176,10 +178,10 @@ mod tests {
     fn sample_registry() -> Registry {
         let mut r = Registry::new();
         r.register_histogram("decision.latency_us", &[10.0, 100.0]);
-        r.apply(&MetricUpdate::CounterAdd("solver.cache.hits", 9));
-        r.apply(&MetricUpdate::GaugeSet("campaign.phase", 2.0));
-        r.apply(&MetricUpdate::Observe("decision.latency_us", 50.0));
-        r.apply(&MetricUpdate::Observe("decision.latency_us", 500.0));
+        r.apply(&MetricUpdate::CounterAdd("solver.cache.hits".into(), 9));
+        r.apply(&MetricUpdate::GaugeSet("campaign.phase".into(), 2.0));
+        r.apply(&MetricUpdate::Observe("decision.latency_us".into(), 50.0));
+        r.apply(&MetricUpdate::Observe("decision.latency_us".into(), 500.0));
         r
     }
 

@@ -64,6 +64,9 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         analyze_reader(std::io::BufReader::new(file))?
     };
+    if analysis.truncated_tail {
+        eprintln!("# WARNING: {path}: torn final line dropped (trace truncated by a crash)");
+    }
     if as_json {
         println!("{}", analysis.report_json());
     } else {

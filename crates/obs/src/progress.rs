@@ -30,6 +30,7 @@ struct State<W> {
     last_len: usize,
     chips_total: Option<u64>,
     chips_done: u64,
+    chips_resumed: u64,
     records: u64,
     registry: Registry,
 }
@@ -59,6 +60,7 @@ impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
                 last_len: 0,
                 chips_total: None,
                 chips_done: 0,
+                chips_resumed: 0,
                 records: 0,
                 registry: Registry::new(),
             }),
@@ -69,6 +71,18 @@ impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
     /// counter).
     pub fn chips_done(&self) -> u64 {
         self.lock().chips_done
+    }
+
+    /// Chips restored from a checkpoint rather than run in this process
+    /// (from the `campaign.chips_resumed` counter; 0 on a fresh run).
+    pub fn chips_resumed(&self) -> u64 {
+        self.lock().chips_resumed
+    }
+
+    /// The wrapped sink, without consuming the decorator (e.g. to read a
+    /// streaming sink's registry mid-run).
+    pub fn inner(&self) -> &S {
+        &self.inner
     }
 
     /// Ends the progress line (final heartbeat plus newline) and
@@ -98,8 +112,28 @@ impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
                 state.chips_done = 0;
             }
             Record::Metric(update) => {
-                if let eval_trace::MetricUpdate::CounterAdd("campaign.chips_done", n) = update {
-                    state.chips_done += n;
+                match update {
+                    eval_trace::MetricUpdate::CounterAdd(name, n)
+                        if name.as_ref() == "campaign.chips_done" =>
+                    {
+                        state.chips_done += n;
+                    }
+                    eval_trace::MetricUpdate::CounterAdd(name, n)
+                        if name.as_ref() == "campaign.chips_resumed" =>
+                    {
+                        state.chips_resumed += n;
+                    }
+                    // A resumed campaign skips the campaign-start event
+                    // (it is already on disk) and announces the population
+                    // size through this gauge instead.
+                    eval_trace::MetricUpdate::GaugeSet(name, total)
+                        if name.as_ref() == "campaign.chips_total"
+                            && state.chips_total.is_none()
+                            && *total > 0.0 =>
+                    {
+                        state.chips_total = Some(*total as u64);
+                    }
+                    _ => {}
                 }
                 state.registry.apply(update);
             }
@@ -129,6 +163,12 @@ impl<S: TraceSink, W: Write + Send> TraceSink for ProgressSink<S, W> {
         self.observe(&rec);
         self.inner.record(rec);
     }
+
+    fn flush(&self) {
+        // Forwarded verbatim so a wrapped streaming sink still commits
+        // one chip segment per replay.
+        self.inner.flush();
+    }
 }
 
 impl<S, W> std::fmt::Debug for ProgressSink<S, W> {
@@ -147,8 +187,14 @@ fn heartbeat_line<W>(state: &State<W>) -> String {
             let done = state.chips_done.min(total);
             let pct = 100.0 * done as f64 / total as f64;
             let _ = write!(line, "chips {done}/{total} ({pct:.0}%)");
-            if done > 0 {
-                let rate = done as f64 / elapsed;
+            if state.chips_resumed > 0 {
+                let _ = write!(line, " [{} resumed]", state.chips_resumed);
+            }
+            // Rate and ETA reflect chips *this process* ran; resumed
+            // chips were free and would skew the forecast.
+            let fresh = done.saturating_sub(state.chips_resumed);
+            if fresh > 0 {
+                let rate = fresh as f64 / elapsed;
                 let _ = write!(line, " | {rate:.2} chips/s");
                 if done < total {
                     let eta = (total - done) as f64 / rate;
@@ -229,16 +275,16 @@ mod tests {
                 workloads: 2,
                 cells: 6,
             }),
-            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done", 1)),
-            Record::Metric(MetricUpdate::CounterAdd("decision.count", 3)),
-            Record::Metric(MetricUpdate::CounterAdd("solver.cache.hits", 9)),
-            Record::Metric(MetricUpdate::CounterAdd("solver.cache.misses", 1)),
+            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done".into(), 1)),
+            Record::Metric(MetricUpdate::CounterAdd("decision.count".into(), 3)),
+            Record::Metric(MetricUpdate::CounterAdd("solver.cache.hits".into(), 9)),
+            Record::Metric(MetricUpdate::CounterAdd("solver.cache.misses".into(), 1)),
             Record::Event(Event::ChipStart { chip: 0 }),
             Record::Span {
                 path: "campaign/chip".into(),
                 nanos: 42,
             },
-            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done", 3)),
+            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done".into(), 3)),
         ]
     }
 
@@ -296,10 +342,40 @@ mod tests {
     }
 
     #[test]
+    fn resumed_runs_learn_totals_from_the_gauge_and_flag_resumed_chips() {
+        let buf = SharedBuf::default();
+        let wrapped = ProgressSink::new(Collector::new(), buf.clone(), Duration::ZERO);
+        // A resumed campaign: no campaign-start event, the totals arrive
+        // via the checkpoint-mode gauge and the resumed counter.
+        wrapped.record(Record::Metric(MetricUpdate::GaugeSet(
+            "campaign.chips_total".into(),
+            4.0,
+        )));
+        wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
+            "campaign.chips_resumed".into(),
+            2,
+        )));
+        wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
+            "campaign.chips_done".into(),
+            2,
+        )));
+        wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
+            "campaign.chips_done".into(),
+            1,
+        )));
+        assert_eq!(wrapped.chips_resumed(), 2);
+        assert_eq!(wrapped.chips_done(), 3);
+        drop(wrapped.into_inner());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("chips 3/4 (75%)"), "{text}");
+        assert!(text.contains("[2 resumed]"), "{text}");
+    }
+
+    #[test]
     fn without_campaign_start_the_heartbeat_counts_records() {
         let buf = SharedBuf::default();
         let wrapped = ProgressSink::new(Collector::new(), buf.clone(), Duration::ZERO);
-        wrapped.record(Record::Metric(MetricUpdate::CounterAdd("x", 1)));
+        wrapped.record(Record::Metric(MetricUpdate::CounterAdd("x".into(), 1)));
         drop(wrapped.into_inner());
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("1 records"), "{text}");

@@ -29,13 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod stream;
 
+pub use artifact::{ensure_parent_dir, write_atomic};
 pub use event::{DecisionEvent, Event, RejectedCandidate};
-pub use metrics::{Histogram, HistogramMismatch, MetricUpdate, Registry};
-pub use sink::{BufferSink, Collector, Record, TraceSink, Tracer};
+pub use json::{Json, JsonError};
+pub use metrics::{Histogram, HistogramMismatch, MetricName, MetricUpdate, Registry};
+pub use sink::{default_registry, BufferSink, Collector, Record, TraceSink, Tracer};
 pub use span::{span_report, SpanGuard, SpanStat, TimerGuard};
+pub use stream::StreamingJsonl;

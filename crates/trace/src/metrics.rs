@@ -9,24 +9,29 @@
 //! durations and are excluded from the golden contract by name, see
 //! [`is_timing_metric`]).
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use crate::json::{f64_array, u64_array, JsonObject};
+
+/// A metric name: `&'static str` on the hot emit path (zero-cost), owned
+/// when reconstructed from a persisted trace or checkpoint record.
+pub type MetricName = Cow<'static, str>;
 
 /// One metric mutation, as carried by [`crate::sink::Record::Metric`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricUpdate {
     /// Add `1`.. to a monotonic counter.
-    CounterAdd(&'static str, u64),
+    CounterAdd(MetricName, u64),
     /// Set a gauge to the latest value.
-    GaugeSet(&'static str, f64),
+    GaugeSet(MetricName, f64),
     /// Record one observation into a histogram.
-    Observe(&'static str, f64),
+    Observe(MetricName, f64),
 }
 
 impl MetricUpdate {
     /// The metric name this update targets.
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             MetricUpdate::CounterAdd(n, _)
             | MetricUpdate::GaugeSet(n, _)
@@ -242,9 +247,9 @@ const DEFAULT_BOUNDS: [f64; 14] = [
 /// The deterministic metric registry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, f64>,
+    histograms: BTreeMap<MetricName, Histogram>,
 }
 
 impl Registry {
@@ -255,22 +260,23 @@ impl Registry {
 
     /// Pre-registers a histogram with explicit boundaries (otherwise the
     /// first observation creates it with decade [`DEFAULT_BOUNDS`]).
-    pub fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) {
-        self.histograms.insert(name, Histogram::new(bounds));
+    pub fn register_histogram(&mut self, name: impl Into<MetricName>, bounds: &[f64]) {
+        self.histograms.insert(name.into(), Histogram::new(bounds));
     }
 
-    /// Applies one update.
+    /// Applies one update. Cloning a `Cow::Borrowed` name is a pointer
+    /// copy, so the static-name hot path stays allocation-free.
     pub fn apply(&mut self, update: &MetricUpdate) {
         match update {
             MetricUpdate::CounterAdd(name, n) => {
-                *self.counters.entry(name).or_insert(0) += n;
+                *self.counters.entry(name.clone()).or_insert(0) += n;
             }
             MetricUpdate::GaugeSet(name, v) => {
-                self.gauges.insert(name, *v);
+                self.gauges.insert(name.clone(), *v);
             }
             MetricUpdate::Observe(name, v) => {
                 self.histograms
-                    .entry(name)
+                    .entry(name.clone())
                     .or_insert_with(|| Histogram::new(&DEFAULT_BOUNDS))
                     .observe(*v);
             }
@@ -293,18 +299,18 @@ impl Registry {
     }
 
     /// All counters, in sorted-name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(n, v)| (*n, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (n.as_ref(), *v))
     }
 
     /// All gauges, in sorted-name order.
-    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
-        self.gauges.iter().map(|(n, v)| (*n, *v))
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (n.as_ref(), *v))
     }
 
     /// All histograms, in sorted-name order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(n, h)| (*n, h))
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (n.as_ref(), h))
     }
 
     /// True when nothing has been recorded.
@@ -442,11 +448,11 @@ mod tests {
     fn registry_applies_updates_and_snapshots_in_name_order() {
         let mut r = Registry::new();
         r.register_histogram("z.hist", &[1.0]);
-        r.apply(&MetricUpdate::CounterAdd("b.count", 2));
-        r.apply(&MetricUpdate::CounterAdd("a.count", 1));
-        r.apply(&MetricUpdate::CounterAdd("b.count", 3));
-        r.apply(&MetricUpdate::GaugeSet("g", 0.5));
-        r.apply(&MetricUpdate::Observe("z.hist", 3.0));
+        r.apply(&MetricUpdate::CounterAdd("b.count".into(), 2));
+        r.apply(&MetricUpdate::CounterAdd("a.count".into(), 1));
+        r.apply(&MetricUpdate::CounterAdd("b.count".into(), 3));
+        r.apply(&MetricUpdate::GaugeSet("g".into(), 0.5));
+        r.apply(&MetricUpdate::Observe("z.hist".into(), 3.0));
         assert_eq!(r.counter("b.count"), 5);
         assert_eq!(r.counter("missing"), 0);
         assert_eq!(r.gauge("g"), Some(0.5));
@@ -462,7 +468,7 @@ mod tests {
     #[test]
     fn unregistered_observation_gets_default_decade_buckets() {
         let mut r = Registry::new();
-        r.apply(&MetricUpdate::Observe("x", 50.0));
+        r.apply(&MetricUpdate::Observe("x".into(), 50.0));
         let h = r.histogram("x").unwrap();
         assert_eq!(h.bounds().len(), 14);
         assert_eq!(h.count(), 1);
@@ -479,8 +485,8 @@ mod tests {
     #[test]
     fn summary_renders_nonempty_sections() {
         let mut r = Registry::new();
-        r.apply(&MetricUpdate::CounterAdd("c", 1));
-        r.apply(&MetricUpdate::Observe("h", 2.0));
+        r.apply(&MetricUpdate::CounterAdd("c".into(), 1));
+        r.apply(&MetricUpdate::Observe("h".into(), 2.0));
         let s = r.summary();
         assert!(s.contains("counter"));
         assert!(s.contains("histogram h"));
@@ -550,10 +556,10 @@ mod tests {
     #[test]
     fn registry_iterators_walk_sorted_snapshots() {
         let mut r = Registry::new();
-        r.apply(&MetricUpdate::CounterAdd("b", 2));
-        r.apply(&MetricUpdate::CounterAdd("a", 1));
-        r.apply(&MetricUpdate::GaugeSet("g", 0.5));
-        r.apply(&MetricUpdate::Observe("h", 1.0));
+        r.apply(&MetricUpdate::CounterAdd("b".into(), 2));
+        r.apply(&MetricUpdate::CounterAdd("a".into(), 1));
+        r.apply(&MetricUpdate::GaugeSet("g".into(), 0.5));
+        r.apply(&MetricUpdate::Observe("h".into(), 1.0));
         let names: Vec<_> = r.counters().map(|(n, _)| n).collect();
         assert_eq!(names, ["a", "b"]);
         assert_eq!(r.gauges().count(), 1);

@@ -17,10 +17,10 @@
 //!   schedule.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex;
 
+use crate::artifact::write_atomic;
 use crate::event::Event;
 use crate::json::JsonObject;
 use crate::metrics::{MetricUpdate, Registry};
@@ -48,6 +48,12 @@ pub enum Record {
 pub trait TraceSink: Sync {
     /// Accepts one record.
     fn record(&self, rec: Record);
+
+    /// Flushes buffered output to its backing store. In-memory sinks
+    /// have nothing to do; streaming sinks push pending bytes to disk.
+    /// Called at the end of every [`Tracer::replay`], i.e. once per
+    /// committed chip, so a crash loses at most the chip in flight.
+    fn flush(&self) {}
 }
 
 /// A cheap, copyable handle to an optional sink.
@@ -91,21 +97,21 @@ impl<'a> Tracer<'a> {
     /// Increments a counter by `n`.
     pub fn count_n(&self, name: &'static str, n: u64) {
         if let Some(sink) = self.sink {
-            sink.record(Record::Metric(MetricUpdate::CounterAdd(name, n)));
+            sink.record(Record::Metric(MetricUpdate::CounterAdd(name.into(), n)));
         }
     }
 
     /// Sets a gauge.
     pub fn gauge(&self, name: &'static str, v: f64) {
         if let Some(sink) = self.sink {
-            sink.record(Record::Metric(MetricUpdate::GaugeSet(name, v)));
+            sink.record(Record::Metric(MetricUpdate::GaugeSet(name.into(), v)));
         }
     }
 
     /// Records one histogram observation.
     pub fn observe(&self, name: &'static str, v: f64) {
         if let Some(sink) = self.sink {
-            sink.record(Record::Metric(MetricUpdate::Observe(name, v)));
+            sink.record(Record::Metric(MetricUpdate::Observe(name.into(), v)));
         }
     }
 
@@ -127,12 +133,14 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    /// Forwards pre-recorded records (from a [`BufferSink`]) in order.
+    /// Forwards pre-recorded records (from a [`BufferSink`]) in order,
+    /// then flushes the sink so a streaming sink persists the batch.
     pub fn replay(&self, records: Vec<Record>) {
         if let Some(sink) = self.sink {
             for rec in records {
                 sink.record(rec);
             }
+            sink.flush();
         }
     }
 }
@@ -187,19 +195,59 @@ const LATENCY_METRICS: [&str; 5] = [
     "decision.latency.global-dvfs_us",
 ];
 
+/// The registry every terminal sink starts from: the EVAL-specific
+/// histograms pre-registered with their fixed boundaries. Shared by
+/// [`Collector`] and [`crate::stream::StreamingJsonl`] so both render
+/// byte-identical metric snapshot lines (pre-registered-but-empty
+/// histograms appear in the snapshot).
+pub fn default_registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register_histogram("decision.f_ghz", &F_GHZ_BOUNDS);
+    registry.register_histogram("decision.pe_per_instruction", &PE_BOUNDS);
+    for name in LATENCY_METRICS {
+        registry.register_histogram(name, &LATENCY_US_BOUNDS);
+    }
+    registry
+}
+
+/// Renders one `"kind":"event"` JSONL line (no trailing newline).
+pub(crate) fn render_event_line(e: &Event) -> String {
+    JsonObject::new()
+        .str("kind", "event")
+        .str("event", e.kind())
+        .raw("payload", &e.payload_json())
+        .finish()
+}
+
+/// Renders the non-event tail of the JSONL stream: metric snapshot lines
+/// (sorted by name), then span lines (sorted by path). Shared by
+/// [`Collector::jsonl`] and the streaming sink's `finish` so the two
+/// outputs stay byte-identical.
+pub(crate) fn render_tail_lines(
+    registry: &Registry,
+    spans: &BTreeMap<String, SpanStat>,
+) -> Vec<String> {
+    let mut lines = registry.jsonl_lines();
+    for (path, stat) in spans {
+        lines.push(
+            JsonObject::new()
+                .str("kind", "span")
+                .str("path", path)
+                .u64("count", stat.count)
+                .u128("total_ns", stat.total_ns)
+                .finish(),
+        );
+    }
+    lines
+}
+
 impl Collector {
     /// A collector with the EVAL-specific histograms pre-registered.
     pub fn new() -> Self {
-        let mut registry = Registry::new();
-        registry.register_histogram("decision.f_ghz", &F_GHZ_BOUNDS);
-        registry.register_histogram("decision.pe_per_instruction", &PE_BOUNDS);
-        for name in LATENCY_METRICS {
-            registry.register_histogram(name, &LATENCY_US_BOUNDS);
-        }
         Self {
             inner: Mutex::new(CollectorInner {
                 events: Vec::new(),
-                registry,
+                registry: default_registry(),
                 spans: BTreeMap::new(),
             }),
         }
@@ -230,17 +278,7 @@ impl Collector {
     /// by the golden determinism contract (`"kind":"event"`).
     pub fn event_lines(&self) -> Vec<String> {
         let inner = self.lock();
-        inner
-            .events
-            .iter()
-            .map(|e| {
-                JsonObject::new()
-                    .str("kind", "event")
-                    .str("event", e.kind())
-                    .raw("payload", &e.payload_json())
-                    .finish()
-            })
-            .collect()
+        inner.events.iter().map(render_event_line).collect()
     }
 
     /// The full JSONL stream: event lines (deterministic, in emission
@@ -249,17 +287,7 @@ impl Collector {
     pub fn jsonl(&self) -> String {
         let mut lines = self.event_lines();
         let inner = self.lock();
-        lines.extend(inner.registry.jsonl_lines());
-        for (path, stat) in &inner.spans {
-            lines.push(
-                JsonObject::new()
-                    .str("kind", "span")
-                    .str("path", path)
-                    .u64("count", stat.count)
-                    .u128("total_ns", stat.total_ns)
-                    .finish(),
-            );
-        }
+        lines.extend(render_tail_lines(&inner.registry, &inner.spans));
         let mut out = lines.join("\n");
         if !out.is_empty() {
             out.push('\n');
@@ -267,11 +295,9 @@ impl Collector {
         out
     }
 
-    /// Writes the JSONL stream to `path`.
+    /// Writes the JSONL stream to `path` atomically (temp file + rename).
     pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(self.jsonl().as_bytes())?;
-        file.flush()
+        write_atomic(path, self.jsonl().as_bytes())
     }
 
     /// The end-of-run summary: event counts by kind, span self/total
@@ -336,6 +362,13 @@ impl BufferSink {
         self.records
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drains the buffer in place, returning records in recording order
+    /// and leaving it empty. Lets the campaign commit a finished chip's
+    /// records while the worker scope still borrows the sink.
+    pub fn drain(&self) -> Vec<Record> {
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 

@@ -102,7 +102,8 @@ impl Drop for TimerGuard<'_> {
         if let Some((sink, name, start)) = self.active.take() {
             let us = start.elapsed().as_secs_f64() * 1e6;
             sink.record(Record::Metric(crate::metrics::MetricUpdate::Observe(
-                name, us,
+                name.into(),
+                us,
             )));
         }
     }

@@ -1,0 +1,223 @@
+//! Crash-safety round trips: a quarantined chip must not perturb the
+//! rest of the sweep, a killed-then-resumed campaign must reproduce the
+//! full-run trace and result, and a sidecar written by a different
+//! campaign must be refused.
+
+use std::path::{Path, PathBuf};
+
+use eval_adapt::{
+    committed_chips, Campaign, CampaignError, CheckpointError, CheckpointOptions, Scheme,
+};
+use eval_core::Environment;
+use eval_trace::{Collector, StreamingJsonl, Tracer};
+use eval_uarch::Workload;
+
+const ENVS: [Environment; 1] = [Environment::TS_ASV];
+const SCHEMES: [Scheme; 1] = [Scheme::ExhDyn];
+const CHIP_START: &str = "{\"kind\":\"event\",\"event\":\"chip-start\",\"payload\":{\"chip\":";
+
+fn small_campaign(chips: usize) -> Campaign {
+    let mut campaign = Campaign::new(chips);
+    campaign.profile_budget = 2_000;
+    campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
+    campaign.threads = 1;
+    campaign
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eval-crash-{name}-{}", std::process::id()))
+}
+
+/// Event lines split into the campaign prologue (`None`) followed by
+/// one segment per `chip-start` marker.
+fn chip_segments(jsonl: &str) -> Vec<(Option<u64>, Vec<String>)> {
+    let mut out: Vec<(Option<u64>, Vec<String>)> = vec![(None, Vec::new())];
+    for line in jsonl.lines().filter(|l| l.starts_with("{\"kind\":\"event\"")) {
+        if let Some(rest) = line.strip_prefix(CHIP_START) {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            out.push((digits.parse().ok(), Vec::new()));
+        }
+        let segment = out.last_mut().expect("starts non-empty");
+        segment.1.push(line.to_string());
+    }
+    out
+}
+
+/// Drops the lines legitimately excluded from the cross-run
+/// byte-identity contract: span timings, `*_us`/`*_ns`/`*_ms` digests,
+/// and the resume accounting counter that only a resumed run carries.
+fn deterministic_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.contains("\"kind\":\"span\""))
+        .filter(|l| !l.contains("_us\"") && !l.contains("_ns\"") && !l.contains("_ms\""))
+        .filter(|l| !l.contains("campaign.chips_resumed"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn a_quarantined_chip_leaves_the_other_chips_bit_identical() {
+    let campaign = small_campaign(3);
+    let clean_sink = Collector::new();
+    let clean = campaign
+        .run_traced(&ENVS, &SCHEMES, Tracer::new(&clean_sink))
+        .expect("clean campaign runs");
+    assert!(clean.chips_failed.is_empty());
+
+    let mut faulty = small_campaign(3);
+    faulty.fail_chip = Some(1);
+    let faulty_sink = Collector::new();
+    let quarantined = faulty
+        .run_traced(&ENVS, &SCHEMES, Tracer::new(&faulty_sink))
+        .expect("sweep continues past the quarantined chip");
+    assert_eq!(quarantined.chips_failed.len(), 1);
+    assert_eq!(quarantined.chips_failed[0].chip, 1);
+    assert!(
+        quarantined.chips_failed[0].error.contains("injected"),
+        "{:?}",
+        quarantined.chips_failed
+    );
+
+    // The surviving chips' event streams must not move by a byte: the
+    // faulty trace is the clean trace minus chip 1's segment.
+    let mut expected = chip_segments(&clean_sink.jsonl());
+    expected.retain(|(chip, _)| *chip != Some(1));
+    assert_eq!(chip_segments(&faulty_sink.jsonl()), expected);
+
+    // And the quarantine is visible to observability: one failed chip.
+    assert!(
+        faulty_sink.jsonl().contains("campaign.chips_failed"),
+        "chips_failed counter missing from the trace"
+    );
+}
+
+#[test]
+fn all_chips_failing_is_a_typed_error() {
+    let mut faulty = small_campaign(1);
+    faulty.fail_chip = Some(0);
+    let err = faulty
+        .run_traced(&ENVS, &SCHEMES, Tracer::new(&Collector::new()))
+        .expect_err("nothing to merge");
+    assert!(matches!(err, CampaignError::AllChipsFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn kill_after_two_chips_then_resume_reproduces_the_full_run() {
+    let trace_full = scratch("full.jsonl");
+    let ckpt_full = scratch("full.ckpt.jsonl");
+    let trace_crash = scratch("crash.jsonl");
+    let ckpt_crash = scratch("crash.ckpt.jsonl");
+    for p in [&trace_full, &ckpt_full, &trace_crash, &ckpt_crash] {
+        std::fs::remove_file(p).ok();
+    }
+
+    let campaign = small_campaign(3);
+    let stream = StreamingJsonl::create(&trace_full).expect("creates trace");
+    let full = campaign
+        .run_checkpointed(
+            &ENVS,
+            &SCHEMES,
+            Tracer::new(&stream),
+            &CheckpointOptions::fresh(&ckpt_full),
+        )
+        .expect("full campaign runs");
+    stream.finish().expect("finishes");
+
+    // Forge the crash state: the trace holds chips 0 and 1 plus a torn
+    // partial line, the sidecar holds the header and two chip records —
+    // exactly what a kill between chip 2's flush and its commit leaves.
+    let full_text = std::fs::read_to_string(&trace_full).expect("readable");
+    let mut crash_trace = String::new();
+    for line in full_text.lines() {
+        if !line.starts_with("{\"kind\":\"event\"") || line.starts_with(&format!("{CHIP_START}2")) {
+            break;
+        }
+        crash_trace.push_str(line);
+        crash_trace.push('\n');
+    }
+    crash_trace.push_str("{\"kind\":\"event\",\"event\":\"chip-sta");
+    std::fs::write(&trace_crash, &crash_trace).expect("writes crash trace");
+    let ckpt_text = std::fs::read_to_string(&ckpt_full).expect("readable");
+    let crash_ckpt: String = ckpt_text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&ckpt_crash, crash_ckpt).expect("writes crash sidecar");
+
+    // Resume exactly the way `TraceSession` does: reconcile the trace
+    // against the sidecar's committed count, then continue the campaign.
+    let committed = committed_chips(&ckpt_crash).expect("sidecar loads");
+    assert_eq!(committed, 2);
+    let stream = StreamingJsonl::resume(&trace_crash, committed).expect("trace reconciles");
+    let resumed = campaign
+        .run_checkpointed(
+            &ENVS,
+            &SCHEMES,
+            Tracer::new(&stream),
+            &CheckpointOptions::resuming(&ckpt_crash),
+        )
+        .expect("resumed campaign runs");
+    stream.finish().expect("finishes");
+
+    // The merged result and the deterministic trace lines are
+    // indistinguishable from the uninterrupted run.
+    assert_eq!(resumed, full);
+    let resumed_text = std::fs::read_to_string(&trace_crash).expect("readable");
+    assert_eq!(
+        deterministic_lines(&resumed_text),
+        deterministic_lines(&full_text)
+    );
+    assert!(
+        resumed_text.contains("campaign.chips_resumed"),
+        "resume accounting counter missing"
+    );
+
+    for p in [&trace_full, &ckpt_full, &trace_crash, &ckpt_crash] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn resume_refuses_a_sidecar_from_a_different_campaign() {
+    let ckpt = scratch("mismatch.ckpt.jsonl");
+    std::fs::remove_file(&ckpt).ok();
+
+    small_campaign(2)
+        .run_checkpointed(
+            &ENVS,
+            &SCHEMES,
+            Tracer::new(&Collector::new()),
+            &CheckpointOptions::fresh(&ckpt),
+        )
+        .expect("first campaign runs");
+
+    let mut reseeded = small_campaign(2);
+    reseeded.base_seed ^= 1;
+    let err = reseeded
+        .run_checkpointed(
+            &ENVS,
+            &SCHEMES,
+            Tracer::new(&Collector::new()),
+            &CheckpointOptions::resuming(&ckpt),
+        )
+        .expect_err("fingerprints differ");
+    assert!(
+        matches!(
+            err,
+            CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+        ),
+        "{err:?}"
+    );
+    std::fs::remove_file(&ckpt).ok();
+}
+
+/// `Path` round-trip guard for the helpers above.
+#[test]
+fn chip_segments_split_on_markers() {
+    let jsonl = format!(
+        "{CHIP_START}0}}}}\n{{\"kind\":\"event\",\"event\":\"x\"}}\n{CHIP_START}1}}}}\n"
+    );
+    let segs = chip_segments(&jsonl);
+    assert_eq!(segs.len(), 3);
+    assert_eq!(segs[1].0, Some(0));
+    assert_eq!(segs[1].1.len(), 2);
+    assert_eq!(segs[2].0, Some(1));
+    let _: &Path = &scratch("x");
+}

@@ -7,17 +7,21 @@ use std::time::Duration;
 
 use eval_adapt::{Campaign, Scheme};
 use eval_core::Environment;
-use eval_trace::{BufferSink, Collector, Record, TraceSink, Tracer};
+use eval_trace::{BufferSink, Collector, Record, StreamingJsonl, TraceSink, Tracer};
 use eval_uarch::Workload;
 
-/// Records a small traced campaign once and returns the raw records.
-fn campaign_records() -> Vec<Record> {
-    let buffer = BufferSink::new();
+fn small_campaign() -> Campaign {
     let mut campaign = Campaign::new(2);
     campaign.profile_budget = 2_000;
     campaign.workloads = vec![Workload::by_name("gzip").expect("workload exists")];
     campaign.threads = 1;
     campaign
+}
+
+/// Records a small traced campaign once and returns the raw records.
+fn campaign_records() -> Vec<Record> {
+    let buffer = BufferSink::new();
+    small_campaign()
         .run_traced(
             &[Environment::TS_ASV],
             &[Scheme::ExhDyn],
@@ -68,4 +72,35 @@ fn progress_sink_heartbeat_interval_does_not_affect_the_stream() {
     replay(&records, &fast);
     replay(&records, &slow);
     assert_eq!(fast.into_inner().jsonl(), slow.into_inner().jsonl());
+}
+
+/// The streaming sink, fed the same records the campaign's commit
+/// pipeline replays chip by chip, must produce the exact file
+/// `Collector::write_jsonl` writes at end-of-run — crash-safety must
+/// not change a single byte of the trace.
+#[test]
+fn streaming_sink_file_is_byte_identical_to_end_of_run_write_jsonl() {
+    let records = campaign_records();
+    let dir = std::env::temp_dir();
+    let streamed = dir.join(format!("eval-roundtrip-stream-{}.jsonl", std::process::id()));
+    let collected = dir.join(format!("eval-roundtrip-collect-{}.jsonl", std::process::id()));
+
+    let stream = StreamingJsonl::create(&streamed).expect("creates");
+    // Tracer::replay is exactly what Campaign uses to drain each chip's
+    // BufferSink — it flushes after the batch, committing event lines.
+    Tracer::new(&stream).replay(records.clone());
+    let before_finish = std::fs::read_to_string(&streamed).expect("readable");
+    assert!(before_finish.contains("chip-start"), "{before_finish}");
+    assert!(before_finish.ends_with('\n'), "complete lines only");
+    stream.finish().expect("finishes");
+
+    let collector = Collector::new();
+    Tracer::new(&collector).replay(records);
+    collector.write_jsonl(&collected).expect("writes");
+
+    let streamed_text = std::fs::read_to_string(&streamed).expect("readable");
+    let collected_text = std::fs::read_to_string(&collected).expect("readable");
+    assert_eq!(streamed_text, collected_text);
+    std::fs::remove_file(&streamed).ok();
+    std::fs::remove_file(&collected).ok();
 }

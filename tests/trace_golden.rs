@@ -36,6 +36,7 @@ fn event_stream_is_identical_across_runs_and_thread_counts() {
     let (r2, e2) = traced_event_lines(2);
     let (r3, e3) = traced_event_lines(1);
     assert_eq!(r1, r2, "thread count must not change results");
+    assert_eq!(r1, r3, "repeated runs must merge identical results");
     assert_eq!(e1, e2, "thread count must not change the event stream");
     assert_eq!(e1, e3, "repeated runs must emit identical events");
     assert!(!e1.is_empty());
