@@ -1,7 +1,7 @@
 //! The experiment harness behind Figures 10–13: environments x adaptation
 //! schemes over a chip population and the 16-workload suite.
 
-use eval_trace::{BufferSink, Event, Tracer};
+use eval_trace::{names, BufferSink, Event, Tracer};
 use eval_units::GHz;
 
 use eval_core::{
@@ -421,11 +421,11 @@ impl Campaign {
             });
         }
         if ckpt.is_some() {
-            tracer.gauge("campaign.chips_total", self.chips as f64);
+            tracer.gauge(names::CAMPAIGN_CHIPS_TOTAL, self.chips as f64);
         }
         if start_at > 0 {
-            tracer.count_n("campaign.chips_resumed", start_at as u64);
-            tracer.count_n("campaign.chips_done", start_at as u64);
+            tracer.count_n(names::CAMPAIGN_CHIPS_RESUMED, start_at as u64);
+            tracer.count_n(names::CAMPAIGN_CHIPS_DONE, start_at as u64);
         }
         // Replaying each resumed chip's captured metrics (counters,
         // gauges, per-name-ordered observations) rebuilds the registry
@@ -433,7 +433,7 @@ impl Campaign {
         for rec in &resumed {
             tracer.replay(rec.metrics.to_updates());
             if matches!(rec.outcome, RecordedOutcome::Failed { .. }) {
-                tracer.count("campaign.chips_failed");
+                tracer.count(names::CAMPAIGN_CHIPS_FAILED);
             }
         }
 
@@ -500,7 +500,7 @@ impl Campaign {
                         // adds commute, so the end-of-run snapshot is
                         // independent of worker interleaving and the golden
                         // event lines are untouched.
-                        tracer.count("campaign.chips_done");
+                        tracer.count(names::CAMPAIGN_CHIPS_DONE);
                     })
                 })
                 .collect();
@@ -828,6 +828,7 @@ impl Campaign {
     }
 
     /// Dynamic adaptation: the controller runs at every phase.
+    #[allow(clippy::too_many_arguments)]
     fn run_dynamic(
         &self,
         core: &CoreModel,
@@ -1060,11 +1061,11 @@ impl CommitState {
                 break;
             };
             let records = buffers[chip_idx].drain();
-            let metrics = self
-                .writer
-                .is_some()
-                .then(|| capture_metrics(&records))
-                .unwrap_or_default();
+            let metrics = if self.writer.is_some() {
+                capture_metrics(&records)
+            } else {
+                checkpoint::CapturedMetrics::default()
+            };
             tracer.replay(records);
             let outcome = match committed {
                 CommittedChip::Ok { baseline, cells } => RecordedOutcome::Ok {
@@ -1072,7 +1073,7 @@ impl CommitState {
                     cells: cells.clone(),
                 },
                 CommittedChip::Failed { error } => {
-                    tracer.count("campaign.chips_failed");
+                    tracer.count(names::CAMPAIGN_CHIPS_FAILED);
                     RecordedOutcome::Failed {
                         error: error.clone(),
                     }

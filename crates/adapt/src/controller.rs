@@ -9,7 +9,7 @@ use eval_core::{
 use eval_uarch::profile::PhaseProfile;
 use eval_uarch::{QueueSize, WorkloadClass};
 
-use eval_trace::{DecisionEvent, Event, RejectedCandidate, Tracer};
+use eval_trace::{names, DecisionEvent, Event, RejectedCandidate, Tracer};
 
 use crate::choice::{choose_fu, choose_queue};
 use crate::optimizer::{Optimizer, SubsystemScene};
@@ -63,11 +63,11 @@ impl DecisionContext {
 /// `&'static str`, so names cannot be concatenated at runtime).
 fn scheme_counter(scheme: &str) -> &'static str {
     match scheme {
-        "static" => "decision.count.static",
-        "fuzzy" => "decision.count.fuzzy",
-        "exhaustive" => "decision.count.exhaustive",
-        "global-dvfs" => "decision.count.global-dvfs",
-        _ => "decision.count.other",
+        "static" => names::DECISION_COUNT_STATIC,
+        "fuzzy" => names::DECISION_COUNT_FUZZY,
+        "exhaustive" => names::DECISION_COUNT_EXHAUSTIVE,
+        "global-dvfs" => names::DECISION_COUNT_GLOBAL_DVFS,
+        _ => names::DECISION_COUNT_OTHER,
     }
 }
 
@@ -76,11 +76,11 @@ fn scheme_counter(scheme: &str) -> &'static str {
 /// analyze` folds them into per-scheme p50/p95/p99 latency digests.
 fn scheme_latency(scheme: &str) -> &'static str {
     match scheme {
-        "static" => "decision.latency.static_us",
-        "fuzzy" => "decision.latency.fuzzy_us",
-        "exhaustive" => "decision.latency.exhaustive_us",
-        "global-dvfs" => "decision.latency.global-dvfs_us",
-        _ => "decision.latency.other_us",
+        "static" => names::DECISION_LATENCY_STATIC_US,
+        "fuzzy" => names::DECISION_LATENCY_FUZZY_US,
+        "exhaustive" => names::DECISION_LATENCY_EXHAUSTIVE_US,
+        "global-dvfs" => names::DECISION_LATENCY_GLOBAL_DVFS_US,
+        _ => names::DECISION_LATENCY_OTHER_US,
     }
 }
 
@@ -167,7 +167,7 @@ pub fn decide_phase_traced(
     tracer: Tracer<'_>,
 ) -> PhaseDecision {
     let _span = tracer.span("decide");
-    let _latency = tracer.timer("decision.latency_us");
+    let _latency = tracer.timer(names::DECISION_LATENCY_US);
     let _scheme_latency = tracer.timer(scheme_latency(ctx.scheme));
     let alpha = phase.activity.alpha_f;
     let rho = phase.activity.rho;
@@ -296,10 +296,10 @@ pub fn decide_phase_traced(
     let pe = result.evaluation.pe_per_instruction.clamp(0.0, 1.0);
     let perf_bips = perf_model.perf(result.f_ghz, pe);
 
-    tracer.count("decision.count");
+    tracer.count(names::DECISION_COUNT);
     tracer.count(scheme_counter(ctx.scheme));
-    tracer.observe("decision.f_ghz", result.f_ghz);
-    tracer.observe("decision.pe_per_instruction", pe);
+    tracer.observe(names::DECISION_F_GHZ, result.f_ghz);
+    tracer.observe(names::DECISION_PE_PER_INSTRUCTION, pe);
     tracer.event(|| {
         let breakdown = perf_model.breakdown(result.f_ghz, pe);
         Event::Decision(Box::new(DecisionEvent {

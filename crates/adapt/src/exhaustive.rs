@@ -17,7 +17,7 @@ use std::cell::RefCell;
 
 use eval_core::{EvalConfig, FREQ_LADDER};
 use eval_power::SolveCache;
-use eval_trace::Tracer;
+use eval_trace::{names, Tracer};
 
 use crate::optimizer::{Optimizer, SceneEval, SubsystemScene};
 
@@ -214,11 +214,11 @@ impl Optimizer for ExhaustiveOptimizer {
         if stats.hits + stats.misses == 0 {
             return;
         }
-        tracer.count_n("solver.cache.hits", stats.hits);
-        tracer.count_n("solver.cache.misses", stats.misses);
-        tracer.count_n("solver.iterations", stats.iterations);
+        tracer.count_n(names::SOLVER_CACHE_HITS, stats.hits);
+        tracer.count_n(names::SOLVER_CACHE_MISSES, stats.misses);
+        tracer.count_n(names::SOLVER_ITERATIONS, stats.iterations);
         if stats.slow_convergence > 0 {
-            tracer.count_n("solver.slow_convergence", stats.slow_convergence);
+            tracer.count_n(names::SOLVER_SLOW_CONVERGENCE, stats.slow_convergence);
         }
     }
 }

@@ -195,7 +195,7 @@ impl FuzzyOptimizer {
                 let (freq, freq_rms) = train_one(&freq_ex, 0x11);
                 let (vdd, _) = train_one(&vdd_ex, 0x22);
                 let (vbb, _) = train_one(&vbb_ex, 0x33);
-                tracer.count("fuzzy.controllers_trained");
+                tracer.count(eval_trace::names::FUZZY_CONTROLLERS_TRAINED);
                 tracer.event(|| eval_trace::Event::ControllerTrained {
                     subsystem: id.to_string(),
                     variant: if alt { "alt" } else { "normal" },

@@ -1,7 +1,7 @@
 //! Retuning cycles (§4.3.3): sensor-driven frequency correction after the
 //! controller picks a configuration, and the five outcomes of Figure 13.
 
-use eval_trace::{Event, Tracer};
+use eval_trace::{names, Event, Tracer};
 use eval_units::GHz;
 
 use eval_core::{
@@ -200,7 +200,7 @@ pub fn retune_traced(
                 f_ghz: f,
                 violation: probe_violation,
             });
-            tracer.count("retune.probes");
+            tracer.count(names::RETUNE_PROBES);
             tracer.event(|| Event::RetuneStep {
                 direction,
                 f_ghz: f,

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 use eval_core::{CoreModel, Environment, EvalConfig};
-use eval_trace::{Event, Tracer};
+use eval_trace::{names, Event, Tracer};
 use eval_uarch::profile::PhaseProfile;
 use eval_uarch::{PhaseDetector, WorkloadClass};
 
@@ -134,7 +134,7 @@ impl<'a> AdaptiveSystem<'a> {
         if let Some(saved) = self.saved.get(&event.id.0) {
             // Known phase: reactivate at transition cost only.
             self.stats.config_reuses += 1;
-            self.tracer.count("cache.hit");
+            self.tracer.count(names::CACHE_HIT);
             self.tracer.event(|| Event::PhaseDetected {
                 phase_id: event.id.0,
                 recurring: true,
@@ -145,7 +145,7 @@ impl<'a> AdaptiveSystem<'a> {
             return Some(RuntimeEvent::Reused(saved.clone()));
         }
         // New phase: measure, run the controller routines, save.
-        self.tracer.count("cache.miss");
+        self.tracer.count(names::CACHE_MISS);
         self.tracer.event(|| Event::PhaseDetected {
             phase_id: event.id.0,
             recurring: false,

@@ -22,6 +22,7 @@ use eval_core::{
 };
 use eval_power::{solve_thermal, solve_thermal_reference, OperatingPoint, ThermalEnvironment};
 use eval_uarch::Workload;
+use eval_trace::names;
 use eval_units::{GHz, Volts};
 
 /// Median per-iteration nanoseconds for `body`, self-calibrated so each
@@ -132,16 +133,16 @@ fn campaign_metrics(
             local.registry()
         }
     };
-    let hits = registry.counter("solver.cache.hits");
-    let misses = registry.counter("solver.cache.misses");
+    let hits = registry.counter(names::SOLVER_CACHE_HITS);
+    let misses = registry.counter(names::SOLVER_CACHE_MISSES);
     let mut out = vec![
-        ("solver.cache.hits", hits as f64),
-        ("solver.cache.misses", misses as f64),
-        ("solver.iterations", registry.counter("solver.iterations") as f64),
-        ("decision.count", registry.counter("decision.count") as f64),
+        (names::SOLVER_CACHE_HITS, hits as f64),
+        (names::SOLVER_CACHE_MISSES, misses as f64),
+        (names::SOLVER_ITERATIONS, registry.counter(names::SOLVER_ITERATIONS) as f64),
+        (names::DECISION_COUNT, registry.counter(names::DECISION_COUNT) as f64),
     ];
     if hits + misses > 0 {
-        out.push(("solver.cache.hit_rate", hits as f64 / (hits + misses) as f64));
+        out.push((names::SOLVER_CACHE_HIT_RATE, hits as f64 / (hits + misses) as f64));
     }
     Ok(out)
 }

@@ -411,7 +411,7 @@ impl ChipFactory {
             let variants = VariantSelection::default();
             for (core_idx, core) in chip.cores().iter().enumerate() {
                 for sub in core.subsystems() {
-                    tracer.count("tester.measurements");
+                    tracer.count(eval_trace::names::TESTER_MEASUREMENTS);
                     tracer.event(|| eval_trace::Event::TesterMeasurement {
                         subsystem: format!("core{core_idx}/{}", sub.id()),
                         vt0_eff: sub.vt0(),

@@ -12,7 +12,7 @@
 //! point.
 
 use eval_timing::StageTiming;
-use eval_trace::{Event, Tracer};
+use eval_trace::{names, Event, Tracer};
 use eval_variation::{leakage_factor, DeviceParams};
 
 /// Simulated tester measurement: powers the subsystem at a known
@@ -61,7 +61,7 @@ pub fn measure_vt0_traced(
     tracer: Tracer<'_>,
 ) -> f64 {
     let vt0_eff = measure_vt0(timing, device);
-    tracer.count("tester.measurements");
+    tracer.count(names::TESTER_MEASUREMENTS);
     tracer.event(|| Event::TesterMeasurement {
         subsystem: label.to_string(),
         vt0_eff,

@@ -89,8 +89,8 @@ impl FuzzyController {
     fn log_strength(&self, i: usize, x: &[f64]) -> f64 {
         let base = i * self.inputs;
         let mut acc = 0.0;
-        for j in 0..self.inputs {
-            let d = (x[j] - self.mu[base + j]) / self.sigma[base + j];
+        for (j, &xj) in x.iter().enumerate().take(self.inputs) {
+            let d = (xj - self.mu[base + j]) / self.sigma[base + j];
             acc -= d * d;
         }
         acc
@@ -133,16 +133,16 @@ impl FuzzyController {
     pub fn update(&mut self, x: &[f64], t: f64, learning_rate: f64) -> f64 {
         let (d, w) = self.infer_with_strengths(x);
         let err = d - t;
-        for i in 0..self.rules() {
+        for (i, &wi) in w.iter().enumerate().take(self.rules()) {
             let base = i * self.inputs;
-            let common = 2.0 * err * w[i];
+            let common = 2.0 * err * wi;
             // dE/dy_i = 2 (d - t) * W_i / S
             self.y[i] -= learning_rate * common;
             let spread = self.y[i] - d;
-            for j in 0..self.inputs {
+            for (j, &xj) in x.iter().enumerate().take(self.inputs) {
                 let mu = self.mu[base + j];
                 let sg = self.sigma[base + j];
-                let dx = x[j] - mu;
+                let dx = xj - mu;
                 // dE/dmu = 2 (d-t) (y_i - d)/S * W_i * 2 dx / sigma^2
                 let g_mu = common * spread * 2.0 * dx / (sg * sg);
                 // dE/dsigma = same * dx / sigma (extra factor dx/sigma)

@@ -157,7 +157,7 @@ impl FuzzyController {
             .strip_prefix('y')
             .ok_or(PersistError::UnexpectedEnd { expected: "outputs" })?;
         let y = parse_floats(rest, n)?;
-        if sigma.iter().any(|&s| !(s > 0.0)) {
+        if !sigma.iter().all(|&s| s > 0.0) {
             return Err(PersistError::BadDimensions);
         }
         Ok(FuzzyController::from_parts(m, mu, sigma, y))

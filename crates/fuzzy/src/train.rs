@@ -145,7 +145,7 @@ impl FuzzyController {
     ) -> Result<FuzzyController, TrainError> {
         let _span = tracer.span("train-matrix");
         let fc = FuzzyController::train(examples, config, seed)?;
-        tracer.count("fuzzy.matrices_trained");
+        tracer.count(eval_trace::names::FUZZY_MATRICES_TRAINED);
         tracer.event(|| eval_trace::Event::FuzzyTrained {
             rules: config.rules as u64,
             examples: examples.len() as u64,

@@ -1,65 +1,58 @@
 //! # eval-lint
 //!
-//! A std-only, token/line-level static-analysis pass over the EVAL
-//! workspace. It enforces seven rule families that the type system alone
-//! cannot (or that we chose to enforce by convention):
+//! A std-only, two-phase static-analysis engine over the EVAL
+//! workspace.
 //!
-//! * **unit-safety** — public functions of the physics crates
-//!   (`eval-power`, `eval-timing`, `eval-core`) must not take raw `f64`
-//!   parameters whose names say they carry a physical unit (`vdd`, `vbb`,
-//!   `*_ghz`, `volts`, `watts`, ...); those cross API boundaries as the
-//!   `eval-units` newtypes with range-validated constructors.
-//! * **determinism** — the simulation crates must not use wall-clock or
-//!   OS-entropy sources (`thread_rng`, `from_entropy`, `SystemTime`,
-//!   `Instant::now`) nor iteration-order-unstable collections
-//!   (`HashMap`, `HashSet`); the Monte-Carlo campaign must be bit-identical
-//!   across runs.
-//! * **panic-safety** — library crates must not call `.unwrap()` /
-//!   `.expect(...)` or the panicking macros outside `#[cfg(test)]` regions;
-//!   fallible paths return typed errors.
-//! * **config-invariants** — the paper's constants (PMAX = 30 W,
-//!   TMAX = 85 °C, PEMAX = 1e-4 err/inst, σ/μ = 0.09, φ = 0.5) are defined
-//!   exactly once, in `eval_units::consts`, with the paper's values;
-//!   shadow definitions elsewhere are flagged.
-//! * **no-println** — library crates must not write to stdout/stderr
-//!   (`println!`, `eprintln!`, `print!`, `eprint!`, `dbg!`); observability
-//!   goes through the `eval-trace` sinks so output stays structured and
-//!   machine-parseable. The figure binaries (`eval-bench` bins) and the
-//!   lint CLI are the printing layer and are exempt.
-//! * **no-alloc-in-check** — files that carry a `// lint:hot-path` marker
-//!   comment (the memoized operating-point evaluators) must not construct
-//!   `Vec`s outside `#[cfg(test)]` regions: the per-candidate `check` path
-//!   runs millions of times per campaign and must stay allocation-free.
-//! * **sink-forward** — `impl TraceSink for ...` blocks must not swallow
-//!   records: no `_ =>` wildcard arms, and an impl that matches on
-//!   `Record` must handle all three variants (`Event`, `Metric`, `Span`)
-//!   explicitly. A sink that silently drops a variant breaks the
-//!   bit-identical trace contract downstream decorators rely on.
-//! * **atomic-artifacts** — library and binary crates must not write
-//!   final artifacts with `std::fs::write` / `File::create`: a crash (or
-//!   a concurrent reader) mid-write leaves a torn file. Artifacts go
-//!   through `eval_trace::write_atomic` (stage + rename); append-mode
-//!   streams built on `OpenOptions` are their own crash-safety story and
-//!   are not flagged.
+//! **Phase 1** ([`lexer`], [`facts`]) tokenizes each in-scope file
+//! once — producing the stripped line view the shape rules match
+//! against plus a token stream with spans — and reduces it to facts:
+//! metric-name literals and `eval_trace::names` constant references,
+//! `fn` definitions with an allocates-bit, call sites in
+//! `lint:hot-path` modules, and `lint:allow` suppression markers.
 //!
-//! A finding can be suppressed with a `// lint:allow(<rule>)` comment on
-//! the offending line or in the contiguous comment block directly above
-//! it — every suppression in the tree carries a justification.
+//! **Phase 2** ([`rules`]) runs two kinds of rule families:
 //!
-//! The pass is deliberately lexical: comments and string literals are
-//! stripped by a small scanner, `#[cfg(test)]` items are tracked by brace
-//! depth, and everything else is substring/shape matching. That keeps the
-//! tool dependency-free (no syn, no proc-macro machinery) and fast enough
-//! to run as a tier-1 gate.
+//! * the eight *per-file* families carried over from the original
+//!   single-file linter (unit-safety, determinism, panic-safety,
+//!   config-invariants, no-println, no-alloc-in-check, sink-forward,
+//!   atomic-artifacts), matching shapes on one file's line view — see
+//!   each family's module docs or `eval-lint --explain <rule>`;
+//! * three *cross-file* families over the merged [`facts::FactBase`]:
+//!   **metric-schema** (drift between metric emitters, the eval-obs
+//!   consumers, and the committed registry
+//!   `results/metric_schema.json`), **hot-path-reachability**
+//!   (hot-path code calling allocating functions one call-graph hop
+//!   away), and **dead-suppression** (`lint:allow` markers that
+//!   suppress nothing).
+//!
+//! Findings carry stable IDs (see [`report`]) and render as text or
+//! JSON. A finding can be suppressed with a `// lint:allow(<rule>)`
+//! comment on the offending line or in the contiguous comment block
+//! directly above it — and dead-suppression guarantees every such
+//! marker still earns its keep.
+//!
+//! The pass stays deliberately lexical: no syn, no proc-macro
+//! machinery, fast enough to run as a tier-1 gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// The seven rule families.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub mod facts;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod schema;
+pub mod workspace;
+
+pub use schema::MetricSchema;
+pub use workspace::{context_for, Workspace};
+
+/// The eleven rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Raw `f64` where a unit newtype is required.
     UnitSafety,
@@ -77,11 +70,17 @@ pub enum Rule {
     SinkForward,
     /// Torn-file-prone writes (`fs::write`/`File::create`) for artifacts.
     AtomicArtifacts,
+    /// Metric-name drift between emitters, consumers, and the registry.
+    MetricSchema,
+    /// Hot-path code calling allocating functions in unmarked modules.
+    HotPathReachability,
+    /// `lint:allow` markers that suppress nothing.
+    DeadSuppression,
 }
 
 impl Rule {
     /// All rule families, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::UnitSafety,
         Rule::Determinism,
         Rule::PanicSafety,
@@ -90,6 +89,9 @@ impl Rule {
         Rule::NoAllocInCheck,
         Rule::SinkForward,
         Rule::AtomicArtifacts,
+        Rule::MetricSchema,
+        Rule::HotPathReachability,
+        Rule::DeadSuppression,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(...)`.
@@ -103,7 +105,32 @@ impl Rule {
             Rule::NoAllocInCheck => "no-alloc-in-check",
             Rule::SinkForward => "sink-forward",
             Rule::AtomicArtifacts => "atomic-artifacts",
+            Rule::MetricSchema => "metric-schema",
+            Rule::HotPathReachability => "hot-path-reachability",
+            Rule::DeadSuppression => "dead-suppression",
         }
+    }
+
+    /// The stable finding-code prefix (`EVL001`..`EVL011`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UnitSafety => "EVL001",
+            Rule::Determinism => "EVL002",
+            Rule::PanicSafety => "EVL003",
+            Rule::ConfigInvariants => "EVL004",
+            Rule::NoPrintln => "EVL005",
+            Rule::NoAllocInCheck => "EVL006",
+            Rule::SinkForward => "EVL007",
+            Rule::AtomicArtifacts => "EVL008",
+            Rule::MetricSchema => "EVL009",
+            Rule::HotPathReachability => "EVL010",
+            Rule::DeadSuppression => "EVL011",
+        }
+    }
+
+    /// Looks a rule up by its kebab-case name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 }
 
@@ -113,20 +140,35 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One finding: a rule violated at a file/line.
+/// One finding: a rule violated at a file/line (and optionally a
+/// column, when the engine knows the exact token).
 #[derive(Debug, Clone)]
-pub struct Diagnostic {
-    /// Path as reported (workspace-relative when produced by the walker).
+pub struct Finding {
+    /// Workspace-relative path.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token, when known.
+    pub col: Option<usize>,
     /// The violated rule family.
     pub rule: Rule,
     /// Human-readable description.
     pub message: String,
 }
 
-impl fmt::Display for Diagnostic {
+impl Finding {
+    /// The stable finding ID (`EVLnnn-<16 hex>`); see [`report`] for
+    /// the stability contract (line/column moves keep the ID).
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{:016x}",
+            self.rule.code(),
+            report::fingerprint(self.rule, &self.path, &self.message)
+        )
+    }
+}
+
+impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -148,860 +190,115 @@ pub struct FileContext {
     pub is_bin: bool,
 }
 
-/// Crates whose public `f64` parameters are checked for unit names.
-const UNIT_CRATES: [&str; 3] = ["eval-power", "eval-timing", "eval-core"];
-
-/// Crates that participate in the deterministic simulation pipeline.
-const SIM_CRATES: [&str; 8] = [
-    "eval-rng",
-    "eval-units",
-    "eval-variation",
-    "eval-timing",
-    "eval-power",
-    "eval-uarch",
-    "eval-fuzzy",
-    "eval-core",
-];
-
-/// Simulation crates plus the campaign layer (also deterministic).
-fn is_sim_crate(name: &str) -> bool {
-    SIM_CRATES.contains(&name) || name == "eval-adapt"
+/// Whether (and which) committed metric registry the metric-schema
+/// rule checks against.
+#[derive(Debug)]
+pub enum RegistryState {
+    /// The committed `results/metric_schema.json`, parsed.
+    Loaded(MetricSchema),
+    /// No registry on disk: a finding in itself.
+    Missing,
+    /// Skip registry-dependent checks (used while *generating* the
+    /// registry, when staleness against itself is meaningless).
+    Ignore,
 }
 
-/// Library crates subject to panic-safety (everything in the pipeline;
-/// `eval-bench` is a figure-printing bin crate and exempt).
-fn is_library_crate(name: &str) -> bool {
-    is_sim_crate(name) || name == "eval"
-}
-
-/// Parameter-name fragments that indicate a physical unit.
-const UNIT_NAME_HINTS: [&str; 6] = ["vdd", "vbb", "ghz", "volt", "watt", "kelvin"];
-
-/// Tokens forbidden by the determinism rule.
-const NONDET_TOKENS: [&str; 6] = [
-    "thread_rng",
-    "from_entropy",
-    "SystemTime",
-    "Instant::now",
-    "HashMap",
-    "HashSet",
-];
-
-/// Tokens forbidden by the panic-safety rule.
-const PANIC_TOKENS: [&str; 5] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Tokens forbidden by the no-println rule. `eprintln!(` contains
-/// `println!(` as a substring, so matches require a non-identifier
-/// character before the token (see [`has_macro_token`]).
-const PRINT_TOKENS: [&str; 5] = [
-    "println!(",
-    "print!(",
-    "eprintln!(",
-    "eprint!(",
-    "dbg!(",
-];
-
-/// Crates subject to no-println: the library pipeline plus `eval-trace`
-/// itself (its reports are returned as `String`s for the caller to print).
-fn is_println_free_crate(name: &str) -> bool {
-    is_library_crate(name) || name == "eval-trace"
-}
-
-/// Paper constants: name, expected defining literal, paper meaning.
-const PAPER_CONSTS: [(&str, &str, &str); 7] = [
-    ("P_MAX", "30.0", "PMAX = 30 W per processor"),
-    ("T_MAX_C", "85.0", "TMAX = 85 C junction"),
-    ("TH_MAX_C", "70.0", "THMAX = 70 C heatsink"),
-    ("PE_MAX", "1e-4", "PEMAX = 1e-4 errors/instruction"),
-    ("SIGMA_OVER_MU", "0.09", "sigma/mu = 0.09 total variation"),
-    ("PHI", "0.5", "phi = 0.5 of chip width correlation range"),
-    ("F_NOMINAL", "4.0", "nominal frequency 4 GHz"),
-];
-
-/// A source file after lexical preprocessing.
-struct Scanned {
-    /// Lines with comments and string/char literal *contents* blanked out
-    /// (structure — line count and column positions — is preserved).
-    code: Vec<String>,
-    /// Per line: rule names suppressed via `lint:allow(...)` comments.
-    allows: Vec<Vec<String>>,
-    /// Per line: true when the line holds no code at all (comment/blank).
-    comment_only: Vec<bool>,
-    /// Per line: true inside a `#[cfg(test)]` item's braces.
-    in_test: Vec<bool>,
-    /// True when any comment in the file contains `lint:hot-path`.
-    hot_path: bool,
-}
-
-/// Strips comments and literal contents while recording `lint:allow`
-/// markers, then marks `#[cfg(test)]` brace regions.
-fn scan(source: &str) -> Scanned {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(u32),
-        Char,
+/// Loads the committed registry from `root/results/metric_schema.json`.
+/// An unparseable registry counts as [`RegistryState::Missing`] (the
+/// finding tells the user to regenerate it).
+pub fn load_registry(root: &Path) -> RegistryState {
+    let path = root.join(facts::REGISTRY_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => match MetricSchema::parse(&text) {
+            Ok(schema) => RegistryState::Loaded(schema),
+            Err(_) => RegistryState::Missing,
+        },
+        Err(_) => RegistryState::Missing,
     }
-    let mut st = St::Code;
-    let mut code = Vec::new();
-    let mut allows = Vec::new();
-    let mut comment_only = Vec::new();
-    let mut hot_path = false;
+}
 
-    for raw in source.lines() {
-        let b: Vec<char> = raw.chars().collect();
-        let mut out = String::with_capacity(raw.len());
-        let mut comment_text = String::new();
-        let mut i = 0usize;
-        // Line comments never span lines.
-        if st == St::Line {
-            st = St::Code;
+/// Runs the full two-phase analysis over a loaded workspace. Findings
+/// are sorted by path, line, rule, message.
+pub fn analyze(ws: &Workspace, registry: &RegistryState) -> Vec<Finding> {
+    // Phase 1: lex everything once.
+    let mut lexed: BTreeMap<String, lexer::LexedFile> = BTreeMap::new();
+    for f in &ws.files {
+        lexed.insert(f.rel.clone(), lexer::lex(&f.source));
+    }
+    // Phase 1b: facts for files in fact scope.
+    let mut fact_files = Vec::new();
+    for f in &ws.files {
+        if !facts::facts_in_scope(&f.rel) {
+            continue;
         }
-        while i < b.len() {
-            let c = b[i];
-            let next = b.get(i + 1).copied();
-            match st {
-                St::Code => match (c, next) {
-                    ('/', Some('/')) => {
-                        st = St::Line;
-                        comment_text.push_str(&raw[raw.len() - (b.len() - i)..]);
-                        break;
-                    }
-                    ('/', Some('*')) => {
-                        st = St::Block(1);
-                        out.push(' ');
-                        out.push(' ');
-                        i += 2;
-                    }
-                    ('r', Some('"')) => {
-                        st = St::RawStr(0);
-                        out.push_str("r\"");
-                        i += 2;
-                    }
-                    ('r', Some('#')) => {
-                        // r#"..."# or r#ident; count hashes then expect '"'.
-                        let mut h = 0u32;
-                        let mut j = i + 1;
-                        while b.get(j) == Some(&'#') {
-                            h += 1;
-                            j += 1;
-                        }
-                        if b.get(j) == Some(&'"') {
-                            st = St::RawStr(h);
-                            for _ in i..=j {
-                                out.push(' ');
-                            }
-                            i = j + 1;
-                        } else {
-                            out.push(c);
-                            i += 1;
-                        }
-                    }
-                    ('"', _) => {
-                        st = St::Str;
-                        out.push('"');
-                        i += 1;
-                    }
-                    ('\'', _) => {
-                        // Char literal vs lifetime: a literal is '\x', 'c',
-                        // or multi-char escape ending in a quote nearby.
-                        if next == Some('\\') {
-                            st = St::Char;
-                            out.push('\'');
-                            i += 2;
-                        } else if b.get(i + 2) == Some(&'\'') {
-                            out.push_str("' '");
-                            i += 3;
-                        } else {
-                            out.push('\'');
-                            i += 1; // lifetime
-                        }
-                    }
-                    _ => {
-                        out.push(c);
-                        i += 1;
-                    }
-                },
-                St::Block(depth) => match (c, next) {
-                    ('*', Some('/')) => {
-                        st = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        comment_text.push(' ');
-                        i += 2;
-                    }
-                    ('/', Some('*')) => {
-                        st = St::Block(depth + 1);
-                        i += 2;
-                    }
-                    _ => {
-                        comment_text.push(c);
-                        i += 1;
-                    }
-                },
-                St::Str => match (c, next) {
-                    ('\\', Some(_)) => i += 2,
-                    ('"', _) => {
-                        st = St::Code;
-                        out.push('"');
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
-                St::RawStr(h) => {
-                    if c == '"' {
-                        let mut ok = true;
-                        for k in 0..h {
-                            if b.get(i + 1 + k as usize) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            st = St::Code;
-                            out.push('"');
-                            i += 1 + h as usize;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                St::Char => match (c, next) {
-                    ('\\', Some(_)) => i += 2,
-                    ('\'', _) => {
-                        st = St::Code;
-                        out.push('\'');
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
-                St::Line => break,
-            }
-        }
-        let mut line_allows = Vec::new();
-        let mut rest = comment_text.as_str();
-        while let Some(pos) = rest.find("lint:allow(") {
-            let tail = &rest[pos + "lint:allow(".len()..];
-            if let Some(end) = tail.find(')') {
-                line_allows.push(tail[..end].trim().to_string());
-                rest = &tail[end + 1..];
-            } else {
-                break;
-            }
-        }
-        if comment_text.contains("lint:hot-path") {
-            hot_path = true;
-        }
-        comment_only.push(out.trim().is_empty());
-        code.push(out);
-        allows.push(line_allows);
+        fact_files.push((
+            f.rel.clone(),
+            f.ctx.crate_name.clone(),
+            facts::collect(&f.rel, &f.ctx, &lexed[&f.rel]),
+        ));
     }
+    let fb = facts::FactBase::merge(&fact_files);
 
-    // Mark #[cfg(test)] brace regions.
-    let mut in_test = vec![false; code.len()];
-    let mut i = 0usize;
-    while i < code.len() {
-        if code[i].contains("#[cfg(test)]") {
-            // Find the opening brace of the next item and track depth.
-            let mut depth: i64 = 0;
-            let mut opened = false;
-            let mut j = i;
-            while j < code.len() {
-                for c in code[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                in_test[j] = true;
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
+    // Phase 2: per-file families, then cross-file families, then
+    // dead-suppression last (it needs the full suppression credits).
+    let mut sink = rules::Sink::new(&lexed);
+    for f in &ws.files {
+        rules::run_file_rules(&lexed[&f.rel], &f.rel, &f.ctx, &mut sink);
     }
+    rules::metric_schema::run(&fb, registry, &mut sink);
+    rules::hot_path_reachability::run(&fb, &mut sink);
+    rules::dead_suppression::run(&lexed, &mut sink);
 
-    Scanned {
-        code,
-        allows,
-        comment_only,
-        in_test,
-        hot_path,
-    }
-}
-
-/// True when `rule` is suppressed at `line` (0-based): an allow marker on
-/// the line itself or in the contiguous comment block directly above.
-fn allowed(s: &Scanned, line: usize, rule: Rule) -> bool {
-    let hit = |l: usize| s.allows[l].iter().any(|a| a == rule.name());
-    if hit(line) {
-        return true;
-    }
-    let mut l = line;
-    while l > 0 && s.comment_only[l - 1] {
-        l -= 1;
-        if hit(l) {
-            return true;
-        }
-    }
-    false
-}
-
-fn push(
-    out: &mut Vec<Diagnostic>,
-    s: &Scanned,
-    path: &str,
-    line: usize,
-    rule: Rule,
-    message: String,
-) {
-    if !allowed(s, line, rule) {
-        out.push(Diagnostic {
-            path: path.to_string(),
-            line: line + 1,
-            rule,
-            message,
-        });
-    }
-}
-
-/// Lints one file's source under the given context. `path` is only used
-/// to label diagnostics.
-pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
-    let s = scan(source);
-    let mut out = Vec::new();
-
-    if UNIT_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_test_code {
-        unit_safety(&s, path, &mut out);
-    }
-    if is_sim_crate(&ctx.crate_name) {
-        determinism(&s, path, &mut out);
-    }
-    if is_library_crate(&ctx.crate_name) && !ctx.is_test_code {
-        panic_safety(&s, path, &mut out);
-    }
-    if is_println_free_crate(&ctx.crate_name) && !ctx.is_test_code {
-        no_println(&s, path, &mut out);
-    }
-    if s.hot_path && !ctx.is_test_code {
-        no_alloc_in_check(&s, path, &mut out);
-    }
-    if !ctx.is_test_code {
-        sink_forward(&s, path, &mut out);
-    }
-    if !ctx.is_test_code || ctx.is_bin {
-        atomic_artifacts(&s, path, &mut out);
-    }
-    config_invariants(&s, path, ctx, &mut out);
+    let mut out = sink.out;
+    out.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
     out
 }
 
-/// Write calls that clobber the target in place: a crash mid-write (or a
-/// concurrent reader) sees a torn file.
-const TORN_WRITE_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
-
-/// Flags in-place artifact writes outside `#[cfg(test)]` regions. Final
-/// artifacts (traces, reports, metric snapshots, bench JSON) must go
-/// through `eval_trace::write_atomic`; incremental append logs built on
-/// `OpenOptions` are exempt by construction.
-fn atomic_artifacts(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    for (i, line) in s.code.iter().enumerate() {
-        if s.in_test[i] {
+/// Generates the metric-name registry from a loaded workspace (what
+/// `eval-lint --emit-schema` writes).
+pub fn emit_schema(ws: &Workspace) -> MetricSchema {
+    let mut fact_files = Vec::new();
+    for f in &ws.files {
+        if !facts::facts_in_scope(&f.rel) {
             continue;
         }
-        for tok in TORN_WRITE_TOKENS {
-            if line.contains(tok) {
-                let shown = tok.trim_end_matches('(');
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::AtomicArtifacts,
-                    format!(
-                        "`{shown}` clobbers the target in place and can leave a \
-                         torn file on crash; use eval_trace::write_atomic (or \
-                         OpenOptions for append streams) or justify with \
-                         lint:allow(atomic-artifacts)"
-                    ),
-                );
-            }
-        }
-    }
-}
-
-/// The three `Record` variants every sink must handle explicitly when it
-/// matches on the record at all.
-const RECORD_VARIANTS: [&str; 3] = ["Record::Event", "Record::Metric", "Record::Span"];
-
-/// True when a (comment-stripped) line holds a wildcard match arm: a
-/// pattern that is `_`, or an or-pattern ending in `| _`, before `=>`.
-fn is_wildcard_arm(line: &str) -> bool {
-    let Some(head) = line.split("=>").next() else {
-        return false;
-    };
-    if !line.contains("=>") {
-        return false;
-    }
-    let head = head.trim();
-    head == "_" || head.ends_with("| _") || head.ends_with("|_")
-}
-
-/// Flags `impl ... TraceSink for ...` blocks that can swallow records:
-/// wildcard `_ =>` arms, or a `match` over `Record` that does not name all
-/// three variants. The trace contract (decorators keep the JSONL stream
-/// bit-identical) only holds if every sink forwards every variant.
-fn sink_forward(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    let mut i = 0usize;
-    while i < s.code.len() {
-        let starts_impl = !s.in_test[i]
-            && s.code[i].contains("TraceSink for")
-            && (s.code[i].contains("impl")
-                || (i > 0 && s.code[i - 1].contains("impl")));
-        if !starts_impl {
-            i += 1;
-            continue;
-        }
-        let impl_line = i;
-        // Walk to the end of the impl's brace region.
-        let mut depth = 0i32;
-        let mut opened = false;
-        let mut end = i;
-        let mut region = String::new();
-        'outer: for (j, line) in s.code.iter().enumerate().skip(i) {
-            for c in line.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if opened {
-                region.push_str(line);
-                region.push('\n');
-                if j > impl_line && is_wildcard_arm(line) {
-                    push(
-                        out,
-                        s,
-                        path,
-                        j,
-                        Rule::SinkForward,
-                        "wildcard `_ =>` arm inside a `TraceSink` impl can silently \
-                         swallow record variants"
-                            .to_string(),
-                    );
-                }
-            }
-            if opened && depth <= 0 {
-                end = j;
-                break 'outer;
-            }
-            end = j;
-        }
-        if region.contains("Record::") {
-            let missing: Vec<&str> = RECORD_VARIANTS
-                .iter()
-                .filter(|v| !region.contains(*v))
-                .copied()
-                .collect();
-            if !missing.is_empty() {
-                push(
-                    out,
-                    s,
-                    path,
-                    impl_line,
-                    Rule::SinkForward,
-                    format!(
-                        "`TraceSink` impl matches on `Record` but never handles {}; \
-                         sinks must forward every variant",
-                        missing.join(", ")
-                    ),
-                );
-            }
-        }
-        i = end + 1;
-    }
-}
-
-/// `Vec`-constructing tokens banned from hot-path modules.
-const ALLOC_TOKENS: [&str; 6] = [
-    "Vec::new(",
-    "Vec::with_capacity(",
-    "vec![",
-    ".to_vec()",
-    ".collect(",
-    ".collect::<",
-];
-
-/// Flags `Vec` construction outside `#[cfg(test)]` in files that carry a
-/// `// lint:hot-path` marker. Those modules sit on the per-candidate
-/// operating-point `check` path, which runs millions of times per campaign
-/// and must not allocate.
-fn no_alloc_in_check(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    for (i, line) in s.code.iter().enumerate() {
-        if s.in_test[i] {
-            continue;
-        }
-        for tok in ALLOC_TOKENS {
-            if line.contains(tok) {
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::NoAllocInCheck,
-                    format!("`{tok}..` allocates inside a `lint:hot-path` module"),
-                );
-                break;
-            }
-        }
-    }
-}
-
-/// Flags `name: f64` parameters of `pub fn`s where `name` carries a unit.
-fn unit_safety(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    let mut i = 0usize;
-    while i < s.code.len() {
-        let line = &s.code[i];
-        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn "]
-            .iter()
-            .any(|p| line.trim_start().starts_with(p) || line.contains(p));
-        if !is_pub_fn || s.in_test[i] {
-            i += 1;
-            continue;
-        }
-        // Accumulate the signature until its body/semicolon.
-        let mut sig = String::new();
-        let mut j = i;
-        while j < s.code.len() {
-            sig.push_str(&s.code[j]);
-            sig.push(' ');
-            if s.code[j].contains('{') || s.code[j].contains(';') {
-                break;
-            }
-            j += 1;
-        }
-        for (name, _ty) in f64_params(&sig) {
-            let lname = name.to_ascii_lowercase();
-            if UNIT_NAME_HINTS.iter().any(|h| lname.contains(h)) {
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::UnitSafety,
-                    format!(
-                        "public fn parameter `{name}: f64` names a physical \
-                         unit; use the eval-units newtype (Volts, GHz, Watts, \
-                         Kelvin, ErrorRate) or justify with \
-                         lint:allow(unit-safety)"
-                    ),
-                );
-            }
-        }
-        i = j + 1;
-    }
-}
-
-/// Extracts `(name, type)` pairs for parameters typed `f64` / `&f64`.
-fn f64_params(sig: &str) -> Vec<(String, String)> {
-    let mut res = Vec::new();
-    let Some(open) = sig.find('(') else {
-        return res;
-    };
-    // Cut the parameter list at the matching close paren.
-    let mut depth = 0i32;
-    let mut end = sig.len();
-    for (k, c) in sig[open..].char_indices() {
-        match c {
-            '(' | '<' | '[' => depth += 1,
-            ')' | '>' | ']' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = open + k;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    let params = &sig[open + 1..end.min(sig.len())];
-    for part in params.split(',') {
-        let Some((name, ty)) = part.split_once(':') else {
-            continue;
-        };
-        let name = name.trim().trim_start_matches("mut ").trim();
-        let ty = ty.trim();
-        let bare = ty.trim_start_matches('&').trim();
-        if bare == "f64"
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && !name.is_empty()
-        {
-            res.push((name.to_string(), ty.to_string()));
-        }
-    }
-    res
-}
-
-/// Flags entropy, wall-clock and hash-ordered-collection tokens.
-fn determinism(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    for (i, line) in s.code.iter().enumerate() {
-        for tok in NONDET_TOKENS {
-            if line.contains(tok) {
-                let fix = match tok {
-                    "HashMap" => "use BTreeMap (stable iteration order)",
-                    "HashSet" => "use BTreeSet (stable iteration order)",
-                    _ => "derive all randomness from the seeded eval-rng stream",
-                };
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::Determinism,
-                    format!("`{tok}` breaks bit-identical simulation; {fix}"),
-                );
-            }
-        }
-    }
-}
-
-/// Flags `unwrap`/`expect`/panicking macros outside test regions.
-fn panic_safety(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    for (i, line) in s.code.iter().enumerate() {
-        if s.in_test[i] {
-            continue;
-        }
-        for tok in PANIC_TOKENS {
-            if line.contains(tok) {
-                let shown = tok.trim_matches(|c| c == '.' || c == '(');
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::PanicSafety,
-                    format!(
-                        "`{shown}` can panic in library code; return a typed \
-                         error or justify with lint:allow(panic-safety)"
-                    ),
-                );
-            }
-        }
-    }
-}
-
-/// True when `line` invokes the macro `tok` (which includes the trailing
-/// `!(`): the match must not be the tail of a longer identifier, so
-/// `eprintln!(` does not also count as `println!(`.
-fn has_macro_token(line: &str, tok: &str) -> bool {
-    let mut start = 0usize;
-    while let Some(pos) = line[start..].find(tok) {
-        let abs = start + pos;
-        let prev = line[..abs].chars().next_back();
-        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return true;
-        }
-        start = abs + 1;
-    }
-    false
-}
-
-/// Flags stdout/stderr macros outside test regions.
-fn no_println(s: &Scanned, path: &str, out: &mut Vec<Diagnostic>) {
-    for (i, line) in s.code.iter().enumerate() {
-        if s.in_test[i] {
-            continue;
-        }
-        for tok in PRINT_TOKENS {
-            if has_macro_token(line, tok) {
-                let shown = tok.trim_end_matches('(');
-                push(
-                    out,
-                    s,
-                    path,
-                    i,
-                    Rule::NoPrintln,
-                    format!(
-                        "`{shown}` writes to stdout/stderr from library code; \
-                         emit an eval-trace event/metric (or return the text) \
-                         or justify with lint:allow(no-println)"
-                    ),
-                );
-            }
-        }
-    }
-}
-
-/// In `eval-units`: paper constants must exist with the paper's values.
-/// Everywhere else: defining a constant with one of those names shadows
-/// the single source of truth.
-fn config_invariants(s: &Scanned, path: &str, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
-    if ctx.crate_name == "eval-units" {
-        // Only the file that actually declares the consts module is
-        // checked for presence/values.
-        let joined = s.code.join("\n");
-        if !joined.contains("mod consts") {
-            return;
-        }
-        for (name, literal, meaning) in PAPER_CONSTS {
-            let decl = format!("pub const {name}:");
-            match s.code.iter().position(|l| l.contains(&decl)) {
-                None => out.push(Diagnostic {
-                    path: path.to_string(),
-                    line: 1,
-                    rule: Rule::ConfigInvariants,
-                    message: format!(
-                        "eval_units::consts must define `{name}` ({meaning})"
-                    ),
-                }),
-                Some(i) => {
-                    // The defining statement may wrap; take up to the ';'.
-                    let mut stmt = String::new();
-                    for l in &s.code[i..(i + 3).min(s.code.len())] {
-                        stmt.push_str(l);
-                        if l.contains(';') {
-                            break;
-                        }
-                    }
-                    if !stmt.contains(literal) {
-                        out.push(Diagnostic {
-                            path: path.to_string(),
-                            line: i + 1,
-                            rule: Rule::ConfigInvariants,
-                            message: format!(
-                                "`{name}` must be defined from the paper value \
-                                 {literal} ({meaning}); found `{}`",
-                                stmt.trim()
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    } else {
-        for (i, line) in s.code.iter().enumerate() {
-            if s.in_test[i] {
-                continue;
-            }
-            for (name, _, _) in PAPER_CONSTS {
-                let shadow = format!("const {name}:");
-                if line.contains(&shadow) {
-                    push(
-                        out,
-                        s,
-                        path,
-                        i,
-                        Rule::ConfigInvariants,
-                        format!(
-                            "`{name}` is a paper constant; import it from \
-                             eval_units::consts instead of redefining it"
-                        ),
-                    );
-                }
-            }
-        }
-    }
-}
-
-/// Maps a workspace-relative path to its lint context; `None` means the
-/// file is out of scope (shim crates, the linter itself, non-Rust files).
-pub fn context_for(rel: &Path) -> Option<FileContext> {
-    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
-        return None;
-    }
-    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
-    let crate_name = if parts.first() == Some(&"crates") {
-        let dir = *parts.get(1)?;
-        // The linter itself and the offline stand-ins for crates.io
-        // packages are out of scope.
-        if ["lint", "proptest", "criterion"].contains(&dir) {
-            return None;
-        }
-        format!("eval-{dir}")
-    } else if ["src", "tests", "examples", "benches"].contains(parts.first()?) {
-        "eval".to_string()
-    } else {
-        return None;
-    };
-    let is_test_code = parts
-        .iter()
-        .any(|p| ["tests", "examples", "benches", "bin"].contains(p));
-    let is_bin = parts.iter().any(|p| *p == "bin");
-    Some(FileContext {
-        crate_name,
-        is_test_code,
-        is_bin,
-    })
-}
-
-fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            walk(&path, files)?;
-        } else {
-            files.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Lints every in-scope `.rs` file under the workspace root. Paths in the
-/// returned diagnostics are workspace-relative; the list is sorted by
-/// path then line so output is stable.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    for top in ["crates", "src", "tests", "examples", "benches"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            walk(&dir, &mut files)?;
-        }
-    }
-    files.sort();
-    let mut out = Vec::new();
-    for file in files {
-        let rel = file.strip_prefix(root).unwrap_or(&file);
-        let Some(ctx) = context_for(rel) else {
-            continue;
-        };
-        let source = std::fs::read_to_string(&file)?;
-        out.extend(lint_source(
-            &rel.display().to_string(),
-            &source,
-            &ctx,
+        let lexed = lexer::lex(&f.source);
+        fact_files.push((
+            f.rel.clone(),
+            f.ctx.crate_name.clone(),
+            facts::collect(&f.rel, &f.ctx, &lexed),
         ));
     }
-    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(out)
+    MetricSchema::from_facts(&facts::FactBase::merge(&fact_files))
+}
+
+/// Lints one file's source under the given context, running only the
+/// eight per-file rule families (the cross-file families need a whole
+/// workspace). `path` is only used to label findings.
+pub fn lint_source(path: &str, source: &str, ctx: &FileContext) -> Vec<Finding> {
+    let mut lexed = BTreeMap::new();
+    lexed.insert(path.to_string(), lexer::lex(source));
+    let mut sink = rules::Sink::new(&lexed);
+    rules::run_file_rules(&lexed[path], path, ctx, &mut sink);
+    sink.out
+}
+
+/// Lints every in-scope `.rs` file under the workspace root with all
+/// eleven rule families, checking against the committed registry.
+///
+/// # Errors
+///
+/// Propagates file-system failures from the workspace walk.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let ws = Workspace::load(root)?;
+    let registry = load_registry(root);
+    Ok(analyze(&ws, &registry))
 }
 
 #[cfg(test)]
@@ -1014,12 +311,6 @@ mod tests {
             is_test_code: false,
             is_bin: false,
         }
-    }
-
-    #[test]
-    fn comments_and_strings_are_stripped() {
-        let s = scan("let x = \"HashMap\"; // HashMap in a comment\n");
-        assert!(!s.code[0].contains("HashMap"));
     }
 
     #[test]
@@ -1067,35 +358,11 @@ mod tests {
     }
 
     #[test]
-    fn unmarked_files_may_construct_vecs() {
-        let src = "pub fn f(n: usize) -> usize { let v: Vec<u8> = Vec::with_capacity(n); v.len() }\n";
-        let d = lint_source("x.rs", src, &ctx("eval-power"));
-        assert!(d.iter().all(|d| d.rule != Rule::NoAllocInCheck), "{d:?}");
-    }
-
-    #[test]
-    fn hot_path_tests_may_allocate() {
-        let src = "// lint:hot-path\n#[cfg(test)]\nmod tests {\n    fn f() -> usize { vec![1u8].len() }\n}\n";
-        let d = lint_source("x.rs", src, &ctx("eval-power"));
-        assert!(d.iter().all(|d| d.rule != Rule::NoAllocInCheck), "{d:?}");
-    }
-
-    #[test]
-    fn collect_is_flagged_in_hot_path_modules() {
-        let src = "// lint:hot-path\npub fn f() -> usize { (0..4).collect::<Vec<_>>().len() }\n";
-        let d = lint_source("x.rs", src, &ctx("eval-adapt"));
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, Rule::NoAllocInCheck);
-    }
-
-    #[test]
     fn in_place_artifact_writes_are_flagged_even_in_bins() {
         let src = "pub fn f() { std::fs::write(\"out.json\", \"x\").ok(); }\n";
         let d = lint_source("x.rs", src, &ctx("eval-obs"));
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, Rule::AtomicArtifacts);
-        // A bin crate is test code for panic-safety, but its artifact
-        // writes are real output.
         let bin = FileContext {
             crate_name: "eval-bench".to_string(),
             is_test_code: true,
@@ -1103,37 +370,23 @@ mod tests {
         };
         let d = lint_source("x.rs", src, &bin);
         assert_eq!(d.len(), 1, "{d:?}");
-        // Tests proper stay exempt.
         let test = FileContext {
             crate_name: "eval-bench".to_string(),
             is_test_code: true,
             is_bin: false,
         };
         assert!(lint_source("x.rs", src, &test).is_empty());
-        // The escape hatch works.
         let allowed =
             "// lint:allow(atomic-artifacts): staging write\npub fn f() { std::fs::write(\"o\", \"x\").ok(); }\n";
         assert!(lint_source("x.rs", allowed, &ctx("eval-obs")).is_empty());
     }
 
     #[test]
-    fn append_streams_on_openoptions_are_not_flagged() {
-        let src = "pub fn f() { let _ = std::fs::OpenOptions::new().append(true).open(\"log\"); }\n";
-        let d = lint_source("x.rs", src, &ctx("eval-adapt"));
-        assert!(d.iter().all(|d| d.rule != Rule::AtomicArtifacts), "{d:?}");
-    }
-
-    #[test]
-    fn context_maps_paths() {
-        assert_eq!(
-            context_for(Path::new("crates/power/src/solve.rs"))
-                .unwrap()
-                .crate_name,
-            "eval-power"
-        );
-        assert!(context_for(Path::new("crates/lint/src/lib.rs")).is_none());
-        assert!(context_for(Path::new("crates/proptest/src/lib.rs")).is_none());
-        let t = context_for(Path::new("tests/determinism.rs")).unwrap();
-        assert!(t.is_test_code);
+    fn rule_codes_and_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+            assert!(rule.code().starts_with("EVL"));
+        }
+        assert_eq!(Rule::from_name("not-a-rule"), None);
     }
 }

@@ -1,41 +1,229 @@
-//! `eval-lint`: run the workspace static-analysis pass and exit non-zero
-//! on any finding. Intended to run from the workspace root (or pass the
-//! root as the first argument):
+//! `eval-lint`: run the workspace static-analysis pass and exit
+//! non-zero on any finding.
 //!
 //! ```text
-//! cargo run -p eval-lint --release [-- <workspace-root>]
+//! eval-lint [<workspace-root>] [--format text|json]
+//! eval-lint [<workspace-root>] --emit-schema [<path>|-]
+//! eval-lint --explain <rule>|all
+//! eval-lint --rules-table
 //! ```
+//!
+//! Without an explicit root, the binary resolves the workspace root
+//! from `CARGO_MANIFEST_DIR/../..` (when run via `cargo run -p
+//! eval-lint`) or by searching upward from the current directory for a
+//! `Cargo.toml` containing a `[workspace]` section, and refuses to run
+//! against anything that is not a workspace root — linting an empty or
+//! wrong directory reports a deceptive "0 findings".
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use eval_lint::{lint_workspace, Rule};
+use eval_lint::{analyze, facts, load_registry, report, Rule, Workspace};
+
+/// True when `dir` holds the workspace-root `Cargo.toml` (the one with
+/// a `[workspace]` table).
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|t| t.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Resolves and validates the workspace root. Explicit roots must
+/// validate; otherwise fall back from the build-time manifest location
+/// to an upward search from the current directory.
+fn resolve_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        let root = root
+            .canonicalize()
+            .map_err(|e| format!("cannot resolve {}: {e}", root.display()))?;
+        if !is_workspace_root(&root) {
+            return Err(format!(
+                "{} is not a workspace root (no Cargo.toml with a [workspace] section)",
+                root.display()
+            ));
+        }
+        return Ok(root);
+    }
+    if let Some(dir) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(dir).join("../..");
+        if let Ok(candidate) = candidate.canonicalize() {
+            if is_workspace_root(&candidate) {
+                return Ok(candidate);
+            }
+        }
+    }
+    let mut dir = std::env::current_dir()
+        .map_err(|e| format!("cannot read the current directory: {e}"))?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found: pass one explicitly (eval-lint <root>) or run \
+                 from inside the workspace"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn explain(which: &str) -> ExitCode {
+    if which == "all" {
+        for (i, rule) in Rule::ALL.into_iter().enumerate() {
+            if i > 0 {
+                println!("\n---\n");
+            }
+            println!("{}", report::explain(rule));
+        }
+        return ExitCode::SUCCESS;
+    }
+    match Rule::from_name(which) {
+        Some(rule) => {
+            println!("{}", report::explain(rule));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "eval-lint: unknown rule `{which}`; known rules: {}",
+                Rule::ALL.map(|r| r.name()).join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    format: String,
+    emit_schema: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        format: "text".to_string(),
+        emit_schema: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = argv.next().ok_or("--format needs a value (text|json)")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("unknown format `{v}` (expected text|json)"));
+                }
+                args.format = v;
+            }
+            "--emit-schema" => {
+                // Optional value; default to the committed registry path.
+                args.emit_schema = Some(argv.next().unwrap_or_else(|| "-".to_string()));
+            }
+            "--explain" => {
+                let v = argv.next().ok_or("--explain needs a rule name (or `all`)")?;
+                std::process::exit(u8::from(explain(&v) != ExitCode::SUCCESS) as i32);
+            }
+            "--rules-table" => {
+                print!("{}", report::rules_table());
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: eval-lint [<workspace-root>] [--format text|json] \
+                     [--emit-schema [<path>|-]] [--explain <rule>|all] [--rules-table]"
+                );
+                return Ok(None);
+            }
+            other if !other.starts_with('-') && args.root.is_none() => {
+                args.root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
-        .unwrap_or_else(|| PathBuf::from("."));
-
-    let diags = match lint_workspace(&root) {
-        Ok(d) => d,
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("eval-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match resolve_root(args.root) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("eval-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("eval-lint: cannot scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
 
-    for d in &diags {
-        println!("error: {d}");
+    if let Some(target) = args.emit_schema {
+        let json = eval_lint::emit_schema(&ws).to_json();
+        if target == "-" {
+            print!("{json}");
+            return ExitCode::SUCCESS;
+        }
+        let path = if Path::new(&target).is_absolute() {
+            PathBuf::from(&target)
+        } else {
+            root.join(&target)
+        };
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("eval-lint: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        // Stage-and-rename so a concurrent reader (or the tier-1 diff)
+        // never sees a torn registry.
+        let stage = path.with_extension("json.tmp");
+        if let Err(e) = std::fs::write(&stage, &json).and_then(|()| std::fs::rename(&stage, &path))
+        {
+            eprintln!("eval-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "eval-lint: wrote {} ({} metrics)",
+            path.display(),
+            json.lines().filter(|l| l.contains("\"name\"")).count()
+        );
+        return ExitCode::SUCCESS;
     }
-    let families: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
-    println!(
-        "eval-lint: {} finding(s); rule families checked: {}",
-        diags.len(),
-        families.join(", ")
-    );
-    if diags.is_empty() {
+
+    let registry = load_registry(&root);
+    let findings = analyze(&ws, &registry);
+
+    if args.format == "json" {
+        print!("{}", report::render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("error: {f} [{}]", f.id());
+        }
+        let families: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        println!(
+            "eval-lint: {} finding(s); rule families checked: {}",
+            findings.len(),
+            families.join(", ")
+        );
+        if matches!(registry, eval_lint::RegistryState::Missing) {
+            eprintln!(
+                "eval-lint: note: no committed registry at {}; run `eval-lint --emit-schema {}`",
+                facts::REGISTRY_PATH,
+                facts::REGISTRY_PATH
+            );
+        }
+    }
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

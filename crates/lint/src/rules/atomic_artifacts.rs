@@ -1,0 +1,38 @@
+//! atomic-artifacts (EVL008): in-place artifact writes.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Write calls that clobber the target in place: a crash mid-write (or
+/// a concurrent reader) sees a torn file.
+const TORN_WRITE_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
+
+/// Flags in-place artifact writes outside `#[cfg(test)]` regions.
+/// Final artifacts (traces, reports, metric snapshots, bench JSON)
+/// must go through `eval_trace::write_atomic`; incremental append logs
+/// built on `OpenOptions` are exempt by construction.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    for (i, line) in s.code_lines() {
+        if s.in_test(i) {
+            continue;
+        }
+        for tok in TORN_WRITE_TOKENS {
+            if line.contains(tok) {
+                let shown = tok.trim_end_matches('(');
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::AtomicArtifacts,
+                    format!(
+                        "`{shown}` clobbers the target in place and can leave a \
+                         torn file on crash; use eval_trace::write_atomic (or \
+                         OpenOptions for append streams) or justify with \
+                         lint:allow(atomic-artifacts)"
+                    ),
+                );
+            }
+        }
+    }
+}

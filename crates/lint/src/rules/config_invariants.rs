@@ -1,0 +1,87 @@
+//! config-invariants (EVL004): the paper's constants.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::{FileContext, Rule};
+
+/// Paper constants: name, expected defining literal, paper meaning.
+pub const PAPER_CONSTS: [(&str, &str, &str); 7] = [
+    ("P_MAX", "30.0", "PMAX = 30 W per processor"),
+    ("T_MAX_C", "85.0", "TMAX = 85 C junction"),
+    ("TH_MAX_C", "70.0", "THMAX = 70 C heatsink"),
+    ("PE_MAX", "1e-4", "PEMAX = 1e-4 errors/instruction"),
+    ("SIGMA_OVER_MU", "0.09", "sigma/mu = 0.09 total variation"),
+    ("PHI", "0.5", "phi = 0.5 of chip width correlation range"),
+    ("F_NOMINAL", "4.0", "nominal frequency 4 GHz"),
+];
+
+/// In `eval-units`: paper constants must exist with the paper's values
+/// (presence/value findings are not suppressible — the single source
+/// of truth has no legitimate exception). Everywhere else: defining a
+/// constant with one of those names shadows the single source of
+/// truth.
+pub fn run(s: &LexedFile, path: &str, ctx: &FileContext, sink: &mut Sink<'_>) {
+    if ctx.crate_name == "eval-units" {
+        // Only the file that actually declares the consts module is
+        // checked for presence/values.
+        if !s.lines.iter().any(|l| l.code.contains("mod consts")) {
+            return;
+        }
+        for (name, literal, meaning) in PAPER_CONSTS {
+            let decl = format!("pub const {name}:");
+            match s.lines.iter().position(|l| l.code.contains(&decl)) {
+                None => sink.force(
+                    path,
+                    0,
+                    None,
+                    Rule::ConfigInvariants,
+                    format!("eval_units::consts must define `{name}` ({meaning})"),
+                ),
+                Some(i) => {
+                    // The defining statement may wrap; take up to the ';'.
+                    let mut stmt = String::new();
+                    for l in &s.lines[i..(i + 3).min(s.lines.len())] {
+                        stmt.push_str(&l.code);
+                        if l.code.contains(';') {
+                            break;
+                        }
+                    }
+                    if !stmt.contains(literal) {
+                        sink.force(
+                            path,
+                            i,
+                            None,
+                            Rule::ConfigInvariants,
+                            format!(
+                                "`{name}` must be defined from the paper value \
+                                 {literal} ({meaning}); found `{}`",
+                                stmt.trim()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    } else {
+        for (i, line) in s.code_lines() {
+            if s.in_test(i) {
+                continue;
+            }
+            for (name, _, _) in PAPER_CONSTS {
+                let shadow = format!("const {name}:");
+                if line.contains(&shadow) {
+                    sink.push(
+                        path,
+                        i,
+                        None,
+                        Rule::ConfigInvariants,
+                        format!(
+                            "`{name}` is a paper constant; import it from \
+                             eval_units::consts instead of redefining it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

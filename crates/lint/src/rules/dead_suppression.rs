@@ -1,0 +1,56 @@
+//! dead-suppression (EVL011): `lint:allow` markers that do nothing.
+//!
+//! Every suppression in the tree carries a justification — but a
+//! justification for a finding that no longer exists is worse than
+//! none: the marker keeps suppressing, so when a *new* violation
+//! appears on that line it sails through review pre-approved. This
+//! rule runs last, after every other family has reported, and flags
+//! each marker that suppressed nothing (plus markers naming unknown
+//! rule families, which can never suppress anything — usually typos).
+//!
+//! Dead-suppression findings cannot themselves be suppressed.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Flags unused and unknown `lint:allow` markers. `files` is every
+/// lexed in-scope file; `sink.used` must already hold the credits from
+/// all other rule families.
+pub fn run(files: &BTreeMap<String, LexedFile>, sink: &mut Sink<'_>) {
+    let mut findings = Vec::new();
+    for (path, lexed) in files {
+        for (line_no, line) in lexed.lines.iter().enumerate() {
+            for rule_name in &line.allows {
+                if sink
+                    .used
+                    .contains(&(path.clone(), line_no, rule_name.clone()))
+                {
+                    continue;
+                }
+                let message = match Rule::from_name(rule_name) {
+                    None => format!(
+                        "lint:allow({rule_name}) names no known rule family \
+                         (known: {}); fix the typo or delete the marker",
+                        Rule::ALL.map(|r| r.name()).join(", ")
+                    ),
+                    Some(Rule::DeadSuppression) => {
+                        "dead-suppression findings cannot be suppressed; delete \
+                         this marker"
+                            .to_string()
+                    }
+                    Some(r) => format!(
+                        "lint:allow({r}) suppresses no finding; the violation \
+                         it justified is gone — delete the stale marker"
+                    ),
+                };
+                findings.push((path.clone(), line_no, message));
+            }
+        }
+    }
+    for (path, line, message) in findings {
+        sink.force(&path, line, None, Rule::DeadSuppression, message);
+    }
+}

@@ -1,0 +1,37 @@
+//! determinism (EVL002): entropy/wall-clock/hash-order sources.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Tokens forbidden by the determinism rule.
+const NONDET_TOKENS: [&str; 6] = [
+    "thread_rng",
+    "from_entropy",
+    "SystemTime",
+    "Instant::now",
+    "HashMap",
+    "HashSet",
+];
+
+/// Flags entropy, wall-clock and hash-ordered-collection tokens.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    for (i, line) in s.code_lines() {
+        for tok in NONDET_TOKENS {
+            if line.contains(tok) {
+                let fix = match tok {
+                    "HashMap" => "use BTreeMap (stable iteration order)",
+                    "HashSet" => "use BTreeSet (stable iteration order)",
+                    _ => "derive all randomness from the seeded eval-rng stream",
+                };
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::Determinism,
+                    format!("`{tok}` breaks bit-identical simulation; {fix}"),
+                );
+            }
+        }
+    }
+}

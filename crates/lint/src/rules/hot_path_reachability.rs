@@ -1,0 +1,72 @@
+//! hot-path-reachability (EVL010): allocation one call-graph hop out.
+//!
+//! `no-alloc-in-check` only inspects the `lint:hot-path` file itself,
+//! so a check-path function that calls `helper()` in a neighbouring
+//! (unmarked) module gets its allocation for free. This rule closes
+//! that gap one hop out: every function *called from* a hot-path
+//! module must either be allocation-free or live in a hot-path-marked
+//! file (where EVL006 already polices it).
+//!
+//! Resolution is name-based and deliberately conservative — the goal
+//! is zero false positives on the clean tree, not completeness:
+//!
+//! * unqualified calls and `.method(...)` calls resolve against `fn`
+//!   definitions in the **calling crate**;
+//! * `eval_xxx::f(...)` paths resolve into the named workspace crate;
+//! * lowercase module paths (`module::f(...)`, `self::f(...)`,
+//!   `crate::f(...)`) resolve within the calling crate;
+//! * `Type::f(...)` paths (capitalized qualifier) are skipped — enum
+//!   variants and cross-crate associated functions are
+//!   indistinguishable without type information;
+//! * a finding fires only when **every** candidate definition
+//!   allocates and none lives in a hot-path file.
+
+use std::collections::BTreeSet;
+
+use crate::facts::FactBase;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Runs the one-hop reachability check over the merged fact base.
+pub fn run(fb: &FactBase, sink: &mut Sink<'_>) {
+    let mut reported: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for (crate_name, path, call) in &fb.calls {
+        let target_crate = match call.qualifier.as_deref() {
+            Some(q) if q.starts_with("eval_") => q.replace('_', "-"),
+            Some("self" | "crate") | None => crate_name.clone(),
+            Some(q) if q.chars().next().is_some_and(char::is_lowercase) => crate_name.clone(),
+            Some(_) => continue, // `Type::f(...)`: unresolvable by name
+        };
+        let Some(candidates) = fb
+            .fn_defs
+            .get(&target_crate)
+            .and_then(|m| m.get(&call.callee))
+        else {
+            continue;
+        };
+        if candidates.is_empty()
+            || !candidates.iter().all(|d| d.allocates && !d.hot_path_file)
+        {
+            continue;
+        }
+        if !reported.insert((path.clone(), call.line, call.callee.clone())) {
+            continue;
+        }
+        let def = &candidates[0];
+        sink.push(
+            path,
+            call.line,
+            Some(call.col),
+            Rule::HotPathReachability,
+            format!(
+                "`{}(..)` is called from this `lint:hot-path` check path but \
+                 allocates (defined at {}:{}); make it allocation-free, move \
+                 it into a hot-path-marked module, or justify with \
+                 lint:allow(hot-path-reachability)",
+                call.callee,
+                def.path,
+                def.line + 1
+            ),
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! no-alloc-in-check (EVL006): `Vec` construction in hot-path modules.
+
+use crate::facts::ALLOC_TOKENS;
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Flags `Vec` construction outside `#[cfg(test)]` in files that carry
+/// a `// lint:hot-path` marker. Those modules sit on the per-candidate
+/// operating-point `check` path, which runs millions of times per
+/// campaign and must not allocate.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    for (i, line) in s.code_lines() {
+        if s.in_test(i) {
+            continue;
+        }
+        for tok in ALLOC_TOKENS {
+            if line.contains(tok) {
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::NoAllocInCheck,
+                    format!("`{tok}..` allocates inside a `lint:hot-path` module"),
+                );
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! no-println (EVL005): stdout/stderr macros in library code.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Tokens forbidden by the no-println rule. `eprintln!(` contains
+/// `println!(` as a substring, so matches require a non-identifier
+/// character before the token (see [`has_macro_token`]).
+const PRINT_TOKENS: [&str; 5] = [
+    "println!(",
+    "print!(",
+    "eprintln!(",
+    "eprint!(",
+    "dbg!(",
+];
+
+/// True when `line` invokes the macro `tok` (which includes the
+/// trailing `!(`): the match must not be the tail of a longer
+/// identifier, so `eprintln!(` does not also count as `println!(`.
+fn has_macro_token(line: &str, tok: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(tok) {
+        let abs = start + pos;
+        let prev = line[..abs].chars().next_back();
+        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+/// Flags stdout/stderr macros outside test regions.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    for (i, line) in s.code_lines() {
+        if s.in_test(i) {
+            continue;
+        }
+        for tok in PRINT_TOKENS {
+            if has_macro_token(line, tok) {
+                let shown = tok.trim_end_matches('(');
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::NoPrintln,
+                    format!(
+                        "`{shown}` writes to stdout/stderr from library code; \
+                         emit an eval-trace event/metric (or return the text) \
+                         or justify with lint:allow(no-println)"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! panic-safety (EVL003): `unwrap`/`expect`/panicking macros.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Tokens forbidden by the panic-safety rule.
+const PANIC_TOKENS: [&str; 5] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Flags `unwrap`/`expect`/panicking macros outside test regions.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    for (i, line) in s.code_lines() {
+        if s.in_test(i) {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if line.contains(tok) {
+                let shown = tok.trim_matches(|c| c == '.' || c == '(');
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::PanicSafety,
+                    format!(
+                        "`{shown}` can panic in library code; return a typed \
+                         error or justify with lint:allow(panic-safety)"
+                    ),
+                );
+            }
+        }
+    }
+}

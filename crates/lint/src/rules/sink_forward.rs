@@ -1,0 +1,101 @@
+//! sink-forward (EVL007): `TraceSink` impls that swallow records.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// The three `Record` variants every sink must handle explicitly when
+/// it matches on the record at all.
+const RECORD_VARIANTS: [&str; 3] = ["Record::Event", "Record::Metric", "Record::Span"];
+
+/// True when a (comment-stripped) line holds a wildcard match arm: a
+/// pattern that is `_`, or an or-pattern ending in `| _`, before `=>`.
+fn is_wildcard_arm(line: &str) -> bool {
+    let Some(head) = line.split("=>").next() else {
+        return false;
+    };
+    if !line.contains("=>") {
+        return false;
+    }
+    let head = head.trim();
+    head == "_" || head.ends_with("| _") || head.ends_with("|_")
+}
+
+/// Flags `impl ... TraceSink for ...` blocks that can swallow records:
+/// wildcard `_ =>` arms, or a `match` over `Record` that does not name
+/// all three variants. The trace contract (decorators keep the JSONL
+/// stream bit-identical) only holds if every sink forwards every
+/// variant.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    let n = s.lines.len();
+    let mut i = 0usize;
+    while i < n {
+        let starts_impl = !s.in_test(i)
+            && s.lines[i].code.contains("TraceSink for")
+            && (s.lines[i].code.contains("impl")
+                || (i > 0 && s.lines[i - 1].code.contains("impl")));
+        if !starts_impl {
+            i += 1;
+            continue;
+        }
+        let impl_line = i;
+        // Walk to the end of the impl's brace region.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = i;
+        let mut region = String::new();
+        'outer: for (j, line) in s.code_lines().skip(i) {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened {
+                region.push_str(line);
+                region.push('\n');
+                if j > impl_line && is_wildcard_arm(line) {
+                    sink.push(
+                        path,
+                        j,
+                        None,
+                        Rule::SinkForward,
+                        "wildcard `_ =>` arm inside a `TraceSink` impl can silently \
+                         swallow record variants"
+                            .to_string(),
+                    );
+                }
+            }
+            if opened && depth <= 0 {
+                end = j;
+                break 'outer;
+            }
+            end = j;
+        }
+        if region.contains("Record::") {
+            let missing: Vec<&str> = RECORD_VARIANTS
+                .iter()
+                .filter(|v| !region.contains(*v))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                sink.push(
+                    path,
+                    impl_line,
+                    None,
+                    Rule::SinkForward,
+                    format!(
+                        "`TraceSink` impl matches on `Record` but never handles {}; \
+                         sinks must forward every variant",
+                        missing.join(", ")
+                    ),
+                );
+            }
+        }
+        i = end + 1;
+    }
+}

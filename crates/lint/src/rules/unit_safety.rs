@@ -1,0 +1,96 @@
+//! unit-safety (EVL001): raw `f64` parameters with unit-carrying names.
+
+use crate::lexer::LexedFile;
+use crate::rules::Sink;
+use crate::Rule;
+
+/// Parameter-name fragments that indicate a physical unit.
+const UNIT_NAME_HINTS: [&str; 6] = ["vdd", "vbb", "ghz", "volt", "watt", "kelvin"];
+
+/// Flags `name: f64` parameters of `pub fn`s where `name` carries a
+/// unit.
+pub fn run(s: &LexedFile, path: &str, sink: &mut Sink<'_>) {
+    let n = s.lines.len();
+    let mut i = 0usize;
+    while i < n {
+        let line = &s.lines[i].code;
+        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn "]
+            .iter()
+            .any(|p| line.trim_start().starts_with(p) || line.contains(p));
+        if !is_pub_fn || s.in_test(i) {
+            i += 1;
+            continue;
+        }
+        // Accumulate the signature until its body/semicolon.
+        let mut sig = String::new();
+        let mut j = i;
+        while j < n {
+            sig.push_str(&s.lines[j].code);
+            sig.push(' ');
+            if s.lines[j].code.contains('{') || s.lines[j].code.contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        for (name, _ty) in f64_params(&sig) {
+            let lname = name.to_ascii_lowercase();
+            if UNIT_NAME_HINTS.iter().any(|h| lname.contains(h)) {
+                sink.push(
+                    path,
+                    i,
+                    None,
+                    Rule::UnitSafety,
+                    format!(
+                        "public fn parameter `{name}: f64` names a physical \
+                         unit; use the eval-units newtype (Volts, GHz, Watts, \
+                         Kelvin, ErrorRate) or justify with \
+                         lint:allow(unit-safety)"
+                    ),
+                );
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// Extracts `(name, type)` pairs for parameters typed `f64` / `&f64`.
+fn f64_params(sig: &str) -> Vec<(String, String)> {
+    let mut res = Vec::new();
+    let Some(open) = sig.find('(') else {
+        return res;
+    };
+    // Cut the parameter list at the matching close paren.
+    let mut depth = 0i32;
+    let mut end = sig.len();
+    for (k, c) in sig[open..].char_indices() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | '>' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let params = &sig[open + 1..end.min(sig.len())];
+    for part in params.split(',') {
+        let Some((name, ty)) = part.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_start_matches("mut ").trim();
+        let ty = ty.trim();
+        let bare = ty.trim_start_matches('&').trim();
+        if bare == "f64"
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && !name.is_empty()
+        {
+            res.push((name.to_string(), ty.to_string()));
+        }
+    }
+    res
+}

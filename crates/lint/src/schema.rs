@@ -1,0 +1,286 @@
+//! The metric-name registry: a committed, machine-readable inventory of
+//! every metric the workspace emits or consumes.
+//!
+//! `eval-lint --emit-schema` regenerates `results/metric_schema.json`
+//! from the merged fact base; tier-1 diffs the regenerated file against
+//! the committed copy, so any metric added, renamed, or dropped shows
+//! up as a one-line registry diff in review. The `metric-schema` rule
+//! additionally cross-checks live facts against the committed registry
+//! (stale entries, unregistered emitters).
+//!
+//! The JSON rendering is canonical — sorted entries, one per line,
+//! fixed key order, `\n` endings — so regeneration is byte-stable.
+
+use std::collections::BTreeSet;
+
+use crate::facts::FactBase;
+
+/// One exact metric name in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaEntry {
+    /// The metric name (`campaign.chips_done`).
+    pub name: String,
+    /// The `eval_trace::names` constant declaring it, if any.
+    pub const_ident: Option<String>,
+    /// At least one emit site exists.
+    pub emitted: bool,
+    /// At least one consume site (exact or via prefix) exists.
+    pub consumed: bool,
+}
+
+/// One consumed prefix family (constants named `*_PREFIX`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixEntry {
+    /// The name prefix (`decision.latency.`).
+    pub name: String,
+    /// The declaring constant, if any.
+    pub const_ident: Option<String>,
+}
+
+/// The full registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSchema {
+    /// Exact metric names, sorted.
+    pub metrics: Vec<SchemaEntry>,
+    /// Consumed prefix families, sorted.
+    pub prefixes: Vec<PrefixEntry>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts the string value of `"key":"..."` from a JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(unescape(&rest[..end])),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Extracts the boolean value of `"key":true/false` from a line.
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+impl MetricSchema {
+    /// Builds the registry from the merged fact base: every declared,
+    /// emitted, or consumed metric name becomes an entry.
+    pub fn from_facts(fb: &FactBase) -> MetricSchema {
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        names.extend(
+            fb.defs
+                .values()
+                .filter(|d| !d.ident.ends_with("_PREFIX"))
+                .map(|d| d.value.clone()),
+        );
+        names.extend(fb.emits.keys().cloned());
+        names.extend(fb.consumes.keys().cloned());
+        let metrics = names
+            .into_iter()
+            .map(|name| SchemaEntry {
+                const_ident: fb.value_to_ident.get(&name).cloned(),
+                emitted: fb.emits.contains_key(&name),
+                consumed: fb.is_consumed(&name),
+                name,
+            })
+            .collect();
+        let prefixes = fb
+            .defs
+            .values()
+            .filter(|d| d.ident.ends_with("_PREFIX"))
+            .map(|d| PrefixEntry {
+                name: d.value.clone(),
+                const_ident: Some(d.ident.clone()),
+            })
+            .collect();
+        MetricSchema { metrics, prefixes }
+    }
+
+    /// Renders the canonical JSON form (byte-stable for a given fact
+    /// base).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let konst = match &m.const_ident {
+                Some(c) => format!("\"{}\"", escape(c)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"const\":{},\"emitted\":{},\"consumed\":{}}}{}\n",
+                escape(&m.name),
+                konst,
+                m.emitted,
+                m.consumed,
+                if i + 1 == self.metrics.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"prefixes\": [\n");
+        for (i, p) in self.prefixes.iter().enumerate() {
+            let konst = match &p.const_ident {
+                Some(c) => format!("\"{}\"", escape(c)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"const\":{}}}{}\n",
+                escape(&p.name),
+                konst,
+                if i + 1 == self.prefixes.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the canonical JSON form (line-oriented; tolerant of
+    /// whitespace but not of reordered keys — the file is only ever
+    /// produced by [`MetricSchema::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<MetricSchema, String> {
+        let mut schema = MetricSchema::default();
+        let mut section = "";
+        let mut saw_metrics = false;
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.contains("\"metrics\"") {
+                section = "metrics";
+                saw_metrics = true;
+                continue;
+            }
+            if line.contains("\"prefixes\"") {
+                section = "prefixes";
+                continue;
+            }
+            if !line.starts_with('{') || !line.contains("\"name\"") {
+                continue;
+            }
+            let name = str_field(line, "name")
+                .ok_or_else(|| format!("line {}: entry without a \"name\"", no + 1))?;
+            let const_ident = str_field(line, "const");
+            match section {
+                "metrics" => schema.metrics.push(SchemaEntry {
+                    name,
+                    const_ident,
+                    emitted: bool_field(line, "emitted")
+                        .ok_or_else(|| format!("line {}: missing \"emitted\"", no + 1))?,
+                    consumed: bool_field(line, "consumed")
+                        .ok_or_else(|| format!("line {}: missing \"consumed\"", no + 1))?,
+                }),
+                "prefixes" => schema.prefixes.push(PrefixEntry { name, const_ident }),
+                _ => return Err(format!("line {}: entry outside a section", no + 1)),
+            }
+        }
+        if !saw_metrics {
+            return Err("no \"metrics\" section found".to_string());
+        }
+        Ok(schema)
+    }
+
+    /// The set of registered exact metric names.
+    pub fn names(&self) -> BTreeSet<&str> {
+        self.metrics.iter().map(|m| m.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricSchema {
+        MetricSchema {
+            metrics: vec![
+                SchemaEntry {
+                    name: "cache.hit".into(),
+                    const_ident: Some("CACHE_HIT".into()),
+                    emitted: true,
+                    consumed: false,
+                },
+                SchemaEntry {
+                    name: "campaign.chips_done".into(),
+                    const_ident: Some("CAMPAIGN_CHIPS_DONE".into()),
+                    emitted: true,
+                    consumed: true,
+                },
+            ],
+            prefixes: vec![PrefixEntry {
+                name: "decision.latency.".into(),
+                const_ident: Some("DECISION_LATENCY_PREFIX".into()),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let text = s.to_json();
+        let parsed = MetricSchema::parse(&text).expect("parse");
+        assert_eq!(parsed, s);
+        // Canonical: re-rendering is byte-identical.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(MetricSchema::parse("not json").is_err());
+        assert!(MetricSchema::parse("{\"metrics\": [\n{\"noname\":1}\n]}").is_ok());
+        assert!(MetricSchema::parse("{\"metrics\": [\n{\"name\":\"a.b\"}\n]}").is_err());
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(unescape("a\\\"b\\\\c"), "a\"b\\c");
+    }
+}

@@ -1,7 +1,7 @@
 //! Integration tests: each rule family fires on its fixture's seeded
 //! violations and stays quiet on the allowlisted / clean parts.
 
-use eval_lint::{lint_source, Diagnostic, FileContext, Rule};
+use eval_lint::{lint_source, Finding, FileContext, Rule};
 
 fn ctx(name: &str) -> FileContext {
     FileContext {
@@ -11,7 +11,7 @@ fn ctx(name: &str) -> FileContext {
     }
 }
 
-fn lint_fixture(file: &str, crate_name: &str) -> Vec<Diagnostic> {
+fn lint_fixture(file: &str, crate_name: &str) -> Vec<Finding> {
     let path = format!(
         "{}/tests/fixtures/{file}",
         env!("CARGO_MANIFEST_DIR")
@@ -20,7 +20,7 @@ fn lint_fixture(file: &str, crate_name: &str) -> Vec<Diagnostic> {
     lint_source(file, &source, &ctx(crate_name))
 }
 
-fn lines_for(diags: &[Diagnostic], rule: Rule) -> Vec<usize> {
+fn lines_for(diags: &[Finding], rule: Rule) -> Vec<usize> {
     diags
         .iter()
         .filter(|d| d.rule == rule)

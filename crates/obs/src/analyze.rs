@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::io::BufRead;
 
 use eval_trace::json::JsonObject;
-use eval_trace::Histogram;
+use eval_trace::{names, Histogram};
 
 use crate::json::Json;
 
@@ -198,8 +198,8 @@ impl Analysis {
     /// `SolveCache` hit rate from the `solver.cache.*` counters, if the
     /// trace recorded any cache traffic.
     pub fn cache_hit_rate(&self) -> Option<f64> {
-        let hits = *self.counters.get("solver.cache.hits")?;
-        let misses = self.counters.get("solver.cache.misses").copied().unwrap_or(0);
+        let hits = *self.counters.get(names::SOLVER_CACHE_HITS)?;
+        let misses = self.counters.get(names::SOLVER_CACHE_MISSES).copied().unwrap_or(0);
         let total = hits + misses;
         if total == 0 {
             None
@@ -213,7 +213,7 @@ impl Analysis {
     pub fn latency_digests(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
         self.digests
             .iter()
-            .filter(|(name, h)| name.starts_with("decision.latency") && h.count() > 0)
+            .filter(|(name, h)| name.starts_with(names::DECISION_LATENCY_PREFIX) && h.count() > 0)
             .map(|(name, h)| (name.as_str(), h))
     }
 
@@ -237,10 +237,10 @@ impl Analysis {
                 let _ = writeln!(w, "campaign: no campaign-start event (chip markers: {})", self.chips_seen);
             }
         }
-        if let Some(resumed) = self.counters.get("campaign.chips_resumed") {
+        if let Some(resumed) = self.counters.get(names::CAMPAIGN_CHIPS_RESUMED) {
             let _ = writeln!(w, "resumed: {resumed} chips restored from a checkpoint sidecar");
         }
-        if let Some(failed) = self.counters.get("campaign.chips_failed") {
+        if let Some(failed) = self.counters.get(names::CAMPAIGN_CHIPS_FAILED) {
             let _ = writeln!(w, "quarantined: {failed} chips failed and were excluded from averages");
         }
         if self.truncated_tail {
@@ -336,14 +336,14 @@ impl Analysis {
 
         match self.cache_hit_rate() {
             Some(rate) => {
-                let hits = self.counters.get("solver.cache.hits").copied().unwrap_or(0);
-                let misses = self.counters.get("solver.cache.misses").copied().unwrap_or(0);
+                let hits = self.counters.get(names::SOLVER_CACHE_HITS).copied().unwrap_or(0);
+                let misses = self.counters.get(names::SOLVER_CACHE_MISSES).copied().unwrap_or(0);
                 let _ = writeln!(
                     w,
                     "\nsolver cache: hits={hits} misses={misses} hit_rate={:.1}%",
                     rate * 100.0
                 );
-                if let Some(iters) = self.counters.get("solver.iterations") {
+                if let Some(iters) = self.counters.get(names::SOLVER_ITERATIONS) {
                     let _ = writeln!(w, "solver iterations: {iters}");
                 }
             }
@@ -447,8 +447,8 @@ impl Analysis {
 
         let cache = match self.cache_hit_rate() {
             Some(rate) => JsonObject::new()
-                .u64("hits", self.counters.get("solver.cache.hits").copied().unwrap_or(0))
-                .u64("misses", self.counters.get("solver.cache.misses").copied().unwrap_or(0))
+                .u64("hits", self.counters.get(names::SOLVER_CACHE_HITS).copied().unwrap_or(0))
+                .u64("misses", self.counters.get(names::SOLVER_CACHE_MISSES).copied().unwrap_or(0))
                 .f64("hit_rate", rate)
                 .finish(),
             None => "null".to_string(),

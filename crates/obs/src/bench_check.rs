@@ -23,6 +23,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use eval_trace::json::JsonObject;
+use eval_trace::names;
 
 use crate::json::Json;
 
@@ -195,7 +196,7 @@ impl CheckReport {
             let _ = writeln!(
                 out,
                 "{:<28} {:>14.4} {:>14.4} {:>8} {:>7} {:>6}",
-                "solver.cache.hit_rate",
+                names::SOLVER_CACHE_HIT_RATE,
                 base,
                 fresh,
                 "-",
@@ -269,8 +270,8 @@ pub fn check(baseline: &BenchFile, fresh: &BenchFile, tol: &Tolerances) -> Check
         }
     }
     if let (Some(&base), Some(&new)) = (
-        baseline.metrics.get("solver.cache.hit_rate"),
-        fresh.metrics.get("solver.cache.hit_rate"),
+        baseline.metrics.get(names::SOLVER_CACHE_HIT_RATE),
+        fresh.metrics.get(names::SOLVER_CACHE_HIT_RATE),
     ) {
         report.hit_rate = Some((base, new, new >= base - HIT_RATE_SLACK));
     }

@@ -136,10 +136,7 @@ impl MetricsServer {
     pub fn serve_path(&self, path: &Path, max_requests: Option<u64>) -> std::io::Result<u64> {
         let mut served = 0u64;
         for conn in self.listener.incoming() {
-            let mut stream = match conn {
-                Ok(s) => s,
-                Err(e) => return Err(e),
-            };
+            let mut stream = conn?;
             // Drain the request line + headers (best effort; we answer
             // every request the same way).
             let mut buf = [0u8; 1024];
@@ -173,15 +170,15 @@ impl MetricsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eval_trace::MetricUpdate;
+    use eval_trace::{names, MetricUpdate};
 
     fn sample_registry() -> Registry {
         let mut r = Registry::new();
-        r.register_histogram("decision.latency_us", &[10.0, 100.0]);
-        r.apply(&MetricUpdate::CounterAdd("solver.cache.hits".into(), 9));
+        r.register_histogram(names::DECISION_LATENCY_US, &[10.0, 100.0]);
+        r.apply(&MetricUpdate::CounterAdd(names::SOLVER_CACHE_HITS.into(), 9));
         r.apply(&MetricUpdate::GaugeSet("campaign.phase".into(), 2.0));
-        r.apply(&MetricUpdate::Observe("decision.latency_us".into(), 50.0));
-        r.apply(&MetricUpdate::Observe("decision.latency_us".into(), 500.0));
+        r.apply(&MetricUpdate::Observe(names::DECISION_LATENCY_US.into(), 50.0));
+        r.apply(&MetricUpdate::Observe(names::DECISION_LATENCY_US.into(), 500.0));
         r
     }
 

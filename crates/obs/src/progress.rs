@@ -20,7 +20,7 @@ use std::io::Write;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use eval_trace::{Event, Record, Registry, TraceSink};
+use eval_trace::{names, Event, Record, Registry, TraceSink};
 
 struct State<W> {
     out: W,
@@ -114,12 +114,12 @@ impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
             Record::Metric(update) => {
                 match update {
                     eval_trace::MetricUpdate::CounterAdd(name, n)
-                        if name.as_ref() == "campaign.chips_done" =>
+                        if name.as_ref() == names::CAMPAIGN_CHIPS_DONE =>
                     {
                         state.chips_done += n;
                     }
                     eval_trace::MetricUpdate::CounterAdd(name, n)
-                        if name.as_ref() == "campaign.chips_resumed" =>
+                        if name.as_ref() == names::CAMPAIGN_CHIPS_RESUMED =>
                     {
                         state.chips_resumed += n;
                     }
@@ -127,7 +127,7 @@ impl<S: TraceSink, W: Write + Send> ProgressSink<S, W> {
                     // (it is already on disk) and announces the population
                     // size through this gauge instead.
                     eval_trace::MetricUpdate::GaugeSet(name, total)
-                        if name.as_ref() == "campaign.chips_total"
+                        if name.as_ref() == names::CAMPAIGN_CHIPS_TOTAL
                             && state.chips_total.is_none()
                             && *total > 0.0 =>
                     {
@@ -206,17 +206,17 @@ fn heartbeat_line<W>(state: &State<W>) -> String {
             let _ = write!(line, "{} records", state.records);
         }
     }
-    let decisions = state.registry.counter("decision.count");
+    let decisions = state.registry.counter(names::DECISION_COUNT);
     if decisions > 0 {
         let _ = write!(line, " | decisions {decisions}");
     }
-    let hits = state.registry.counter("solver.cache.hits");
-    let misses = state.registry.counter("solver.cache.misses");
+    let hits = state.registry.counter(names::SOLVER_CACHE_HITS);
+    let misses = state.registry.counter(names::SOLVER_CACHE_MISSES);
     if hits + misses > 0 {
         let rate = 100.0 * hits as f64 / (hits + misses) as f64;
         let _ = write!(line, " | cache {rate:.1}%");
     }
-    let retunes = state.registry.counter("retune.probes");
+    let retunes = state.registry.counter(names::RETUNE_PROBES);
     if retunes > 0 {
         let _ = write!(line, " | probes {retunes}");
     }
@@ -275,16 +275,16 @@ mod tests {
                 workloads: 2,
                 cells: 6,
             }),
-            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done".into(), 1)),
-            Record::Metric(MetricUpdate::CounterAdd("decision.count".into(), 3)),
-            Record::Metric(MetricUpdate::CounterAdd("solver.cache.hits".into(), 9)),
-            Record::Metric(MetricUpdate::CounterAdd("solver.cache.misses".into(), 1)),
+            Record::Metric(MetricUpdate::CounterAdd(names::CAMPAIGN_CHIPS_DONE.into(), 1)),
+            Record::Metric(MetricUpdate::CounterAdd(names::DECISION_COUNT.into(), 3)),
+            Record::Metric(MetricUpdate::CounterAdd(names::SOLVER_CACHE_HITS.into(), 9)),
+            Record::Metric(MetricUpdate::CounterAdd(names::SOLVER_CACHE_MISSES.into(), 1)),
             Record::Event(Event::ChipStart { chip: 0 }),
             Record::Span {
                 path: "campaign/chip".into(),
                 nanos: 42,
             },
-            Record::Metric(MetricUpdate::CounterAdd("campaign.chips_done".into(), 3)),
+            Record::Metric(MetricUpdate::CounterAdd(names::CAMPAIGN_CHIPS_DONE.into(), 3)),
         ]
     }
 
@@ -333,7 +333,7 @@ mod tests {
         );
         let t = Tracer::new(&wrapped);
         for _ in 0..100 {
-            t.count("decision.count");
+            t.count(names::DECISION_COUNT);
         }
         drop(wrapped.into_inner());
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
@@ -348,19 +348,19 @@ mod tests {
         // A resumed campaign: no campaign-start event, the totals arrive
         // via the checkpoint-mode gauge and the resumed counter.
         wrapped.record(Record::Metric(MetricUpdate::GaugeSet(
-            "campaign.chips_total".into(),
+            names::CAMPAIGN_CHIPS_TOTAL.into(),
             4.0,
         )));
         wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
-            "campaign.chips_resumed".into(),
+            names::CAMPAIGN_CHIPS_RESUMED.into(),
             2,
         )));
         wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
-            "campaign.chips_done".into(),
+            names::CAMPAIGN_CHIPS_DONE.into(),
             2,
         )));
         wrapped.record(Record::Metric(MetricUpdate::CounterAdd(
-            "campaign.chips_done".into(),
+            names::CAMPAIGN_CHIPS_DONE.into(),
             1,
         )));
         assert_eq!(wrapped.chips_resumed(), 2);

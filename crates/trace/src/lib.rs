@@ -33,6 +33,7 @@ pub mod artifact;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod sink;
 pub mod span;
 pub mod stream;

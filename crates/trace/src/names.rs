@@ -1,0 +1,141 @@
+//! Canonical metric and counter names.
+//!
+//! Every metric/counter name that crosses a crate boundary — emitted by
+//! the campaign, runtime, solver, or trainer and consumed by `eval-obs`
+//! rollups, the progress heartbeat, or the `bench-check` gate — is
+//! declared here exactly once as a `&'static str` constant. Emitters and
+//! consumers import the constant instead of repeating the string, so a
+//! rename is a compile-visible change on both sides rather than a silent
+//! schema drift.
+//!
+//! `eval-lint`'s `metric-schema` rule treats this module as the single
+//! source of truth: raw metric-name string literals anywhere else in
+//! non-test code are findings, a constant consumed without an emitter is
+//! a finding, and the full name set is snapshotted into
+//! `results/metric_schema.json` by `eval-lint --emit-schema` (diffed in
+//! tier-1, so schema changes are always explicit).
+//!
+//! Constants whose identifier ends in `_PREFIX` name a metric *family*
+//! matched by `starts_with` (e.g. the per-scheme decision-latency
+//! timers) rather than one exact metric.
+
+/// Chips in the campaign population (gauge; also announced on resume).
+pub const CAMPAIGN_CHIPS_TOTAL: &str = "campaign.chips_total";
+/// Chips fully merged into the campaign result so far (counter).
+pub const CAMPAIGN_CHIPS_DONE: &str = "campaign.chips_done";
+/// Chips restored from a checkpoint instead of re-run (counter).
+pub const CAMPAIGN_CHIPS_RESUMED: &str = "campaign.chips_resumed";
+/// Chips quarantined after a per-chip fault (counter).
+pub const CAMPAIGN_CHIPS_FAILED: &str = "campaign.chips_failed";
+
+/// Runtime phase detector reused a saved configuration (counter).
+pub const CACHE_HIT: &str = "cache.hit";
+/// Runtime phase detector ran the controller for a new phase (counter).
+pub const CACHE_MISS: &str = "cache.miss";
+
+/// Operating-point decisions taken, all schemes (counter).
+pub const DECISION_COUNT: &str = "decision.count";
+/// Decisions taken by the `static` scheme (counter).
+pub const DECISION_COUNT_STATIC: &str = "decision.count.static";
+/// Decisions taken by the `fuzzy` scheme (counter).
+pub const DECISION_COUNT_FUZZY: &str = "decision.count.fuzzy";
+/// Decisions taken by the `exhaustive` scheme (counter).
+pub const DECISION_COUNT_EXHAUSTIVE: &str = "decision.count.exhaustive";
+/// Decisions taken by the `global-dvfs` scheme (counter).
+pub const DECISION_COUNT_GLOBAL_DVFS: &str = "decision.count.global-dvfs";
+/// Decisions taken by any unrecognized scheme label (counter).
+pub const DECISION_COUNT_OTHER: &str = "decision.count.other";
+
+/// The decision-latency timer family, matched by prefix in `eval-obs
+/// analyze` (all `_us`-suffixed, outside the determinism contract).
+pub const DECISION_LATENCY_PREFIX: &str = "decision.latency";
+/// Wall-clock decision latency, all schemes (timing histogram, µs).
+pub const DECISION_LATENCY_US: &str = "decision.latency_us";
+/// Wall-clock decision latency of the `static` scheme (µs).
+pub const DECISION_LATENCY_STATIC_US: &str = "decision.latency.static_us";
+/// Wall-clock decision latency of the `fuzzy` scheme (µs).
+pub const DECISION_LATENCY_FUZZY_US: &str = "decision.latency.fuzzy_us";
+/// Wall-clock decision latency of the `exhaustive` scheme (µs).
+pub const DECISION_LATENCY_EXHAUSTIVE_US: &str = "decision.latency.exhaustive_us";
+/// Wall-clock decision latency of the `global-dvfs` scheme (µs).
+pub const DECISION_LATENCY_GLOBAL_DVFS_US: &str = "decision.latency.global-dvfs_us";
+/// Wall-clock decision latency of any unrecognized scheme (µs).
+pub const DECISION_LATENCY_OTHER_US: &str = "decision.latency.other_us";
+
+/// Chosen core frequency per decision (histogram, GHz ladder buckets).
+pub const DECISION_F_GHZ: &str = "decision.f_ghz";
+/// Error rate at the chosen operating point (histogram, decade buckets).
+pub const DECISION_PE_PER_INSTRUCTION: &str = "decision.pe_per_instruction";
+
+/// Thermal-solve cache hits across the campaign (counter).
+pub const SOLVER_CACHE_HITS: &str = "solver.cache.hits";
+/// Thermal-solve cache misses across the campaign (counter).
+pub const SOLVER_CACHE_MISSES: &str = "solver.cache.misses";
+/// Fixed-point iterations spent in the thermal solver (counter).
+pub const SOLVER_ITERATIONS: &str = "solver.iterations";
+/// Solves that hit the slow-convergence fallback (counter).
+pub const SOLVER_SLOW_CONVERGENCE: &str = "solver.slow_convergence";
+/// Derived cache hit rate, written into bench JSON by the `hotpath`
+/// bin and gated by `eval-obs bench-check`.
+pub const SOLVER_CACHE_HIT_RATE: &str = "solver.cache.hit_rate";
+
+/// Ladder probes evaluated by the retuning loop (counter).
+pub const RETUNE_PROBES: &str = "retune.probes";
+
+/// Fuzzy rule matrices trained (counter, one per `train` call).
+pub const FUZZY_MATRICES_TRAINED: &str = "fuzzy.matrices_trained";
+/// Complete fuzzy controllers trained (counter, one per variant slot).
+pub const FUZZY_CONTROLLERS_TRAINED: &str = "fuzzy.controllers_trained";
+
+/// Small-signal tester measurements taken during chip characterization
+/// (counter).
+pub const TESTER_MEASUREMENTS: &str = "tester.measurements";
+
+#[cfg(test)]
+mod tests {
+    /// Every exact-name constant, for the uniqueness check below.
+    const ALL: &[&str] = &[
+        super::CAMPAIGN_CHIPS_TOTAL,
+        super::CAMPAIGN_CHIPS_DONE,
+        super::CAMPAIGN_CHIPS_RESUMED,
+        super::CAMPAIGN_CHIPS_FAILED,
+        super::CACHE_HIT,
+        super::CACHE_MISS,
+        super::DECISION_COUNT,
+        super::DECISION_COUNT_STATIC,
+        super::DECISION_COUNT_FUZZY,
+        super::DECISION_COUNT_EXHAUSTIVE,
+        super::DECISION_COUNT_GLOBAL_DVFS,
+        super::DECISION_COUNT_OTHER,
+        super::DECISION_LATENCY_US,
+        super::DECISION_LATENCY_STATIC_US,
+        super::DECISION_LATENCY_FUZZY_US,
+        super::DECISION_LATENCY_EXHAUSTIVE_US,
+        super::DECISION_LATENCY_GLOBAL_DVFS_US,
+        super::DECISION_LATENCY_OTHER_US,
+        super::DECISION_F_GHZ,
+        super::DECISION_PE_PER_INSTRUCTION,
+        super::SOLVER_CACHE_HITS,
+        super::SOLVER_CACHE_MISSES,
+        super::SOLVER_ITERATIONS,
+        super::SOLVER_SLOW_CONVERGENCE,
+        super::SOLVER_CACHE_HIT_RATE,
+        super::RETUNE_PROBES,
+        super::FUZZY_MATRICES_TRAINED,
+        super::FUZZY_CONTROLLERS_TRAINED,
+        super::TESTER_MEASUREMENTS,
+    ];
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(
+                name.contains('.') && !name.contains(' '),
+                "malformed metric name {name}"
+            );
+        }
+        assert!(super::DECISION_LATENCY_US.starts_with(super::DECISION_LATENCY_PREFIX));
+    }
+}

@@ -24,6 +24,7 @@ use crate::artifact::write_atomic;
 use crate::event::Event;
 use crate::json::JsonObject;
 use crate::metrics::{MetricUpdate, Registry};
+use crate::names;
 use crate::span::{span_report, SpanGuard, SpanStat, TimerGuard};
 
 /// One trace record, as delivered to a [`TraceSink`].
@@ -188,11 +189,11 @@ const LATENCY_US_BOUNDS: [f64; 13] = [
 /// The decision-latency timer names: the aggregate plus one per scheme
 /// (`*_us` suffix keeps them outside the golden determinism contract).
 const LATENCY_METRICS: [&str; 5] = [
-    "decision.latency_us",
-    "decision.latency.static_us",
-    "decision.latency.fuzzy_us",
-    "decision.latency.exhaustive_us",
-    "decision.latency.global-dvfs_us",
+    names::DECISION_LATENCY_US,
+    names::DECISION_LATENCY_STATIC_US,
+    names::DECISION_LATENCY_FUZZY_US,
+    names::DECISION_LATENCY_EXHAUSTIVE_US,
+    names::DECISION_LATENCY_GLOBAL_DVFS_US,
 ];
 
 /// The registry every terminal sink starts from: the EVAL-specific
@@ -202,8 +203,8 @@ const LATENCY_METRICS: [&str; 5] = [
 /// histograms appear in the snapshot).
 pub fn default_registry() -> Registry {
     let mut registry = Registry::new();
-    registry.register_histogram("decision.f_ghz", &F_GHZ_BOUNDS);
-    registry.register_histogram("decision.pe_per_instruction", &PE_BOUNDS);
+    registry.register_histogram(names::DECISION_F_GHZ, &F_GHZ_BOUNDS);
+    registry.register_histogram(names::DECISION_PE_PER_INSTRUCTION, &PE_BOUNDS);
     for name in LATENCY_METRICS {
         registry.register_histogram(name, &LATENCY_US_BOUNDS);
     }
