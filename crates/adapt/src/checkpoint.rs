@@ -22,6 +22,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use eval_trace::json::{array, push_str_literal, Json, JsonObject};
+use eval_trace::provenance::{self, fnv1a64, Provenance};
 use eval_trace::{MetricUpdate, Record};
 
 use crate::campaign::{Campaign, CellResult, OutcomeCounts, Scheme};
@@ -146,15 +147,6 @@ pub fn fingerprint(campaign: &Campaign, envs: &[Environment], schemes: &[Scheme]
     }
     let _ = write!(canon, "];");
     fnv1a64(canon.as_bytes())
-}
-
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 /// One chip's metric contribution, captured from its buffered records at
@@ -435,13 +427,19 @@ impl CheckpointWriter {
             file,
             path: path.to_path_buf(),
         };
+        // The sidecar grows after the header, so the stamp carries the
+        // config fingerprint but no content address (append logs have
+        // none until finished).
+        let prov = Provenance::capture("campaign-ckpt").with_config_fingerprint(fingerprint);
         let header = JsonObject::new()
             .str("kind", "campaign-ckpt")
             .u64("version", VERSION)
             .str("fingerprint", &format!("{fingerprint:016x}"))
             .u64("chips", chips as u64)
+            .raw("provenance", &prov.to_json())
             .finish();
         writer.write_line(&header)?;
+        provenance::append_journal(path, &prov).map_err(|e| io_err(path, &e))?;
         Ok(writer)
     }
 

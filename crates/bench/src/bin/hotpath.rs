@@ -8,8 +8,13 @@
 //!
 //! Each benchmark is self-timed: the body is repeated until a sample takes
 //! at least a few milliseconds, several samples are collected, and the
-//! median per-iteration time is reported. The committed
-//! `BENCH_hotpath.json` at the workspace root is this binary's output.
+//! median per-iteration time is reported. With `--samples N` every
+//! benchmark collects exactly N samples and the full per-benchmark sample
+//! vector is recorded in the JSON (`samples_ns`), which is what the
+//! quantile gate in `eval-obs bench-check` consumes. The JSON carries a
+//! provenance header (content address, git revision, host fingerprint,
+//! metric-schema hash). The committed `BENCH_hotpath.json` at the
+//! workspace root is this binary's output.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -25,9 +30,10 @@ use eval_uarch::Workload;
 use eval_trace::names;
 use eval_units::{GHz, Volts};
 
-/// Median per-iteration nanoseconds for `body`, self-calibrated so each
-/// sample runs for at least `min_sample_ms`.
-fn time_ns<F: FnMut()>(mut body: F, min_sample_ms: u64, samples: usize) -> f64 {
+/// Per-iteration nanoseconds for `body`, one entry per sample in
+/// collection order, self-calibrated so each sample runs for at least
+/// `min_sample_ms`.
+fn time_samples<F: FnMut()>(mut body: F, min_sample_ms: u64, samples: usize) -> Vec<f64> {
     // Calibrate: grow the iteration count until one sample is long enough
     // to drown out timer quantization.
     let mut iters: u64 = 1;
@@ -42,7 +48,7 @@ fn time_ns<F: FnMut()>(mut body: F, min_sample_ms: u64, samples: usize) -> f64 {
         }
         iters = iters.saturating_mul(2);
     }
-    let mut per_iter: Vec<f64> = (0..samples)
+    (0..samples)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..iters {
@@ -50,18 +56,40 @@ fn time_ns<F: FnMut()>(mut body: F, min_sample_ms: u64, samples: usize) -> f64 {
             }
             start.elapsed().as_nanos() as f64 / iters as f64
         })
-        .collect();
-    per_iter.sort_by(|a, b| a.total_cmp(b));
-    per_iter[per_iter.len() / 2]
+        .collect()
+}
+
+/// The median of a sample vector (the vector is left untouched).
+fn median_ns(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+/// Median per-iteration nanoseconds for `body` (see [`time_samples`]).
+fn time_ns<F: FnMut()>(body: F, min_sample_ms: u64, samples: usize) -> f64 {
+    median_ns(&time_samples(body, min_sample_ms, samples))
 }
 
 struct Row {
     name: &'static str,
+    /// All fast-path samples, collection order.
+    samples_ns: Vec<f64>,
     fast_ns: f64,
     reference_ns: Option<f64>,
 }
 
 impl Row {
+    fn new(name: &'static str, samples_ns: Vec<f64>, reference_ns: Option<f64>) -> Row {
+        let fast_ns = median_ns(&samples_ns);
+        Row {
+            name,
+            samples_ns,
+            fast_ns,
+            reference_ns,
+        }
+    }
+
     fn speedup(&self) -> Option<f64> {
         self.reference_ns.map(|r| r / self.fast_ns)
     }
@@ -149,11 +177,16 @@ fn campaign_metrics(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json_path = None;
+    let mut samples_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bench-json" => {
                 json_path = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
+            "--samples" => {
+                let n = args.next().ok_or("--samples needs a count")?;
+                samples_override = Some(parse_samples(&n)?);
             }
             // Session flags, parsed by TraceSession::from_env below.
             "--trace" | "--metrics-out" | "--checkpoint" => {
@@ -163,10 +196,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other if other.starts_with("--trace=")
                 || other.starts_with("--metrics-out=")
                 || other.starts_with("--checkpoint=")
-                || other.starts_with("--bench-json=") =>
+                || other.starts_with("--bench-json=")
+                || other.starts_with("--samples=") =>
             {
                 if let Some(p) = other.strip_prefix("--bench-json=") {
                     json_path = Some(p.to_string());
+                }
+                if let Some(n) = other.strip_prefix("--samples=") {
+                    samples_override = Some(parse_samples(n)?);
                 }
             }
             other => return Err(format!("unknown argument {other}").into()),
@@ -194,17 +231,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = scene(&config, &chip, SubsystemId::Dcache);
 
     let mut rows = Vec::new();
+    let n = |default: usize| samples_override.unwrap_or(default);
 
-    rows.push(Row {
-        name: "solve_thermal",
-        fast_ns: time_ns(
+    rows.push(Row::new(
+        "solve_thermal",
+        time_samples(
             || {
                 black_box(solve_thermal(&params, &tenv, black_box(&op), &config.device)).ok();
             },
             5,
-            7,
+            n(7),
         ),
-        reference_ns: Some(time_ns(
+        Some(time_ns(
             || {
                 black_box(solve_thermal_reference(
                     &params,
@@ -217,37 +255,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             5,
             7,
         )),
-    });
+    ));
 
-    rows.push(Row {
-        name: "pe_access_bounded",
-        fast_ns: time_ns(
+    rows.push(Row::new(
+        "pe_access_bounded",
+        time_samples(
             || {
                 black_box(timing.pe_access_bounded(GHz::raw(4.0), black_box(&cond), 0.6, budget));
             },
             5,
-            7,
+            n(7),
         ),
-        reference_ns: Some(time_ns(
+        Some(time_ns(
             || {
                 black_box(timing.pe_access(GHz::raw(4.0), black_box(&cond)));
             },
             5,
             7,
         )),
-    });
+    ));
 
-    rows.push(Row {
-        name: "freq_max_ladder_sweep",
-        fast_ns: time_ns(
+    rows.push(Row::new(
+        "freq_max_ladder_sweep",
+        time_samples(
             || {
                 let opt = ExhaustiveOptimizer::new();
                 black_box(opt.freq_max(&config, black_box(&sc)));
             },
             20,
-            7,
+            n(7),
         ),
-        reference_ns: Some(time_ns(
+        Some(time_ns(
             || {
                 let opt = ExhaustiveOptimizer::new();
                 black_box(opt.freq_max_reference(&config, black_box(&sc)));
@@ -255,26 +293,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             20,
             7,
         )),
-    });
+    ));
 
     let warm = ExhaustiveOptimizer::new();
-    rows.push(Row {
-        name: "freq_max_warm_reuse",
-        fast_ns: time_ns(
+    rows.push(Row::new(
+        "freq_max_warm_reuse",
+        time_samples(
             || {
                 black_box(warm.freq_max(&config, black_box(&sc)));
             },
             20,
-            7,
+            n(7),
         ),
-        reference_ns: None,
-    });
+        None,
+    ));
 
-    rows.push(Row {
-        name: "campaign_exhdyn_2chips",
-        fast_ns: time_ns(small_campaign, 1, 3),
-        reference_ns: None,
-    });
+    rows.push(Row::new(
+        "campaign_exhdyn_2chips",
+        time_samples(small_campaign, 1, n(3)),
+        None,
+    ));
 
     println!(
         "{:<28} {:>14} {:>14} {:>9}",
@@ -292,39 +330,88 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = json_path {
-        let metrics = campaign_metrics(&session)?;
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, row) in rows.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"fast_ns\": {:.1}, \"reference_ns\": {}, \"speedup\": {}}}{}\n",
-                row.name,
-                row.fast_ns,
-                row.reference_ns
-                    .map_or_else(|| "null".to_string(), |r| format!("{r:.1}")),
-                row.speedup()
-                    .map_or_else(|| "null".to_string(), |s| format!("{s:.2}")),
-                if i + 1 < rows.len() { "," } else { "" },
-            ));
+        let mut metrics = campaign_metrics(&session)?;
+        if let Some(count) = samples_override {
+            metrics.push((names::BENCH_SAMPLES, count as f64));
         }
-        out.push_str("  ],\n  \"metrics\": {\n");
-        for (i, (name, value)) in metrics.iter().enumerate() {
-            out.push_str(&format!(
-                "    \"{}\": {}{}\n",
-                name,
-                if value.fract() == 0.0 {
-                    format!("{value:.1}")
-                } else {
-                    format!("{value:.6}")
-                },
-                if i + 1 < metrics.len() { "," } else { "" },
-            ));
-        }
-        out.push_str("  }\n}\n");
+        // The content address covers the document *without* its own
+        // stamp, so bit-identical measurements hash identically even
+        // when produced by different revisions or hosts.
+        let record_samples = samples_override.is_some();
+        let body = render_bench_json(&rows, &metrics, record_samples, None);
+        let prov = eval_trace::Provenance::capture("bench-json")
+            .with_content_address(body.as_bytes());
+        let out = render_bench_json(&rows, &metrics, record_samples, Some(&prov));
         eval_trace::write_atomic(std::path::Path::new(&path), out.as_bytes())?;
+        eval_trace::provenance::append_journal(std::path::Path::new(&path), &prov)?;
         println!("\nwrote {path}");
     }
     if let Some(session) = session {
         session.finish()?;
     }
     Ok(())
+}
+
+/// Renders the bench JSON document (format 2: provenance header, plus
+/// per-benchmark sample vectors when `--samples` is active). Pass
+/// `provenance: None` for the content-address pass — the address covers
+/// exactly that rendering.
+fn render_bench_json(
+    rows: &[Row],
+    metrics: &[(&'static str, f64)],
+    record_samples: bool,
+    provenance: Option<&eval_trace::Provenance>,
+) -> String {
+    let mut out = String::from("{\n  \"format\": 2,\n  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fast_ns\": {:.1}, \"reference_ns\": {}, \"speedup\": {}",
+            row.name,
+            row.fast_ns,
+            row.reference_ns
+                .map_or_else(|| "null".to_string(), |r| format!("{r:.1}")),
+            row.speedup()
+                .map_or_else(|| "null".to_string(), |s| format!("{s:.2}")),
+        ));
+        if record_samples {
+            out.push_str(", \"samples_ns\": [");
+            for (j, s) in row.samples_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{s:.1}"));
+            }
+            out.push(']');
+        }
+        out.push_str(&format!("}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+    }
+    out.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            if value.fract() == 0.0 {
+                format!("{value:.1}")
+            } else {
+                format!("{value:.6}")
+            },
+            if i + 1 < metrics.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  }");
+    if let Some(prov) = provenance {
+        out.push_str(",\n  \"provenance\": ");
+        out.push_str(&prov.to_json());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses the `--samples` count (at least 2 — one sample has no
+/// distribution).
+fn parse_samples(text: &str) -> Result<usize, String> {
+    match text.parse::<usize>() {
+        Ok(count) if count >= 2 => Ok(count),
+        _ => Err(format!("--samples needs an integer count >= 2, got {text}")),
+    }
 }

@@ -246,13 +246,21 @@ impl TraceSession {
     }
 
     /// Flushes the session: completes the JSONL stream (`--trace`),
-    /// writes the Prometheus metrics snapshot (`--metrics-out`), and
-    /// prints the end-of-run span/metric summary.
+    /// writes the Prometheus metrics snapshot (`--metrics-out`), stamps
+    /// both artifacts with provenance (content address + appended trace
+    /// footer + run-journal entries when `EVAL_RUNS_JOURNAL` is set),
+    /// and prints the end-of-run span/metric summary.
     ///
     /// # Errors
     ///
     /// Propagates the I/O error if an output file cannot be written.
     pub fn finish(self) -> std::io::Result<()> {
+        let stamped =
+            u64::from(self.trace_path.is_some()) + u64::from(self.metrics_path.is_some());
+        if stamped > 0 {
+            self.tracer()
+                .count_n(eval_trace::names::PROVENANCE_ARTIFACTS, stamped);
+        }
         let (summary, registry) = match self.sink {
             SessionSink::Plain(c) => {
                 if let Some(path) = &self.trace_path {
@@ -279,8 +287,15 @@ impl TraceSession {
                 out
             }
         };
+        if let Some(path) = &self.trace_path {
+            eval_trace::provenance::stamp_trace(path)?;
+        }
         if let Some(path) = &self.metrics_path {
             eval_obs::write_prometheus(&registry, path)?;
+            let bytes = std::fs::read(path)?;
+            let prov =
+                eval_trace::Provenance::capture("metrics-prom").with_content_address(&bytes);
+            eval_trace::provenance::append_journal(path, &prov)?;
         }
         println!();
         println!("{summary}");

@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 use std::io::BufRead;
 
 use eval_trace::json::JsonObject;
+use eval_trace::provenance::Provenance;
 use eval_trace::{names, Histogram};
 
 use crate::json::Json;
@@ -192,6 +193,9 @@ pub struct Analysis {
     /// The file ended in one unparseable final line — the signature of a
     /// write torn by a crash. The rest of the analysis is still valid.
     pub truncated_tail: bool,
+    /// The trace's provenance footer, when the producer stamped one
+    /// (`"kind":"provenance"`; last stamp wins).
+    pub provenance: Option<Provenance>,
 }
 
 impl Analysis {
@@ -245,6 +249,21 @@ impl Analysis {
         }
         if self.truncated_tail {
             let _ = writeln!(w, "WARNING: trace ends in a torn final line (crashed mid-write); tail dropped");
+        }
+        // Provenance lines render only for stamped traces, so reports
+        // over pre-stamp golden traces are byte-identical.
+        if let Some(p) = &self.provenance {
+            let _ = writeln!(
+                w,
+                "provenance: {} addr={} rev={} host={}",
+                p.artifact,
+                p.content_address.as_deref().unwrap_or("-"),
+                p.git_revision,
+                p.host
+            );
+        }
+        if let Some(stamped) = self.counters.get(names::PROVENANCE_ARTIFACTS) {
+            let _ = writeln!(w, "provenance-stamped artifacts: {stamped}");
         }
         let _ = writeln!(w, "events: {}", self.events);
         for (kind, n) in &self.events_by_kind {
@@ -463,7 +482,12 @@ impl Analysis {
             None => "null".to_string(),
         };
 
-        let mut o = JsonObject::new()
+        let provenance = match &self.provenance {
+            Some(p) => p.to_json(),
+            None => "null".to_string(),
+        };
+
+        JsonObject::new()
             .raw("campaign", &campaign)
             .u64("chips_seen", self.chips_seen)
             .u64("events", self.events)
@@ -473,13 +497,22 @@ impl Analysis {
             .raw("freq_delta", &delta)
             .raw("solver_cache", &cache)
             .raw("chips", &chips)
-            .raw("counters", &map_u64_json(&self.counters));
-        // Only stamped when set, so reports over intact traces are
-        // byte-identical to those from before the field existed.
-        if self.truncated_tail {
-            o = o.bool("truncated_tail", true);
-        }
-        o.finish()
+            .raw("counters", &map_u64_json(&self.counters))
+            // Resume/quarantine accounting and the torn-tail flag are
+            // always present in JSON (unlike the text report, which
+            // keeps them conditional) so downstream consumers never
+            // need existence checks.
+            .u64(
+                "chips_resumed",
+                self.counters.get(names::CAMPAIGN_CHIPS_RESUMED).copied().unwrap_or(0),
+            )
+            .u64(
+                "chips_failed",
+                self.counters.get(names::CAMPAIGN_CHIPS_FAILED).copied().unwrap_or(0),
+            )
+            .raw("provenance", &provenance)
+            .bool("truncated_tail", self.truncated_tail)
+            .finish()
     }
 }
 
@@ -552,6 +585,12 @@ impl Analyzer {
                 let entry = self.analysis.spans.entry(path.to_string()).or_insert((0, 0));
                 entry.0 += count;
                 entry.1 += total;
+                Ok(())
+            }
+            Some("provenance") => {
+                let prov = Provenance::from_json(&v)
+                    .ok_or_else(|| self.err("provenance record without artifact"))?;
+                self.analysis.provenance = Some(prov);
                 Ok(())
             }
             Some(other) => Err(self.err(format!("unknown record kind `{other}`"))),
@@ -846,10 +885,11 @@ mod tests {
         let v = Json::parse(&a.report_json()).expect("valid JSON");
         assert_eq!(v.get("truncated_tail").and_then(Json::as_bool), Some(true));
 
-        // An intact trace reports no truncation and omits the field.
+        // An intact trace reports the field as false.
         let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
         assert!(!a.truncated_tail);
-        assert!(!a.report_json().contains("truncated_tail"));
+        let v = Json::parse(&a.report_json()).expect("valid JSON");
+        assert_eq!(v.get("truncated_tail").and_then(Json::as_bool), Some(false));
     }
 
     #[test]
@@ -875,5 +915,66 @@ mod tests {
         let two = format!("{line}\n{line}\n");
         let a = analyze_reader(two.as_bytes()).expect("parses");
         assert_eq!(a.digests["decision.latency_us"].count(), 4);
+    }
+
+    #[test]
+    fn provenance_footer_surfaces_in_both_reports() {
+        let footer = concat!(
+            r#"{"kind":"provenance","artifact":"trace-jsonl","#,
+            r#""content_address":"00aa11bb22cc33dd","git_revision":"deadbeef","#,
+            r#""host":"aabbccdd00112233","config_fingerprint":null,"#,
+            r#""schema_hash":"1234567812345678"}"#,
+        );
+        let stamped = concat!(
+            r#"{"kind":"counter","name":"provenance.artifacts","value":2}"#,
+            "\n",
+        );
+        let trace = format!("{}{stamped}{footer}\n", mini_trace());
+        let a = analyze_reader(trace.as_bytes()).expect("parses");
+        let p = a.provenance.as_ref().expect("footer folded");
+        assert_eq!(p.artifact, "trace-jsonl");
+        let text = a.report_text();
+        assert!(text.contains("provenance: trace-jsonl addr=00aa11bb22cc33dd"), "{text}");
+        assert!(text.contains("provenance-stamped artifacts: 2"), "{text}");
+        let v = Json::parse(&a.report_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("provenance").and_then(|p| p.str_field("git_revision")),
+            Some("deadbeef")
+        );
+    }
+
+    #[test]
+    fn json_report_always_carries_resume_accounting_and_provenance() {
+        // Unstamped, un-resumed trace: fields still present with
+        // explicit zero/null values.
+        let a = analyze_reader(mini_trace().as_bytes()).expect("parses");
+        let text = a.report_text();
+        assert!(!text.contains("provenance"), "{text}");
+        let v = Json::parse(&a.report_json()).expect("valid JSON");
+        assert_eq!(v.u64_field("chips_resumed"), Some(0));
+        assert_eq!(v.u64_field("chips_failed"), Some(0));
+        assert!(matches!(v.get("provenance"), Some(Json::Null)));
+
+        let trace = format!(
+            "{}\n{}\n",
+            r#"{"kind":"counter","name":"campaign.chips_resumed","value":3}"#,
+            r#"{"kind":"counter","name":"campaign.chips_failed","value":1}"#,
+        );
+        let v = Json::parse(&analyze_reader(trace.as_bytes()).unwrap().report_json())
+            .expect("valid JSON");
+        assert_eq!(v.u64_field("chips_resumed"), Some(3));
+        assert_eq!(v.u64_field("chips_failed"), Some(1));
+    }
+
+    #[test]
+    fn malformed_provenance_record_is_an_error() {
+        // Followed by more content so it can't be excused as a torn tail.
+        let bad = concat!(
+            "{\"kind\":\"provenance\",\"host\":\"x\"}\n",
+            "{\"kind\":\"counter\",\"name\":\"solver.cache.hits\",\"value\":1}\n",
+        );
+        let e = analyze_reader(bad.as_bytes()).unwrap_err();
+        assert!(e.message.contains("provenance"), "{}", e.message);
+        assert_eq!(e.line, 1);
     }
 }

@@ -1,18 +1,33 @@
 //! The bench regression gate (`eval-obs bench-check`).
 //!
 //! Compares a freshly generated `BENCH_hotpath.json` against the
-//! committed baseline:
+//! committed baseline and the pooled `BENCH_history.jsonl` distribution.
+//! Two gates exist:
 //!
-//! * every baseline benchmark must still exist, and its fresh `fast_ns`
-//!   must not exceed `baseline * (1 + tolerance)` — 15% by default,
-//!   with a wider per-benchmark override for the noisy end-to-end
-//!   campaign row;
-//! * the end-of-run `solver.cache.hit_rate` metric (flushed into the
-//!   JSON by the `hotpath` binary) must not drop more than two points
-//!   below the baseline — a perf win that silently loses the cache is
-//!   still a regression;
-//! * every run appends one JSONL line to `BENCH_history.jsonl`, so the
-//!   trend survives the baseline being re-committed.
+//! * **quantile gate (v2, default)** — when the fresh file carries
+//!   per-benchmark sample vectors (`hotpath --samples N`), each
+//!   benchmark's nine deciles are compared against the pooled history
+//!   samples from the *same host* (falling back to the baseline file's
+//!   own samples when history is thin). The verdict reports effect
+//!   sizes — the worst decile shift in ns and as a fraction of baseline
+//!   spread — and fires only when the shift is both statistically
+//!   significant (permutation test, bounded false-positive rate α) and
+//!   material (≥ a configurable fraction of the baseline median). See
+//!   [`crate::stats`].
+//! * **legacy ratio gate (v1)** — `fresh_ns ≤ baseline_ns × (1 + tol)`,
+//!   used for v1 records without samples, for hosts with no history,
+//!   and always under `--legacy-tolerance`.
+//!
+//! Either way:
+//!
+//! * every baseline benchmark must still exist (a missing benchmark is
+//!   a coverage regression);
+//! * the end-of-run `solver.cache.hit_rate` metric must not drop more
+//!   than two points below the baseline — a perf win that silently
+//!   loses the cache is still a regression;
+//! * every run appends one JSONL line to `BENCH_history.jsonl` (v2
+//!   lines carry the full sample vectors and a provenance stamp), so
+//!   the distribution the next run gates against keeps growing.
 //!
 //! Wired onto tier-1 (see `ROADMAP.md`): the gate exits nonzero on any
 //! regression.
@@ -22,15 +37,26 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
-use eval_trace::json::JsonObject;
+use eval_trace::json::{f64_array, JsonObject};
 use eval_trace::names;
+use eval_trace::provenance::Provenance;
 
 use crate::json::Json;
+use crate::stats::{effect_size, quantile_gate, GateConfig, MIN_SAMPLES};
 
 /// Allowed `solver.cache.hit_rate` drop before the gate fails.
 pub const HIT_RATE_SLACK: f64 = 0.02;
 
-/// Per-benchmark slowdown tolerances (fractions: `0.15` allows +15%).
+/// Minimum pooled same-host history samples per benchmark before the
+/// history distribution (rather than the baseline file's samples) is
+/// the comparison population.
+pub const MIN_HISTORY_SAMPLES: usize = 12;
+
+/// Per-benchmark slowdown tolerances. For the legacy gate these are
+/// ratio tolerances (`0.15` allows +15%); for the quantile gate the
+/// same per-benchmark overrides act as materiality floors (a benchmark
+/// noisy enough to need a 50% ratio tolerance also needs a 50% shift
+/// before a statistically-significant result matters).
 #[derive(Debug, Clone)]
 pub struct Tolerances {
     /// Applied when no per-benchmark override matches.
@@ -54,7 +80,7 @@ impl Default for Tolerances {
 }
 
 impl Tolerances {
-    /// The tolerance applied to `name`.
+    /// The legacy ratio tolerance applied to `name`.
     pub fn for_bench(&self, name: &str) -> f64 {
         self.per_bench.get(name).copied().unwrap_or(self.default)
     }
@@ -65,8 +91,15 @@ impl Tolerances {
 pub struct BenchFile {
     /// `fast_ns` by benchmark name.
     pub benches: BTreeMap<String, f64>,
+    /// Full sample vectors by benchmark name (v2 files written with
+    /// `hotpath --samples`), collection order.
+    pub samples: BTreeMap<String, Vec<f64>>,
     /// End-of-run metrics (`solver.cache.hit_rate`, ...), when present.
     pub metrics: BTreeMap<String, f64>,
+    /// The provenance stamp (v2 files).
+    pub provenance: Option<Provenance>,
+    /// Declared format version (1 when the file predates the field).
+    pub format: u64,
 }
 
 /// A bench file could not be read or parsed.
@@ -87,14 +120,17 @@ impl std::fmt::Display for BenchFileError {
 impl std::error::Error for BenchFileError {}
 
 impl BenchFile {
-    /// Parses the JSON text of a bench file.
+    /// Parses the JSON text of a bench file (v1 or v2).
     ///
     /// # Errors
     ///
     /// Returns a message when the document is not the expected shape.
     pub fn parse(text: &str) -> Result<BenchFile, String> {
         let v = Json::parse(text).map_err(|e| e.to_string())?;
-        let mut out = BenchFile::default();
+        let mut out = BenchFile {
+            format: v.u64_field("format").unwrap_or(1),
+            ..BenchFile::default()
+        };
         let rows = v
             .get("benchmarks")
             .and_then(Json::as_arr)
@@ -103,6 +139,12 @@ impl BenchFile {
             let name = row.str_field("name").ok_or("benchmark without name")?;
             let fast = row.f64_field("fast_ns").ok_or("benchmark without fast_ns")?;
             out.benches.insert(name.to_string(), fast);
+            if let Some(arr) = row.get("samples_ns").and_then(Json::as_arr) {
+                let samples: Vec<f64> = arr.iter().filter_map(Json::as_f64).collect();
+                if !samples.is_empty() {
+                    out.samples.insert(name.to_string(), samples);
+                }
+            }
         }
         if let Some(Json::Obj(fields)) = v.get("metrics") {
             for (k, m) in fields {
@@ -111,6 +153,7 @@ impl BenchFile {
                 }
             }
         }
+        out.provenance = v.get("provenance").and_then(Provenance::from_json);
         Ok(out)
     }
 
@@ -131,6 +174,128 @@ impl BenchFile {
     }
 }
 
+/// One parsed `BENCH_history.jsonl` record, as much of it as the gate
+/// needs: v1 lines contribute nothing to the pooled distribution but
+/// still parse (`samples` empty).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRecord {
+    /// Declared line format (1 when absent).
+    pub format: u64,
+    /// Host fingerprint of the recording run, when stamped.
+    pub host: Option<String>,
+    /// Sample vectors by benchmark name (v2 lines only).
+    pub samples: BTreeMap<String, Vec<f64>>,
+}
+
+/// Parses history text: one JSON record per line, `#` comment lines and
+/// blanks skipped, unparsable lines dropped (history is append-only
+/// telemetry, not a load-bearing input — a corrupt line must not brick
+/// the gate).
+pub fn parse_history(text: &str) -> Vec<HistoryRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Ok(v) = Json::parse(line) else { continue };
+        let mut rec = HistoryRecord {
+            format: v.u64_field("format").unwrap_or(1),
+            host: v.str_field("host").map(str::to_string),
+            ..HistoryRecord::default()
+        };
+        if rec.host.is_none() {
+            rec.host = v
+                .get("provenance")
+                .and_then(|p| p.str_field("host"))
+                .map(str::to_string);
+        }
+        if let Some(Json::Obj(rows)) = v.get("benchmarks") {
+            for (name, row) in rows {
+                if let Some(arr) = row.get("samples_ns").and_then(Json::as_arr) {
+                    let samples: Vec<f64> = arr.iter().filter_map(Json::as_f64).collect();
+                    if !samples.is_empty() {
+                        rec.samples.insert(name.clone(), samples);
+                    }
+                }
+            }
+        }
+        out.push(rec);
+    }
+    out
+}
+
+/// Loads and parses a history file; a missing file is an empty history.
+///
+/// # Errors
+///
+/// Any I/O error other than the file not existing.
+pub fn load_history(path: &Path) -> std::io::Result<Vec<HistoryRecord>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(parse_history(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Which gate judged a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Fixed-ratio gate (v1 records, thin data, or `--legacy-tolerance`).
+    Legacy,
+    /// Quantile gate against pooled same-host history samples.
+    QuantileHistory,
+    /// Quantile gate against the baseline file's own samples.
+    QuantileBaseline,
+}
+
+impl GateMode {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GateMode::Legacy => "legacy",
+            GateMode::QuantileHistory => "quantile:history",
+            GateMode::QuantileBaseline => "quantile:baseline",
+        }
+    }
+}
+
+/// Everything `check_distribution` needs beyond the two bench files.
+#[derive(Debug, Clone, Default)]
+pub struct GateOptions {
+    /// Ratio tolerances (legacy) / materiality floors (quantile).
+    pub tolerances: Tolerances,
+    /// Quantile-gate tuning (α, trials, default materiality, seed).
+    pub gate: GateConfig,
+    /// Force the legacy ratio gate everywhere (`--legacy-tolerance`).
+    pub force_legacy: bool,
+    /// How many most-recent matching-host history records pool into the
+    /// comparison distribution.
+    pub history_window: usize,
+}
+
+impl GateOptions {
+    /// Defaults: quantile gating with an 8-record history window.
+    pub fn new() -> GateOptions {
+        GateOptions {
+            tolerances: Tolerances::default(),
+            gate: GateConfig::default(),
+            force_legacy: false,
+            history_window: 8,
+        }
+    }
+
+    /// The quantile materiality floor for `name`: the per-benchmark
+    /// tolerance override when present, the gate default otherwise.
+    fn min_effect_for(&self, name: &str) -> f64 {
+        self.tolerances
+            .per_bench
+            .get(name)
+            .copied()
+            .unwrap_or(self.gate.min_effect_frac)
+    }
+}
+
 /// One benchmark's verdict.
 #[derive(Debug, Clone)]
 pub struct BenchVerdict {
@@ -142,10 +307,40 @@ pub struct BenchVerdict {
     pub fresh_ns: Option<f64>,
     /// `fresh / baseline` when both exist.
     pub ratio: Option<f64>,
-    /// The tolerance applied.
+    /// The tolerance applied (ratio tolerance for legacy rows, the
+    /// materiality floor for quantile rows).
     pub tolerance: f64,
+    /// Which gate judged this row.
+    pub mode: GateMode,
+    /// Worst decile shift in ns (quantile rows).
+    pub shift_ns: Option<f64>,
+    /// Worst decile shift in units of baseline spread (quantile rows).
+    pub shift_frac_of_spread: Option<f64>,
+    /// Permutation-test significance bar the statistic had to clear
+    /// (quantile rows).
+    pub threshold: Option<f64>,
     /// Within tolerance?
     pub ok: bool,
+}
+
+impl BenchVerdict {
+    fn legacy(name: &str, baseline_ns: f64, fresh_ns: Option<f64>, tolerance: f64) -> Self {
+        let ratio = fresh_ns.map(|f| f / baseline_ns);
+        // A missing benchmark is a coverage regression, not a pass.
+        let ok = ratio.is_some_and(|r| r <= 1.0 + tolerance);
+        BenchVerdict {
+            name: name.to_string(),
+            baseline_ns,
+            fresh_ns,
+            ratio,
+            tolerance,
+            mode: GateMode::Legacy,
+            shift_ns: None,
+            shift_frac_of_spread: None,
+            threshold: None,
+            ok,
+        }
+    }
 }
 
 /// The whole gate's verdict.
@@ -158,6 +353,10 @@ pub struct CheckReport {
     pub hit_rate: Option<(f64, f64, bool)>,
     /// Benchmarks present only in the fresh file (informational).
     pub new_benches: Vec<String>,
+    /// The fresh file's sample vectors, carried for the history line.
+    pub fresh_samples: BTreeMap<String, Vec<f64>>,
+    /// The fresh file's provenance stamp, carried for the history line.
+    pub fresh_provenance: Option<Provenance>,
 }
 
 impl CheckReport {
@@ -171,8 +370,8 @@ impl CheckReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<28} {:>14} {:>14} {:>8} {:>7} {:>6}",
-            "benchmark", "baseline_ns", "fresh_ns", "ratio", "tol", "ok"
+            "{:<28} {:>14} {:>14} {:>8} {:>7} {:>18} {:>12} {:>6}",
+            "benchmark", "baseline_ns", "fresh_ns", "ratio", "tol", "mode", "shift", "ok"
         );
         for r in &self.rows {
             let fresh = r
@@ -181,24 +380,32 @@ impl CheckReport {
             let ratio = r
                 .ratio
                 .map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+            let shift = match (r.shift_ns, r.shift_frac_of_spread) {
+                (Some(ns), Some(frac)) => format!("{ns:+.1}({frac:+.1}s)"),
+                _ => "-".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "{:<28} {:>14.1} {:>14} {:>8} {:>6.0}% {:>6}",
+                "{:<28} {:>14.1} {:>14} {:>8} {:>6.0}% {:>18} {:>12} {:>6}",
                 r.name,
                 r.baseline_ns,
                 fresh,
                 ratio,
                 r.tolerance * 100.0,
+                r.mode.label(),
+                shift,
                 if r.ok { "ok" } else { "FAIL" }
             );
         }
         if let Some((base, fresh, ok)) = self.hit_rate {
             let _ = writeln!(
                 out,
-                "{:<28} {:>14.4} {:>14.4} {:>8} {:>7} {:>6}",
+                "{:<28} {:>14.4} {:>14.4} {:>8} {:>7} {:>18} {:>12} {:>6}",
                 names::SOLVER_CACHE_HIT_RATE,
                 base,
                 fresh,
+                "-",
+                "-",
                 "-",
                 "-",
                 if ok { "ok" } else { "FAIL" }
@@ -211,8 +418,62 @@ impl CheckReport {
         out
     }
 
-    /// One JSONL history line for this comparison.
+    /// One JSONL history line for this comparison: a v2 line (format,
+    /// host, provenance, per-benchmark sample vectors and effect sizes)
+    /// when the fresh file carried samples, the original v1 shape
+    /// otherwise.
     pub fn history_line(&self, unix_secs: u64) -> String {
+        if self.fresh_samples.is_empty() {
+            return self.history_line_v1(unix_secs);
+        }
+        let rows = {
+            let mut o = JsonObject::new();
+            for r in &self.rows {
+                let mut cell = JsonObject::new();
+                cell = match r.fresh_ns {
+                    Some(v) => cell.f64("fast_ns", v),
+                    None => cell.raw("fast_ns", "null"),
+                };
+                if let Some(samples) = self.fresh_samples.get(&r.name) {
+                    cell = cell.raw("samples_ns", &f64_array(samples));
+                }
+                cell = match r.shift_ns {
+                    Some(v) => cell.f64("shift_ns", v),
+                    None => cell.raw("shift_ns", "null"),
+                };
+                cell = match r.shift_frac_of_spread {
+                    Some(v) => cell.f64("shift_frac", v),
+                    None => cell.raw("shift_frac", "null"),
+                };
+                o = o.raw(&r.name, &cell.bool("ok", r.ok).finish());
+            }
+            o.finish()
+        };
+        let mut line = JsonObject::new()
+            .u64("format", 2)
+            .u64("unix_secs", unix_secs)
+            .bool("pass", self.pass());
+        line = match &self.fresh_provenance {
+            Some(p) => line.str("host", &p.host).raw("provenance", &p.to_json()),
+            None => line.raw("host", "null").raw("provenance", "null"),
+        };
+        line.raw("benchmarks", &rows)
+            .raw("hit_rate", &self.hit_rate_json())
+            .finish()
+    }
+
+    fn hit_rate_json(&self) -> String {
+        match self.hit_rate {
+            Some((base, fresh, ok)) => JsonObject::new()
+                .f64("baseline", base)
+                .f64("fresh", fresh)
+                .bool("ok", ok)
+                .finish(),
+            None => "null".to_string(),
+        }
+    }
+
+    fn history_line_v1(&self, unix_secs: u64) -> String {
         let rows = {
             let mut o = JsonObject::new();
             for r in &self.rows {
@@ -229,41 +490,210 @@ impl CheckReport {
             }
             o.finish()
         };
-        let hit = match self.hit_rate {
-            Some((base, fresh, ok)) => JsonObject::new()
-                .f64("baseline", base)
-                .f64("fresh", fresh)
-                .bool("ok", ok)
-                .finish(),
-            None => "null".to_string(),
-        };
         JsonObject::new()
             .u64("unix_secs", unix_secs)
             .bool("pass", self.pass())
             .raw("benchmarks", &rows)
-            .raw("hit_rate", &hit)
+            .raw("hit_rate", &self.hit_rate_json())
             .finish()
     }
 }
 
-/// Compares `fresh` against `baseline` under `tol`.
+/// Compares `fresh` against `baseline` with the legacy ratio gate only
+/// (the v1 entry point; `--legacy-tolerance` routes here, and
+/// [`check_distribution`] falls back here per benchmark when samples
+/// are missing).
 pub fn check(baseline: &BenchFile, fresh: &BenchFile, tol: &Tolerances) -> CheckReport {
     let mut report = CheckReport::default();
     for (name, &baseline_ns) in &baseline.benches {
-        let tolerance = tol.for_bench(name);
-        let fresh_ns = fresh.benches.get(name).copied();
-        let ratio = fresh_ns.map(|f| f / baseline_ns);
-        // A missing benchmark is a coverage regression, not a pass.
-        let ok = ratio.is_some_and(|r| r <= 1.0 + tolerance);
-        report.rows.push(BenchVerdict {
-            name: name.clone(),
+        report.rows.push(BenchVerdict::legacy(
+            name,
             baseline_ns,
-            fresh_ns,
-            ratio,
-            tolerance,
-            ok,
-        });
+            fresh.benches.get(name).copied(),
+            tol.for_bench(name),
+        ));
     }
+    finish_report(&mut report, baseline, fresh);
+    report
+}
+
+/// The distribution-aware gate. Per benchmark, in order of preference:
+///
+/// 1. **quantile vs history** — fresh samples ≥ [`MIN_SAMPLES`] and the
+///    pooled same-host history holds ≥ [`MIN_HISTORY_SAMPLES`] samples;
+/// 2. **quantile vs baseline** — fresh and baseline files both carry
+///    enough samples;
+/// 3. **legacy ratio** — anything thinner (v1 files, new hosts with no
+///    history yet, or a baseline stamped by a different machine). This
+///    makes the gate self-healing: a brand-new machine gates by ratio
+///    until its own history accumulates.
+///
+/// In history mode the significance bar is additionally floored at the
+/// worst between-run drift the window has already demonstrated (see
+/// [`between_run_drift`]): a shift inside the machine's documented
+/// wobble is noise, not a regression.
+pub fn check_distribution(
+    baseline: &BenchFile,
+    fresh: &BenchFile,
+    history: &[HistoryRecord],
+    opts: &GateOptions,
+) -> CheckReport {
+    if opts.force_legacy {
+        return check(baseline, fresh, &opts.tolerances);
+    }
+    let fresh_host = fresh.provenance.as_ref().map(|p| p.host.as_str());
+    let baseline_host = baseline.provenance.as_ref().map(|p| p.host.as_str());
+    // A baseline recorded on another machine is not a comparison
+    // population: its sample distribution encodes that machine's
+    // timings, so quantile-gating against it would flag every
+    // cross-machine difference. Only a *known, differing* host pair
+    // disqualifies — unstamped files (tests, hand-built fixtures) are
+    // assumed local.
+    let cross_machine_baseline = matches!(
+        (baseline_host, fresh_host),
+        (Some(b), Some(f)) if b != f
+    );
+    let mut report = CheckReport::default();
+    for (name, &baseline_ns) in &baseline.benches {
+        let fresh_ns = fresh.benches.get(name).copied();
+        let fresh_samples = fresh.samples.get(name);
+        let verdict = match fresh_samples {
+            Some(samples) if samples.len() >= MIN_SAMPLES => {
+                let groups = history_groups(history, name, fresh_host, opts.history_window);
+                let pooled_len: usize = groups.iter().map(Vec::len).sum();
+                let (population, mode) = if pooled_len >= MIN_HISTORY_SAMPLES {
+                    (groups.concat(), GateMode::QuantileHistory)
+                } else if !cross_machine_baseline
+                    && baseline
+                        .samples
+                        .get(name)
+                        .is_some_and(|s| s.len() >= MIN_SAMPLES)
+                {
+                    (baseline.samples[name].clone(), GateMode::QuantileBaseline)
+                } else {
+                    (Vec::new(), GateMode::Legacy)
+                };
+                if mode == GateMode::Legacy {
+                    None
+                } else {
+                    let drift = if mode == GateMode::QuantileHistory {
+                        between_run_drift(&groups)
+                    } else {
+                        None
+                    };
+                    quantile_verdict(
+                        name, baseline_ns, fresh_ns, samples, &population, mode, drift, opts,
+                    )
+                }
+            }
+            _ => None,
+        };
+        report.rows.push(verdict.unwrap_or_else(|| {
+            BenchVerdict::legacy(
+                name,
+                baseline_ns,
+                fresh_ns,
+                opts.tolerances.for_bench(name),
+            )
+        }));
+    }
+    finish_report(&mut report, baseline, fresh);
+    report
+}
+
+/// The per-record sample vectors for `bench` over the most recent
+/// `window` history records whose host matches `fresh_host`, oldest
+/// first. No host on the fresh side means no pooling — distributions
+/// from unknown origins are not comparable. Record boundaries are kept
+/// so [`between_run_drift`] can see run-level structure.
+fn history_groups(
+    history: &[HistoryRecord],
+    bench: &str,
+    fresh_host: Option<&str>,
+    window: usize,
+) -> Vec<Vec<f64>> {
+    let Some(host) = fresh_host else {
+        return Vec::new();
+    };
+    let matching: Vec<&HistoryRecord> = history
+        .iter()
+        .filter(|r| r.host.as_deref() == Some(host) && r.samples.contains_key(bench))
+        .collect();
+    let start = matching.len().saturating_sub(window.max(1));
+    matching[start..]
+        .iter()
+        .map(|rec| rec.samples[bench].clone())
+        .collect()
+}
+
+/// The worst "one run vs the rest" statistic over the history window:
+/// the between-run drift this machine has already demonstrated.
+///
+/// Samples within a run share machine state (turbo, cache residency,
+/// co-tenants), so the pooled permutation null — which shuffles
+/// individual samples — underestimates run-to-run variance. The fresh
+/// run must stick out farther than any past run did before its shift
+/// counts as significant.
+fn between_run_drift(groups: &[Vec<f64>]) -> Option<f64> {
+    if groups.len() < 2 {
+        return None;
+    }
+    let mut worst: Option<f64> = None;
+    for (i, held_out) in groups.iter().enumerate() {
+        let rest: Vec<f64> = groups
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, g)| g.iter().copied())
+            .collect();
+        if let Some(e) = effect_size(&rest, held_out) {
+            let s = e.shift_frac_of_spread;
+            worst = Some(worst.map_or(s, |w| w.max(s)));
+        }
+    }
+    worst
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quantile_verdict(
+    name: &str,
+    baseline_ns: f64,
+    fresh_ns: Option<f64>,
+    fresh_samples: &[f64],
+    population: &[f64],
+    mode: GateMode,
+    drift_floor: Option<f64>,
+    opts: &GateOptions,
+) -> Option<BenchVerdict> {
+    let cfg = GateConfig {
+        min_effect_frac: opts.min_effect_for(name),
+        ..opts.gate
+    };
+    let mut v = quantile_gate(population, fresh_samples, &cfg)?;
+    if let Some(floor) = drift_floor {
+        if floor > v.threshold {
+            v.threshold = floor;
+            v.significant = v.statistic > floor;
+            v.regression = v.significant && v.material;
+        }
+    }
+    Some(BenchVerdict {
+        name: name.to_string(),
+        baseline_ns,
+        fresh_ns,
+        ratio: fresh_ns.map(|f| f / baseline_ns),
+        tolerance: cfg.min_effect_frac,
+        mode,
+        shift_ns: Some(v.effect.max_shift_ns),
+        shift_frac_of_spread: Some(v.effect.shift_frac_of_spread),
+        threshold: Some(v.threshold),
+        ok: !v.regression,
+    })
+}
+
+/// The parts shared by both gates: new-benchmark notes, the hit-rate
+/// gate, and the fresh-side carry-over for the history line.
+fn finish_report(report: &mut CheckReport, baseline: &BenchFile, fresh: &BenchFile) {
     for name in fresh.benches.keys() {
         if !baseline.benches.contains_key(name) {
             report.new_benches.push(name.clone());
@@ -275,7 +705,8 @@ pub fn check(baseline: &BenchFile, fresh: &BenchFile, tol: &Tolerances) -> Check
     ) {
         report.hit_rate = Some((base, new, new >= base - HIT_RATE_SLACK));
     }
-    report
+    report.fresh_samples = fresh.samples.clone();
+    report.fresh_provenance = fresh.provenance.clone();
 }
 
 /// Appends the comparison's history line to `path` (created when
@@ -313,11 +744,73 @@ mod tests {
         )
     }
 
+    fn samples(center: f64, n: usize) -> Vec<f64> {
+        // ±2% deterministic jitter around `center`.
+        (0..n)
+            .map(|i| center * (1.0 + 0.02 * f64::from(i as u32 % 5) / 4.0 - 0.01))
+            .collect()
+    }
+
+    fn v2_file(name: &str, center: f64, host: &str) -> BenchFile {
+        let mut f = BenchFile {
+            format: 2,
+            ..BenchFile::default()
+        };
+        f.benches.insert(name.to_string(), center);
+        f.samples.insert(name.to_string(), samples(center, 9));
+        f.provenance = Some(Provenance {
+            artifact: "bench-json".to_string(),
+            content_address: None,
+            git_revision: "test".to_string(),
+            host: host.to_string(),
+            config_fingerprint: None,
+            schema_hash: String::new(),
+        });
+        f
+    }
+
+    fn history_for(name: &str, center: f64, host: &str, records: usize) -> Vec<HistoryRecord> {
+        (0..records)
+            .map(|_| {
+                let mut rec = HistoryRecord {
+                    format: 2,
+                    host: Some(host.to_string()),
+                    ..HistoryRecord::default()
+                };
+                rec.samples.insert(name.to_string(), samples(center, 9));
+                rec
+            })
+            .collect()
+    }
+
     #[test]
     fn parses_benchmarks_and_metrics() {
         let f = BenchFile::parse(&bench_json(1e9, 0.91)).expect("parses");
         assert_eq!(f.benches["solve_thermal"], 250.0);
         assert_eq!(f.metrics["solver.cache.hit_rate"], 0.91);
+        assert_eq!(f.format, 1);
+        assert!(f.samples.is_empty());
+        assert!(f.provenance.is_none());
+    }
+
+    #[test]
+    fn parses_v2_samples_and_provenance() {
+        let text = concat!(
+            "{\"format\": 2, \"benchmarks\": [",
+            "{\"name\": \"a\", \"fast_ns\": 10.0, \"reference_ns\": null, ",
+            "\"speedup\": null, \"samples_ns\": [9.0, 10.0, 11.0]}],",
+            "\"metrics\": {},",
+            "\"provenance\": {\"artifact\": \"bench-json\", ",
+            "\"content_address\": \"abcd\", \"git_revision\": \"r\", ",
+            "\"host\": \"h\", \"config_fingerprint\": null, ",
+            "\"schema_hash\": \"s\"}}"
+        );
+        let f = BenchFile::parse(text).expect("parses");
+        assert_eq!(f.format, 2);
+        assert_eq!(f.samples["a"], vec![9.0, 10.0, 11.0]);
+        let p = f.provenance.expect("stamped");
+        assert_eq!(p.host, "h");
+        assert_eq!(p.content_address.as_deref(), Some("abcd"));
     }
 
     #[test]
@@ -336,6 +829,7 @@ mod tests {
         assert!(!report.pass());
         let row = report.rows.iter().find(|r| r.name == "solve_thermal").unwrap();
         assert!(!row.ok);
+        assert_eq!(row.mode, GateMode::Legacy);
         assert!(report.render_text().contains("FAIL"));
     }
 
@@ -393,5 +887,110 @@ mod tests {
         let report = check(&f, &f, &Tolerances::default());
         assert!(report.pass());
         assert!(report.hit_rate.is_none());
+    }
+
+    #[test]
+    fn distribution_gate_uses_history_when_thick_enough() {
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1000.0, "host-1");
+        let history = history_for("a", 1000.0, "host-1", 3);
+        let report = check_distribution(&baseline, &fresh, &history, &GateOptions::new());
+        assert_eq!(report.rows[0].mode, GateMode::QuantileHistory);
+        assert!(report.pass());
+    }
+
+    #[test]
+    fn distribution_gate_ignores_other_hosts_history() {
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1000.0, "host-1");
+        // Plenty of history — all from a different machine.
+        let history = history_for("a", 5000.0, "host-2", 10);
+        let report = check_distribution(&baseline, &fresh, &history, &GateOptions::new());
+        // Falls back to the baseline file's own samples, and passes
+        // (identical distribution), instead of comparing against the
+        // 5x-slower foreign host.
+        assert_eq!(report.rows[0].mode, GateMode::QuantileBaseline);
+        assert!(report.pass());
+    }
+
+    #[test]
+    fn between_run_drift_raises_the_significance_bar() {
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1100.0, "host-1");
+        // This machine's history already wobbles ±10% run to run, so a
+        // fresh run at +10% is inside its demonstrated drift.
+        let mut wobbly = history_for("a", 1000.0, "host-1", 1);
+        wobbly.extend(history_for("a", 1100.0, "host-1", 1));
+        wobbly.extend(history_for("a", 950.0, "host-1", 1));
+        let report = check_distribution(&baseline, &fresh, &wobbly, &GateOptions::new());
+        assert_eq!(report.rows[0].mode, GateMode::QuantileHistory);
+        assert!(report.pass(), "a shift inside the observed wobble is noise");
+        // The same +10% on a rock-steady machine is a regression.
+        let steady = history_for("a", 1000.0, "host-1", 3);
+        let report = check_distribution(&baseline, &fresh, &steady, &GateOptions::new());
+        assert_eq!(report.rows[0].mode, GateMode::QuantileHistory);
+        assert!(!report.pass(), "steady history keeps the gate sharp");
+    }
+
+    #[test]
+    fn cross_machine_baseline_falls_back_to_legacy() {
+        // Fresh machine, no history yet: the committed baseline's
+        // sample distribution belongs to another host, so the quantile
+        // gate must stand down rather than flag the hardware delta.
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1120.0, "host-2");
+        let mut opts = GateOptions::new();
+        opts.tolerances.default = 0.35;
+        let report = check_distribution(&baseline, &fresh, &[], &opts);
+        assert_eq!(report.rows[0].mode, GateMode::Legacy);
+        assert!(report.pass(), "+12% is inside the legacy 0.35 ratio");
+        // Same-host history still wins over the mismatch when present.
+        let history = history_for("a", 1000.0, "host-2", 3);
+        let report = check_distribution(&baseline, &fresh, &history, &opts);
+        assert_eq!(report.rows[0].mode, GateMode::QuantileHistory);
+    }
+
+    #[test]
+    fn distribution_gate_falls_back_to_legacy_without_samples() {
+        let baseline = BenchFile::parse(&bench_json(1e9, 0.91)).unwrap();
+        let fresh = baseline.clone();
+        let report = check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+        assert!(report.rows.iter().all(|r| r.mode == GateMode::Legacy));
+        assert!(report.pass());
+    }
+
+    #[test]
+    fn force_legacy_overrides_samples() {
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1000.0, "host-1");
+        let opts = GateOptions {
+            force_legacy: true,
+            ..GateOptions::new()
+        };
+        let report = check_distribution(&baseline, &fresh, &[], &opts);
+        assert_eq!(report.rows[0].mode, GateMode::Legacy);
+        assert!(report.pass());
+    }
+
+    #[test]
+    fn v2_history_line_round_trips_through_parse_history() {
+        let baseline = v2_file("a", 1000.0, "host-1");
+        let fresh = v2_file("a", 1000.0, "host-1");
+        let report = check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+        let line = report.history_line(1_700_000_000);
+        let records = parse_history(&format!("# comment header\n\n{line}\n"));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].format, 2);
+        assert_eq!(records[0].host.as_deref(), Some("host-1"));
+        assert_eq!(records[0].samples["a"].len(), 9);
+    }
+
+    #[test]
+    fn parse_history_tolerates_junk_lines() {
+        let text = "# header\nnot json\n{\"unix_secs\": 1, \"pass\": true, \"benchmarks\": {}, \"hit_rate\": null}\n";
+        let records = parse_history(text);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].format, 1);
+        assert!(records[0].samples.is_empty());
     }
 }

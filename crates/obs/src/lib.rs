@@ -15,12 +15,18 @@
 //!   snapshot, written at end-of-run (`--metrics-out`) and optionally
 //!   served over `std::net` (`eval-obs serve`);
 //! * [`bench_check`] — the bench regression gate comparing a fresh
-//!   `BENCH_hotpath.json` against the committed baseline
-//!   (`eval-obs bench-check`, wired onto tier-1).
+//!   `BENCH_hotpath.json` against the committed baseline and the pooled
+//!   `BENCH_history.jsonl` distribution (`eval-obs bench-check`, wired
+//!   onto tier-1);
+//! * [`stats`] — the decile / effect-size / permutation-test machinery
+//!   behind the quantile gate;
+//! * [`runs`] — the provenance run journal: list, show, and diff any
+//!   two stamped artifacts (`eval-obs runs`).
 //!
 //! Everything is std-only: the consume side honors the same
 //! offline-build constraint as the emit side, including the local JSON
-//! parser in [`json`].
+//! parser in [`json`] (the `eval-rng` dependency behind the permutation
+//! test is workspace-local).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +36,16 @@ pub mod bench_check;
 pub mod expose;
 pub mod json;
 pub mod progress;
+pub mod runs;
+pub mod stats;
 
 pub use analyze::{analyze_reader, Analysis, Analyzer, AnalyzeError};
-pub use bench_check::{append_history, check, BenchFile, CheckReport, Tolerances};
+pub use bench_check::{
+    append_history, check, check_distribution, load_history, parse_history, BenchFile,
+    CheckReport, GateMode, GateOptions, HistoryRecord, Tolerances,
+};
 pub use expose::{prometheus, write_prometheus, MetricsServer};
 pub use json::{Json, JsonError};
 pub use progress::ProgressSink;
+pub use runs::{find, load_journal, parse_journal, RunEntry};
+pub use stats::{deciles, effect_size, quantile_gate, EffectSize, GateConfig, GateVerdict};

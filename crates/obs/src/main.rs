@@ -1,26 +1,41 @@
 //! The `eval-obs` command-line tool.
 //!
 //! ```text
-//! eval-obs analyze <trace.jsonl> [--json]
+//! eval-obs analyze <trace.jsonl> [--json | --format json|text]
 //! eval-obs bench-check --baseline <BENCH.json> --fresh <BENCH.json>
-//!                      [--history <path>] [--tolerance 0.15]
-//!                      [--tolerance name=0.5]...
+//!                      [--history <path>] [--tolerance X | name=X]...
+//!                      [--legacy-tolerance X] [--alpha A] [--trials N]
+//!                      [--min-effect X | name=X]...
+//! eval-obs runs list|show <sel>|diff <a> <b> [--journal <path>]
 //! eval-obs serve <metrics.prom> [--addr 127.0.0.1:9184] [--once]
 //! ```
 //!
 //! `analyze` reads `-` as stdin, so a trace can be piped straight in.
+//!
+//! `bench-check` gates with the distribution-aware quantile test when
+//! the fresh file carries sample vectors (`hotpath --samples N`),
+//! falling back to the fixed-ratio gate for v1 records or thin data;
+//! `--legacy-tolerance X` forces the ratio gate everywhere.
+//!
+//! `runs` reads the provenance journal (`--journal`, default
+//! `$EVAL_RUNS_JOURNAL` or `runs/journal.jsonl`); selectors are a list
+//! index, a content-address prefix, or a path suffix.
+//!
 //! Exit status: `bench-check` exits 1 on a regression; everything else
 //! exits 1 only on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use eval_obs::bench_check::{self, BenchFile, Tolerances};
-use eval_obs::{analyze_reader, MetricsServer};
+use eval_obs::bench_check::{self, BenchFile, GateOptions};
+use eval_obs::{analyze_reader, runs, MetricsServer};
 
 const USAGE: &str = "usage:
-  eval-obs analyze <trace.jsonl | -> [--json]
-  eval-obs bench-check --baseline <BENCH.json> --fresh <BENCH.json> [--history <path>] [--tolerance X | --tolerance name=X]...
+  eval-obs analyze <trace.jsonl | -> [--json | --format json|text]
+  eval-obs bench-check --baseline <BENCH.json> --fresh <BENCH.json> [--history <path>]
+                       [--tolerance X | --tolerance name=X]... [--legacy-tolerance X]
+                       [--alpha A] [--trials N] [--min-effect X | --min-effect name=X]...
+  eval-obs runs list|show <sel>|diff <a> <b> [--journal <path>]
   eval-obs serve <metrics.prom> [--addr HOST:PORT] [--once]";
 
 fn main() -> ExitCode {
@@ -28,6 +43,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("bench-check") => return cmd_bench_check(&args[1..]),
+        Some("runs") => cmd_runs(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
@@ -49,9 +65,15 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 fn cmd_analyze(args: &[String]) -> CliResult {
     let mut path: Option<&str> = None;
     let mut as_json = false;
-    for arg in args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => as_json = true,
+            "--format" => match it.next().ok_or("--format needs json|text")?.as_str() {
+                "json" => as_json = true,
+                "text" => as_json = false,
+                other => return Err(format!("bad format `{other}` (json|text)").into()),
+            },
             other if path.is_none() => path = Some(other),
             other => return Err(format!("unexpected argument `{other}`").into()),
         }
@@ -91,11 +113,31 @@ fn cmd_bench_check(args: &[String]) -> ExitCode {
     }
 }
 
+fn parse_spec(
+    spec: &str,
+    flag: &str,
+    opts: &mut GateOptions,
+    default: &mut dyn FnMut(&mut GateOptions, f64),
+) -> Result<(), String> {
+    match spec.split_once('=') {
+        Some((name, v)) => {
+            let v: f64 = v.parse().map_err(|_| format!("bad {flag} `{spec}`"))?;
+            opts.tolerances.per_bench.insert(name.to_string(), v);
+            Ok(())
+        }
+        None => {
+            let v: f64 = spec.parse().map_err(|_| format!("bad {flag} `{spec}`"))?;
+            default(opts, v);
+            Ok(())
+        }
+    }
+}
+
 fn run_bench_check(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let mut baseline: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
     let mut history: Option<PathBuf> = None;
-    let mut tolerances = Tolerances::default();
+    let mut opts = GateOptions::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,17 +146,30 @@ fn run_bench_check(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> 
             "--history" => history = Some(it.next().ok_or("--history needs a path")?.into()),
             "--tolerance" => {
                 let spec = it.next().ok_or("--tolerance needs a value")?;
-                match spec.split_once('=') {
-                    Some((name, v)) => {
-                        let v: f64 = v.parse().map_err(|_| format!("bad tolerance `{spec}`"))?;
-                        tolerances.per_bench.insert(name.to_string(), v);
-                    }
-                    None => {
-                        tolerances.default = spec
-                            .parse()
-                            .map_err(|_| format!("bad tolerance `{spec}`"))?;
-                    }
-                }
+                parse_spec(spec, "tolerance", &mut opts, &mut |o, v| {
+                    o.tolerances.default = v;
+                })?;
+            }
+            "--legacy-tolerance" => {
+                let spec = it.next().ok_or("--legacy-tolerance needs a value")?;
+                opts.force_legacy = true;
+                opts.tolerances.default = spec
+                    .parse()
+                    .map_err(|_| format!("bad legacy tolerance `{spec}`"))?;
+            }
+            "--min-effect" => {
+                let spec = it.next().ok_or("--min-effect needs a value")?;
+                parse_spec(spec, "min-effect", &mut opts, &mut |o, v| {
+                    o.gate.min_effect_frac = v;
+                })?;
+            }
+            "--alpha" => {
+                let spec = it.next().ok_or("--alpha needs a value")?;
+                opts.gate.alpha = spec.parse().map_err(|_| format!("bad alpha `{spec}`"))?;
+            }
+            "--trials" => {
+                let spec = it.next().ok_or("--trials needs a count")?;
+                opts.gate.trials = spec.parse().map_err(|_| format!("bad trials `{spec}`"))?;
             }
             other => return Err(format!("unexpected argument `{other}`").into()),
         }
@@ -123,13 +178,45 @@ fn run_bench_check(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> 
     let fresh_path = fresh.ok_or("bench-check needs --fresh")?;
     let baseline = BenchFile::load(&baseline_path)?;
     let fresh = BenchFile::load(&fresh_path)?;
-    let report = bench_check::check(&baseline, &fresh, &tolerances);
+    let records = match &history {
+        Some(path) => bench_check::load_history(path)?,
+        None => Vec::new(),
+    };
+    let report = bench_check::check_distribution(&baseline, &fresh, &records, &opts);
     print!("{}", report.render_text());
     if let Some(history) = history {
         bench_check::append_history(&history, &report)?;
         eprintln!("# history appended to {}", history.display());
     }
     Ok(report.pass())
+}
+
+fn cmd_runs(args: &[String]) -> CliResult {
+    let mut journal: Option<PathBuf> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => journal = Some(it.next().ok_or("--journal needs a path")?.into()),
+            other => positional.push(other),
+        }
+    }
+    let journal = journal
+        .or_else(eval_trace::provenance::journal_path)
+        .unwrap_or_else(|| PathBuf::from("runs/journal.jsonl"));
+    let entries = runs::load_journal(&journal)
+        .map_err(|e| format!("{}: {e} (no journal? set EVAL_RUNS_JOURNAL)", journal.display()))?;
+    let lookup = |sel: &str| {
+        runs::find(&entries, sel)
+            .ok_or_else(|| format!("no run matches `{sel}` in {}", journal.display()))
+    };
+    match positional.as_slice() {
+        ["list"] => print!("{}", runs::render_list(&entries)),
+        ["show", sel] => print!("{}", runs::render_show(lookup(sel)?)),
+        ["diff", a, b] => print!("{}", runs::render_diff(lookup(a)?, lookup(b)?)),
+        _ => return Err(format!("runs needs list | show <sel> | diff <a> <b>\n{USAGE}").into()),
+    }
+    Ok(())
 }
 
 fn cmd_serve(args: &[String]) -> CliResult {

@@ -1,0 +1,188 @@
+//! Acceptance tests for the distribution-aware bench gate and the
+//! provenance run journal (ISSUE acceptance criteria):
+//!
+//! * the quantile gate detects a pure 10% shift AND a P90-only tail
+//!   regression that the legacy 0.35 ratio gate waves through;
+//! * zero false positives across 100 resampled identical-distribution
+//!   trials (plus a property test over means and spreads);
+//! * `--legacy-tolerance` forces the ratio gate even on v2 files;
+//! * `runs diff` reports bit-identical payloads by matching content
+//!   address and pinpoints differing provenance fields otherwise.
+
+use std::path::Path;
+
+use eval_obs::bench_check::{self, BenchFile, GateMode, GateOptions};
+use eval_obs::runs;
+use eval_rng::ChaCha12Rng;
+use eval_trace::provenance::Provenance;
+use proptest::prelude::*;
+
+/// One Box–Muller draw from N(mean, sigma).
+fn normal(rng: &mut ChaCha12Rng, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    mean + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn normal_samples(rng: &mut ChaCha12Rng, mean: f64, sigma: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| normal(rng, mean, sigma)).collect()
+}
+
+/// A v2-shaped in-memory bench file: one benchmark whose `fast_ns` is
+/// the sample median, exactly as `hotpath --samples` records it.
+fn v2_file(name: &str, samples: Vec<f64>) -> BenchFile {
+    let median = eval_obs::stats::median(&samples).expect("non-empty samples");
+    let mut file = BenchFile {
+        format: 2,
+        ..BenchFile::default()
+    };
+    file.benches.insert(name.to_string(), median);
+    file.samples.insert(name.to_string(), samples);
+    file
+}
+
+fn legacy_035() -> GateOptions {
+    let mut opts = GateOptions::new();
+    opts.force_legacy = true;
+    opts.tolerances.default = 0.35;
+    opts
+}
+
+#[test]
+fn pure_ten_percent_shift_is_caught_where_the_ratio_gate_sleeps() {
+    let mut rng = ChaCha12Rng::seed_from_u64(11);
+    let baseline = v2_file("solve_thermal", normal_samples(&mut rng, 1000.0, 20.0, 30));
+    let fresh = v2_file("solve_thermal", normal_samples(&mut rng, 1100.0, 20.0, 30));
+
+    let legacy = bench_check::check_distribution(&baseline, &fresh, &[], &legacy_035());
+    assert!(legacy.pass(), "a 10% shift is inside the 0.35 ratio gate");
+
+    let report = bench_check::check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+    assert!(!report.pass(), "the quantile gate must flag a 10% shift");
+    let row = &report.rows[0];
+    assert_eq!(row.mode, GateMode::QuantileBaseline);
+    let shift = row.shift_ns.expect("quantile rows carry the shift");
+    assert!((60.0..160.0).contains(&shift), "shift {shift} ≈ 100 ns");
+}
+
+#[test]
+fn tail_only_regression_is_caught_where_the_ratio_gate_sleeps() {
+    let mut rng = ChaCha12Rng::seed_from_u64(12);
+    let base_samples = normal_samples(&mut rng, 1000.0, 20.0, 40);
+    // Fresh run: the fast half of the distribution is untouched, but
+    // every above-median draw is stretched 5× away from the median — a
+    // contention-shaped pathology where only the slow tail regresses.
+    // The median barely moves, so `fast_ns` (the median) looks healthy.
+    let fresh_samples: Vec<f64> = normal_samples(&mut rng, 1000.0, 20.0, 40)
+        .into_iter()
+        .map(|v| if v > 1000.0 { 1000.0 + (v - 1000.0) * 5.0 } else { v })
+        .collect();
+    let baseline = v2_file("pe_access_bounded", base_samples);
+    let fresh = v2_file("pe_access_bounded", fresh_samples);
+
+    let legacy = bench_check::check_distribution(&baseline, &fresh, &[], &legacy_035());
+    assert!(legacy.pass(), "the median moved too little for the ratio gate");
+
+    let report = bench_check::check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+    assert!(!report.pass(), "the quantile gate must flag the slow tail");
+    let row = &report.rows[0];
+    assert_eq!(row.mode, GateMode::QuantileBaseline);
+    assert!(row.shift_ns.expect("shift") > 60.0, "P90 regressed by ~100 ns");
+}
+
+#[test]
+fn zero_false_positives_across_100_identical_distribution_trials() {
+    let mut fired = 0u32;
+    for trial in 0..100 {
+        let mut rng = ChaCha12Rng::seed_from_u64(0x5eed_0000 + trial);
+        let baseline = v2_file("freq_max_warm_reuse", normal_samples(&mut rng, 46_000.0, 900.0, 30));
+        let fresh = v2_file("freq_max_warm_reuse", normal_samples(&mut rng, 46_000.0, 900.0, 30));
+        let report = bench_check::check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+        assert_eq!(report.rows[0].mode, GateMode::QuantileBaseline);
+        if !report.pass() {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 0, "identical distributions must never gate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Resampling one distribution twice never fires the gate, across
+    /// a wide range of scales and (modest) relative noise levels.
+    #[test]
+    fn gate_never_fires_on_resampled_identical_distributions(
+        mean in 100.0f64..1.0e7,
+        sigma_frac in 0.001f64..0.02,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let sigma = mean * sigma_frac;
+        let baseline = v2_file("campaign_exhdyn_2chips", normal_samples(&mut rng, mean, sigma, 30));
+        let fresh = v2_file("campaign_exhdyn_2chips", normal_samples(&mut rng, mean, sigma, 30));
+        let report = bench_check::check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+        prop_assert!(report.pass(), "false positive at mean={mean} sigma={sigma}");
+    }
+}
+
+#[test]
+fn legacy_tolerance_flag_forces_the_ratio_gate_on_v2_files() {
+    let mut rng = ChaCha12Rng::seed_from_u64(13);
+    let baseline = v2_file("freq_max_ladder_sweep", normal_samples(&mut rng, 49_000.0, 400.0, 30));
+    let fresh = v2_file("freq_max_ladder_sweep", normal_samples(&mut rng, 53_900.0, 400.0, 30));
+
+    // The distribution gate sees the 10% shift...
+    let quantile = bench_check::check_distribution(&baseline, &fresh, &[], &GateOptions::new());
+    assert!(!quantile.pass());
+
+    // ...but `--legacy-tolerance 0.35` pins every row to the old gate.
+    let report = bench_check::check_distribution(&baseline, &fresh, &[], &legacy_035());
+    assert!(report.rows.iter().all(|r| r.mode == GateMode::Legacy));
+    assert!(report.pass());
+    // And the legacy gate still has teeth where it always did.
+    let mut tight = legacy_035();
+    tight.tolerances.default = 0.05;
+    assert!(!bench_check::check_distribution(&baseline, &fresh, &[], &tight).pass());
+}
+
+#[test]
+fn runs_diff_matches_identical_payloads_and_pinpoints_the_rest() {
+    // Two runs produce bit-identical bench JSON; a third differs.
+    let payload_a = b"{\"format\": 2, \"benchmarks\": []}\n";
+    let payload_b = b"{\"format\": 2, \"benchmarks\": [1]}\n";
+    let mut journal = String::new();
+    let stamp = |path: &str, payload: &[u8], secs: u64| {
+        let prov = Provenance::capture("bench-json").with_content_address(payload);
+        eval_trace::provenance::journal_line(Path::new(path), &prov, secs)
+    };
+    journal.push_str(&stamp("target/run1/BENCH.json", payload_a, 100));
+    journal.push('\n');
+    journal.push_str(&stamp("target/run2/BENCH.json", payload_a, 200));
+    journal.push('\n');
+    journal.push_str(&stamp("target/run3/BENCH.json", payload_b, 300));
+    journal.push('\n');
+
+    let entries = runs::parse_journal(&journal);
+    assert_eq!(entries.len(), 3);
+
+    // Bit-identical artifacts share a content address.
+    let same = runs::render_diff(&entries[0], &entries[1]);
+    assert!(same.contains("bit-identical"), "{same}");
+    let addr = entries[0]
+        .provenance
+        .content_address
+        .as_deref()
+        .expect("stamped");
+    assert!(same.contains(addr));
+
+    // A differing artifact is pinpointed down to the provenance field.
+    let differ = runs::render_diff(
+        runs::find(&entries, "run2/BENCH.json").expect("path suffix resolves"),
+        runs::find(&entries, "run3/BENCH.json").expect("path suffix resolves"),
+    );
+    assert!(differ.contains("payloads differ"), "{differ}");
+    assert!(differ.contains("content_address"), "{differ}");
+    // Same builder, same repo state: only the payload differs.
+    assert!(!differ.contains("git_revision"), "{differ}");
+}

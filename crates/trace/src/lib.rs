@@ -34,11 +34,13 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod provenance;
 pub mod sink;
 pub mod span;
 pub mod stream;
 
 pub use artifact::{ensure_parent_dir, write_atomic};
+pub use provenance::Provenance;
 pub use event::{DecisionEvent, Event, RejectedCandidate};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, HistogramMismatch, MetricName, MetricUpdate, Registry};

@@ -91,45 +91,59 @@ pub const FUZZY_CONTROLLERS_TRAINED: &str = "fuzzy.controllers_trained";
 /// (counter).
 pub const TESTER_MEASUREMENTS: &str = "tester.measurements";
 
+/// Samples recorded per benchmark by `hotpath --samples N` (gauge,
+/// written into the v2 bench JSON metrics map and read back by
+/// `eval-obs bench-check` when selecting the quantile gate).
+pub const BENCH_SAMPLES: &str = "bench.samples";
+
+/// Artifacts stamped with a provenance record during this run
+/// (counter, emitted by `TraceSession::finish`).
+pub const PROVENANCE_ARTIFACTS: &str = "provenance.artifacts";
+
+/// Every exact-name constant above, in declaration order. This is the
+/// compiled-in registry hashed by
+/// [`crate::provenance::metric_schema_hash`], so producer/consumer
+/// schema drift is detectable from any stamped artifact alone.
+pub const ALL_METRICS: &[&str] = &[
+    CAMPAIGN_CHIPS_TOTAL,
+    CAMPAIGN_CHIPS_DONE,
+    CAMPAIGN_CHIPS_RESUMED,
+    CAMPAIGN_CHIPS_FAILED,
+    CACHE_HIT,
+    CACHE_MISS,
+    DECISION_COUNT,
+    DECISION_COUNT_STATIC,
+    DECISION_COUNT_FUZZY,
+    DECISION_COUNT_EXHAUSTIVE,
+    DECISION_COUNT_GLOBAL_DVFS,
+    DECISION_COUNT_OTHER,
+    DECISION_LATENCY_US,
+    DECISION_LATENCY_STATIC_US,
+    DECISION_LATENCY_FUZZY_US,
+    DECISION_LATENCY_EXHAUSTIVE_US,
+    DECISION_LATENCY_GLOBAL_DVFS_US,
+    DECISION_LATENCY_OTHER_US,
+    DECISION_F_GHZ,
+    DECISION_PE_PER_INSTRUCTION,
+    SOLVER_CACHE_HITS,
+    SOLVER_CACHE_MISSES,
+    SOLVER_ITERATIONS,
+    SOLVER_SLOW_CONVERGENCE,
+    SOLVER_CACHE_HIT_RATE,
+    RETUNE_PROBES,
+    FUZZY_MATRICES_TRAINED,
+    FUZZY_CONTROLLERS_TRAINED,
+    TESTER_MEASUREMENTS,
+    BENCH_SAMPLES,
+    PROVENANCE_ARTIFACTS,
+];
+
 #[cfg(test)]
 mod tests {
-    /// Every exact-name constant, for the uniqueness check below.
-    const ALL: &[&str] = &[
-        super::CAMPAIGN_CHIPS_TOTAL,
-        super::CAMPAIGN_CHIPS_DONE,
-        super::CAMPAIGN_CHIPS_RESUMED,
-        super::CAMPAIGN_CHIPS_FAILED,
-        super::CACHE_HIT,
-        super::CACHE_MISS,
-        super::DECISION_COUNT,
-        super::DECISION_COUNT_STATIC,
-        super::DECISION_COUNT_FUZZY,
-        super::DECISION_COUNT_EXHAUSTIVE,
-        super::DECISION_COUNT_GLOBAL_DVFS,
-        super::DECISION_COUNT_OTHER,
-        super::DECISION_LATENCY_US,
-        super::DECISION_LATENCY_STATIC_US,
-        super::DECISION_LATENCY_FUZZY_US,
-        super::DECISION_LATENCY_EXHAUSTIVE_US,
-        super::DECISION_LATENCY_GLOBAL_DVFS_US,
-        super::DECISION_LATENCY_OTHER_US,
-        super::DECISION_F_GHZ,
-        super::DECISION_PE_PER_INSTRUCTION,
-        super::SOLVER_CACHE_HITS,
-        super::SOLVER_CACHE_MISSES,
-        super::SOLVER_ITERATIONS,
-        super::SOLVER_SLOW_CONVERGENCE,
-        super::SOLVER_CACHE_HIT_RATE,
-        super::RETUNE_PROBES,
-        super::FUZZY_MATRICES_TRAINED,
-        super::FUZZY_CONTROLLERS_TRAINED,
-        super::TESTER_MEASUREMENTS,
-    ];
-
     #[test]
     fn names_are_unique_and_well_formed() {
         let mut seen = std::collections::BTreeSet::new();
-        for name in ALL {
+        for name in super::ALL_METRICS {
             assert!(seen.insert(*name), "duplicate metric name {name}");
             assert!(
                 name.contains('.') && !name.contains(' '),
